@@ -1,0 +1,450 @@
+package updatec
+
+// One benchmark per reproduced paper artifact (see the experiment
+// index in DESIGN.md). The benchmarks exercise the same code paths as
+// the ucbench experiment harness; custom metrics report the
+// shape-level quantities the paper claims (bytes per update, log
+// growth, who-converges-to-what), while ns/op captures the cost of
+// each mechanism.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"updatec/internal/check"
+	"updatec/internal/clock"
+	"updatec/internal/core"
+	"updatec/internal/history"
+	"updatec/internal/sim"
+	"updatec/internal/spec"
+	"updatec/internal/transport"
+)
+
+// BenchmarkFigure1Classification (E1): decide all five criteria on the
+// four Figure 1 histories and verify the paper's matrix.
+func BenchmarkFigure1Classification(b *testing.B) {
+	figs := history.Figures()[:4]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, fig := range figs {
+			if got := check.Classify(fig.H); got != fig.Expect {
+				b.Fatalf("%s misclassified", fig.Label)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2 (E2): the PC-but-not-EC decision with its witness
+// linearizations w1 and w2.
+func BenchmarkFigure2(b *testing.B) {
+	h := history.Fig2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !check.PC(h).Holds || check.EC(h).Holds {
+			b.Fatalf("Fig2 misclassified")
+		}
+	}
+}
+
+// BenchmarkProposition1 (E3): one eager run and one Algorithm 1 run of
+// the Figure 2 program under a full partition; eager loses
+// convergence, Algorithm 1 loses PC.
+func BenchmarkProposition1(b *testing.B) {
+	script := sim.Fig2Script()
+	for i := 0; i < b.N; i++ {
+		seed := int64(i)
+		eager := sim.Run(sim.Scenario{
+			Kind: sim.Eager, N: 2, Seed: seed, FIFO: true, Script: script,
+			PartitionUntil: len(script), PartitionGroups: [][]int{{0}, {1}},
+		})
+		uc := sim.Run(sim.Scenario{
+			Kind: sim.UCSet, N: 2, Seed: seed, FIFO: true, Script: script,
+			PartitionUntil: len(script), PartitionGroups: [][]int{{0}, {1}},
+		})
+		if eager.Converged || !uc.Converged {
+			b.Fatalf("Proposition 1 shape broken: eager=%v uc=%v",
+				eager.Converged, uc.Converged)
+		}
+	}
+}
+
+// BenchmarkProposition2 (E4): classify one random history per
+// iteration and assert the hierarchy.
+func BenchmarkProposition2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		h := history.RandomSet(rng, history.RandomSetOptions{
+			Procs: 2, MaxUpdates: 2, MaxQueries: 1,
+			Mode: history.RandomMode(i % 3), Omega: true,
+		})
+		c := check.Classify(h)
+		if (c.SUC && (!c.SEC || !c.UC)) || (c.UC && !c.EC) {
+			b.Fatalf("hierarchy violated")
+		}
+	}
+}
+
+// BenchmarkProposition3 (E5): record an Algorithm 1 run, decide SUC,
+// and validate the constructed Insert-wins relation.
+func BenchmarkProposition3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		out := sim.Run(sim.Scenario{
+			Kind: sim.UCSet, N: 2, Seed: int64(i), Record: true,
+			Script: sim.RandomScript(rng, 2, 4, []string{"1", "2"}, 3),
+		})
+		r := check.SUC(out.History)
+		if !r.Holds {
+			b.Fatalf("Algorithm 1 history not SUC")
+		}
+		if err := check.InsertWinsFromSUC(out.History, r.Witness); err != nil {
+			b.Fatalf("Proposition 3: %v", err)
+		}
+	}
+}
+
+// BenchmarkAlgorithm1 (E6 / Prop. 4): a full 4-process, 16-update run
+// with one crash; convergence asserted each iteration.
+func BenchmarkAlgorithm1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		script := sim.RandomScript(rng, 4, 16, []string{"1", "2", "3"}, 4)
+		out := sim.Run(sim.Scenario{
+			Kind: sim.UCSet, N: 4, Seed: int64(i), Script: script,
+			CrashAt: map[int]int{len(script) / 2: 3},
+		})
+		if !out.Converged {
+			b.Fatalf("Algorithm 1 diverged")
+		}
+	}
+}
+
+// BenchmarkSetCaseStudy (E7): the Figure 1(b) conflict workload across
+// all set implementations.
+func BenchmarkSetCaseStudy(b *testing.B) {
+	script := sim.Fig1bScript()
+	for _, kind := range sim.SetKinds() {
+		if kind == sim.GSet {
+			continue
+		}
+		kind := kind
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim.Run(sim.Scenario{
+					Kind: kind, N: 2, Seed: 7, FIFO: true, Script: script,
+					PartitionUntil: len(script), PartitionGroups: [][]int{{0}, {1}},
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkQueryEngines (E8b): query cost per engine at several log
+// lengths — the replay/checkpoint/undo crossover of §VII-C.
+func BenchmarkQueryEngines(b *testing.B) {
+	for _, length := range []int{64, 512, 4096} {
+		for _, mk := range []func() core.Engine{
+			func() core.Engine { return core.NewReplayEngine() },
+			func() core.Engine { return core.NewCheckpointEngine(64) },
+			func() core.Engine { return core.NewUndoEngine() },
+		} {
+			eng := mk()
+			b.Run(fmt.Sprintf("%s/log=%d", eng.Name(), length), func(b *testing.B) {
+				adt := spec.Set()
+				log := core.NewLog(adt)
+				eng.Bind(adt, log)
+				for k := 0; k < length; k++ {
+					at := log.Insert(core.Entry{
+						TS: clock.Timestamp{Clock: uint64(k + 1), Proc: 0},
+						U:  spec.Ins{V: fmt.Sprint(k % 5)},
+					})
+					eng.Inserted(at)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = eng.State()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMessageOverhead (E8a): per-update network cost of
+// Algorithm 1; bytes/update reported as a metric.
+func BenchmarkMessageOverhead(b *testing.B) {
+	net := transport.NewSim(transport.SimOptions{N: 3, Seed: 1})
+	reps := core.Cluster(3, spec.Set(), net, core.ClusterOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reps[i%3].Update(spec.Ins{V: "ab"})
+		if i%64 == 0 {
+			net.Quiesce()
+		}
+	}
+	b.StopTimer()
+	net.Quiesce()
+	st := net.Stats()
+	if st.Broadcasts != uint64(b.N) {
+		b.Fatalf("broadcasts %d != updates %d", st.Broadcasts, b.N)
+	}
+	b.ReportMetric(float64(st.Bytes)/float64(st.Sends), "payload-bytes/update")
+}
+
+// BenchmarkLogGC (E8c): steady traffic with stability compaction; the
+// live log length is reported as a metric (compare BenchmarkLogNoGC).
+func BenchmarkLogGC(b *testing.B) {
+	benchGC(b, true)
+}
+
+// BenchmarkLogNoGC is the E8c baseline without compaction.
+func BenchmarkLogNoGC(b *testing.B) {
+	benchGC(b, false)
+}
+
+func benchGC(b *testing.B, gc bool) {
+	net := transport.NewSim(transport.SimOptions{N: 3, Seed: 2, FIFO: true})
+	reps := core.Cluster(3, spec.Set(), net, core.ClusterOptions{GC: gc, GCEvery: 16})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reps[i%3].Update(spec.Ins{V: fmt.Sprint(i % 7)})
+		net.StepN(4)
+	}
+	b.StopTimer()
+	net.Quiesce()
+	reps[0].ForceCompact()
+	b.ReportMetric(float64(reps[0].Stats().LogLen), "live-log-entries")
+}
+
+// BenchmarkMemory (E9): Algorithm 2 reads vs the generic Algorithm 1
+// memory reads after a 2000-write history.
+func BenchmarkMemory(b *testing.B) {
+	const writes = 2000
+	keys := []string{"a", "b", "c", "d"}
+
+	b.Run("alg2-read", func(b *testing.B) {
+		net := transport.NewSim(transport.SimOptions{N: 2, Seed: 3})
+		mem := core.NewMemory(core.MemoryConfig{ID: 0, Init: "0", Net: net})
+		core.NewMemory(core.MemoryConfig{ID: 1, Init: "0", Net: net})
+		for k := 0; k < writes; k++ {
+			mem.Write(keys[k%len(keys)], fmt.Sprint(k))
+		}
+		net.Quiesce()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mem.Read("a")
+		}
+	})
+	b.Run("generic-replay-read", func(b *testing.B) {
+		net := transport.NewSim(transport.SimOptions{N: 2, Seed: 3})
+		reps := core.Cluster(2, spec.Memory("0"), net, core.ClusterOptions{})
+		kv := core.NewKV(reps[0])
+		for k := 0; k < writes; k++ {
+			kv.Put(keys[k%len(keys)], fmt.Sprint(k))
+		}
+		net.Quiesce()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kv.Get("a")
+		}
+	})
+	b.Run("generic-ckpt-read", func(b *testing.B) {
+		net := transport.NewSim(transport.SimOptions{N: 2, Seed: 3})
+		reps := core.Cluster(2, spec.Memory("0"), net, core.ClusterOptions{
+			NewEngine: func() core.Engine { return core.NewCheckpointEngine(64) },
+		})
+		kv := core.NewKV(reps[0])
+		for k := 0; k < writes; k++ {
+			kv.Put(keys[k%len(keys)], fmt.Sprint(k))
+		}
+		net.Quiesce()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kv.Get("a")
+		}
+	})
+	b.Run("alg2-write", func(b *testing.B) {
+		net := transport.NewSim(transport.SimOptions{N: 2, Seed: 3})
+		mem := core.NewMemory(core.MemoryConfig{ID: 0, Init: "0", Net: net})
+		core.NewMemory(core.MemoryConfig{ID: 1, Init: "0", Net: net})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mem.Write(keys[i%len(keys)], "v")
+			if i%256 == 0 {
+				b.StopTimer()
+				net.Quiesce()
+				b.StartTimer()
+			}
+		}
+	})
+}
+
+// BenchmarkUpdateThroughput measures the wait-free local cost of one
+// update (stamp, encode, broadcast, self-apply) on Algorithm 1.
+func BenchmarkUpdateThroughput(b *testing.B) {
+	net := transport.NewSim(transport.SimOptions{N: 3, Seed: 4})
+	reps := core.Cluster(3, spec.Set(), net, core.ClusterOptions{
+		NewEngine: func() core.Engine { return core.NewUndoEngine() },
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reps[0].Update(spec.Ins{V: "x"})
+		if i%256 == 0 {
+			b.StopTimer()
+			net.Quiesce()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkCheckpointIntervalAblation: the checkpoint engine's design
+// knob. Small intervals approach the undo engine's query cost but pay
+// more on late insertions (more snapshots invalidated and rebuilt);
+// large intervals approach replay. Measured at log length 4096 with a
+// 10% late-delivery mix.
+func BenchmarkCheckpointIntervalAblation(b *testing.B) {
+	for _, interval := range []int{16, 64, 256, 1024} {
+		interval := interval
+		b.Run(fmt.Sprintf("interval=%d", interval), func(b *testing.B) {
+			adt := spec.Set()
+			log := core.NewLog(adt)
+			eng := core.NewCheckpointEngine(interval)
+			eng.Bind(adt, log)
+			rng := rand.New(rand.NewSource(7))
+			perm := make([]int, 4096)
+			for i := range perm {
+				perm[i] = i
+			}
+			for i := range perm {
+				if rng.Intn(100) < 10 {
+					j := rng.Intn(len(perm))
+					perm[i], perm[j] = perm[j], perm[i]
+				}
+			}
+			for _, p := range perm {
+				at := log.Insert(core.Entry{
+					TS: clock.Timestamp{Clock: uint64(p + 1), Proc: 0},
+					U:  spec.Ins{V: fmt.Sprint(p % 5)},
+				})
+				eng.Inserted(at)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = eng.State()
+			}
+		})
+	}
+}
+
+// BenchmarkGCEveryAblation: compaction period vs steady-state live log
+// length and per-update cost. Frequent compaction keeps the log tiny
+// at the price of more snapshot folds.
+func BenchmarkGCEveryAblation(b *testing.B) {
+	for _, every := range []int{4, 32, 256} {
+		every := every
+		b.Run(fmt.Sprintf("gcEvery=%d", every), func(b *testing.B) {
+			net := transport.NewSim(transport.SimOptions{N: 3, Seed: 2, FIFO: true})
+			reps := core.Cluster(3, spec.Set(), net, core.ClusterOptions{GC: true, GCEvery: every})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reps[i%3].Update(spec.Ins{V: fmt.Sprint(i % 7)})
+				net.StepN(4)
+			}
+			b.StopTimer()
+			net.Quiesce()
+			b.ReportMetric(float64(reps[0].Stats().LogLen), "live-log-entries")
+		})
+	}
+}
+
+// BenchmarkSession: the overhead of the session layer's coverage check
+// over a raw query.
+func BenchmarkSession(b *testing.B) {
+	net := transport.NewSim(transport.SimOptions{N: 3, Seed: 5})
+	reps := core.Cluster(3, spec.Set(), net, core.ClusterOptions{
+		NewEngine: func() core.Engine { return core.NewUndoEngine() },
+	})
+	for k := 0; k < 100; k++ {
+		reps[k%3].Update(spec.Ins{V: fmt.Sprint(k % 9)})
+	}
+	net.Quiesce()
+	sess := core.NewSession(reps[0])
+	sess.Update(spec.Ins{V: "mine"})
+	b.Run("raw-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reps[0].Query(spec.Read{})
+		}
+	})
+	b.Run("session-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := sess.TryQuery(spec.Read{}); !ok {
+				b.Fatalf("own replica must cover the session")
+			}
+		}
+	})
+}
+
+// BenchmarkPartitionHeal (E10): a split-brain run with conflicting
+// updates on both sides, healed and converged.
+func BenchmarkPartitionHeal(b *testing.B) {
+	script := []sim.Op{
+		{Proc: 0, Kind: sim.OpInsert, V: "shared"},
+		{Proc: 1, Kind: sim.OpInsert, V: "left"},
+		{Proc: 2, Kind: sim.OpInsert, V: "right"},
+		{Proc: 3, Kind: sim.OpDelete, V: "shared"},
+	}
+	for i := 0; i < b.N; i++ {
+		out := sim.Run(sim.Scenario{
+			Kind: sim.UCSet, N: 4, Seed: int64(i), FIFO: true,
+			Script:          script,
+			PartitionUntil:  len(script),
+			PartitionGroups: [][]int{{0, 1}, {2, 3}},
+		})
+		if !out.Converged {
+			b.Fatalf("partition heal diverged")
+		}
+	}
+}
+
+// BenchmarkStateTransfer (E12): snapshot a 200-update replica and
+// restore a fresh one from it.
+func BenchmarkStateTransfer(b *testing.B) {
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 3})
+	reps := core.Cluster(2, spec.Set(), net, core.ClusterOptions{})
+	for k := 0; k < 200; k++ {
+		reps[0].Update(spec.Ins{V: fmt.Sprint(k % 9)})
+	}
+	net.Quiesce()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := reps[0].Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		net2 := transport.NewSim(transport.SimOptions{N: 2, Seed: 4})
+		fresh := core.NewReplica(core.Config{ID: 1, N: 2, ADT: spec.Set(), Net: net2})
+		if err := fresh.Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeciders measures each consistency decider on the Figure 2
+// history (the hardest of the paper's examples).
+func BenchmarkDeciders(b *testing.B) {
+	h := history.Fig2()
+	deciders := map[string]func(*history.History) check.Result{
+		"EC": check.EC, "SEC": check.SEC, "UC": check.UC,
+		"SUC": check.SUC, "PC": check.PC, "SC": check.SC,
+	}
+	for name, fn := range deciders {
+		fn := fn
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fn(h)
+			}
+		})
+	}
+}

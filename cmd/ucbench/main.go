@@ -1,0 +1,67 @@
+// Command ucbench regenerates the reproduction's experiment tables
+// (see DESIGN.md's experiment index and EXPERIMENTS.md for recorded
+// output).
+//
+// Usage:
+//
+//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory] [-quick] [-runs n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"updatec/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join")
+	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
+	runs := flag.Int("runs", 400, "randomized-history runs for prop2/prop3")
+	flag.Parse()
+
+	w := os.Stdout
+	switch *exp {
+	case "all":
+		bench.All(w, *quick)
+	case "fig1", "fig2":
+		if res := bench.Figures(w); res.Mismatches != 0 {
+			fmt.Fprintf(os.Stderr, "ucbench: %d classification mismatches\n", res.Mismatches)
+			os.Exit(1)
+		}
+	case "prop1":
+		bench.Proposition1(w)
+	case "prop2":
+		if res := bench.Proposition2(w, *runs); res.Violations != 0 {
+			fmt.Fprintf(os.Stderr, "ucbench: %d hierarchy violations\n", res.Violations)
+			os.Exit(1)
+		}
+	case "prop3":
+		if res := bench.Proposition3(w, *runs); res.InsertWinsFailures != 0 {
+			fmt.Fprintf(os.Stderr, "ucbench: %d Insert-wins failures\n", res.InsertWinsFailures)
+			os.Exit(1)
+		}
+	case "prop4":
+		if res := bench.Proposition4(w); !res.AllConverged() {
+			fmt.Fprintln(os.Stderr, "ucbench: convergence failures")
+			os.Exit(1)
+		}
+	case "sets":
+		bench.SetCaseStudy(w)
+	case "complexity":
+		bench.Complexity(w, *quick)
+	case "memory":
+		bench.MemoryExperiment(w, *quick)
+	case "partition":
+		bench.PartitionHeal(w)
+	case "latency":
+		bench.ConvergenceLatency(w)
+	case "join":
+		bench.StateTransfer(w)
+	default:
+		fmt.Fprintf(os.Stderr, "ucbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

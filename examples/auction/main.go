@@ -1,0 +1,84 @@
+// Auction demonstrates why the strength of update consistency matters
+// for application logic: a sealed-bid auction where every replica must
+// announce the same winner. With an eventually consistent object the
+// final state need not correspond to any sequential execution, so
+// "highest bid wins, first writer breaks ties" cannot be trusted; the
+// update consistent set guarantees the converged state is the result
+// of one total order of the bid registrations, so deterministic logic
+// over the converged state agrees everywhere.
+//
+//	go run ./examples/auction
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"updatec"
+)
+
+func main() {
+	const n = 3
+	cluster, sets, err := updatec.NewSetCluster(n, updatec.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+
+	// Each replica registers bids as "bidder=amount" elements; a
+	// bidder may raise by deleting the old bid and inserting a new one
+	// — a non-commutative pattern no plain CRDT set resolves
+	// sequentially.
+	sets[0].Insert("alice=100")
+	sets[1].Insert("bob=120")
+	sets[2].Insert("carol=120")
+	// Alice raises; the delete+insert pair races with everything else.
+	sets[0].Delete("alice=100")
+	sets[0].Insert("alice=150")
+
+	cluster.Settle()
+
+	fmt.Println("bids after convergence:")
+	for i, s := range sets {
+		fmt.Printf("  replica %d: %v\n", i, s.Elements())
+	}
+	fmt.Printf("converged: %v\n\n", cluster.Converged())
+
+	// Every replica computes the winner from its local converged
+	// state; update consistency makes this safe.
+	for i, s := range sets {
+		fmt.Printf("replica %d announces: %s\n", i, winner(s.Elements()))
+	}
+}
+
+// winner picks the highest bid, breaking ties by bidder name.
+func winner(bids []string) string {
+	type bid struct {
+		who    string
+		amount int
+	}
+	var parsed []bid
+	for _, b := range bids {
+		who, amt, ok := strings.Cut(b, "=")
+		if !ok {
+			continue
+		}
+		v, err := strconv.Atoi(amt)
+		if err != nil {
+			continue
+		}
+		parsed = append(parsed, bid{who: who, amount: v})
+	}
+	if len(parsed) == 0 {
+		return "no bids"
+	}
+	sort.Slice(parsed, func(i, j int) bool {
+		if parsed[i].amount != parsed[j].amount {
+			return parsed[i].amount > parsed[j].amount
+		}
+		return parsed[i].who < parsed[j].who
+	})
+	return fmt.Sprintf("%s wins at %d", parsed[0].who, parsed[0].amount)
+}

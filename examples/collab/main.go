@@ -1,0 +1,62 @@
+// Collab demonstrates why collaborative editing needs more than
+// eventual consistency: concurrent appends to a shared document do not
+// commute, so a naive eager implementation leaves replicas with
+// different line orders, while the update consistent TextLog converges
+// to one order — §I's intention-preservation motivation, made
+// runnable.
+//
+//	go run ./examples/collab
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"updatec"
+)
+
+func main() {
+	cluster, docs, err := updatec.NewTextLogCluster(3)
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+
+	// Three authors type concurrently into their local replicas.
+	var wg sync.WaitGroup
+	authors := []struct {
+		doc   *updatec.TextLog
+		lines []string
+	}{
+		{docs[0], []string{"alice: let's meet at 9", "alice: room 42"}},
+		{docs[1], []string{"bob: 9 works for me"}},
+		{docs[2], []string{"carol: make it 9:30", "carol: and bring slides"}},
+	}
+	for _, a := range authors {
+		wg.Add(1)
+		go func(doc *updatec.TextLog, lines []string) {
+			defer wg.Done()
+			for _, l := range lines {
+				doc.Append(l)
+			}
+		}(a.doc, a.lines)
+	}
+	wg.Wait()
+	cluster.Settle()
+
+	fmt.Println("all three replicas converged to the same document:")
+	for i, d := range docs {
+		fmt.Printf("\nreplica %d:\n", i)
+		for _, line := range d.Lines() {
+			fmt.Printf("  %s\n", line)
+		}
+		_ = i
+	}
+	fmt.Printf("\nconverged: %v\n", cluster.Converged())
+
+	fmt.Println("\neach author's own lines appear in the order they typed them")
+	fmt.Println("(the update linearization contains the program order), and all")
+	fmt.Println("replicas agree on how the concurrent lines interleave. An")
+	fmt.Println("eventually consistent document would only promise *some* common")
+	fmt.Println("state — nothing ties it to any order the authors intended.")
+}

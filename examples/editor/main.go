@@ -1,0 +1,69 @@
+// Editor demonstrates the positional sequence — the collaborative
+// editor's document model: concurrent inserts at the *same position*
+// and a concurrent delete, converging to a single document on every
+// replica, plus an update consistent dependency graph whose
+// referential integrity survives concurrent edits.
+//
+//	go run ./examples/editor
+package main
+
+import (
+	"fmt"
+
+	"updatec"
+)
+
+func main() {
+	// Part 1: positional document.
+	cluster, docs, err := updatec.NewSequenceCluster(3, updatec.WithSeed(99))
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+
+	docs[0].InsertAt(0, "# Design notes")
+	cluster.Settle() // everyone starts from the same headline
+
+	// Now three editors type concurrently: two insert at position 1,
+	// one deletes the headline — the classic merge nightmare.
+	docs[0].InsertAt(1, "alice: use Lamport clocks")
+	docs[1].InsertAt(1, "bob: use vector clocks")
+	docs[2].DeleteAt(0)
+	cluster.Settle()
+
+	fmt.Println("document after concurrent edits (same on all replicas):")
+	for i, d := range docs {
+		fmt.Printf("replica %d: %v\n", i, d.Items())
+	}
+	fmt.Printf("converged: %v\n\n", cluster.Converged())
+
+	// Part 2: dependency graph with referential integrity.
+	gcluster, graphs, err := updatec.NewGraphCluster(2, updatec.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	defer gcluster.Close()
+
+	graphs[0].AddVertex("parser")
+	graphs[0].AddVertex("lexer")
+	graphs[0].AddEdge("parser", "lexer")
+	gcluster.Settle()
+
+	// Concurrently: replica 0 adds an edge onto "lexer" while replica
+	// 1 removes the "lexer" vertex entirely.
+	graphs[0].AddVertex("tokens")
+	graphs[0].AddEdge("lexer", "tokens")
+	graphs[1].RemoveVertex("lexer")
+	gcluster.Settle()
+
+	fmt.Println("dependency graph after a concurrent vertex removal:")
+	for i, g := range graphs {
+		fmt.Printf("replica %d: vertices=%v edges=%v\n", i, g.Vertices(), g.Edges())
+	}
+	fmt.Printf("converged: %v\n", gcluster.Converged())
+	fmt.Println()
+	fmt.Println("whatever order the updates were linearized in, no replica ever")
+	fmt.Println("exposes an edge with a missing endpoint — the sequential graph")
+	fmt.Println("semantics hold state by state, which no eventually consistent")
+	fmt.Println("graph construction guarantees under this conflict.")
+}

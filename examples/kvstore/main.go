@@ -1,0 +1,53 @@
+// Kvstore demonstrates the Algorithm 2 shared memory as a replicated
+// key-value store on a deterministic simulated network: concurrent
+// writes to the same key, a replica crash mid-run, and survivor
+// convergence — with O(1) reads, no log, no replay.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+
+	"updatec"
+)
+
+func main() {
+	const n = 4
+	cluster, stores, err := updatec.NewMemoryCluster(n, "", updatec.WithSeed(2026))
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+
+	fmt.Println("four replicas accept writes concurrently (wait-free):")
+	stores[0].Write("user:alice", "admin")
+	stores[1].Write("user:alice", "viewer") // concurrent conflicting write
+	stores[2].Write("user:bob", "editor")
+	stores[3].Write("quota", "100")
+
+	fmt.Println("  before delivery, each replica only sees its own writes:")
+	for i, s := range stores {
+		fmt.Printf("  replica %d: user:alice=%q\n", i, s.Read("user:alice"))
+	}
+
+	// Replica 3 crashes. Its quota write is already in the network and
+	// will still reach everyone (reliable delivery); the replica
+	// itself stops participating.
+	cluster.Crash(3)
+	fmt.Println("\nreplica 3 crashed; survivors keep going")
+
+	stores[1].Write("quota", "250")
+	cluster.Settle()
+
+	fmt.Println("\nafter delivery, the survivors agree on every register:")
+	for i := 0; i < 3; i++ {
+		fmt.Printf("  replica %d: user:alice=%q user:bob=%q quota=%q\n",
+			i, stores[i].Read("user:alice"), stores[i].Read("user:bob"),
+			stores[i].Read("quota"))
+	}
+	fmt.Printf("\nconverged: %v\n", cluster.Converged())
+	fmt.Println("the winning value of user:alice is decided by the update")
+	fmt.Println("linearization (Lamport clock, process id tie-break) — the same")
+	fmt.Println("order Algorithm 1 would use, computed here in O(1) per cell.")
+}

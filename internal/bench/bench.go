@@ -1,0 +1,55 @@
+// Package bench implements the experiment harness: one runner per
+// paper artifact (see the experiment index in DESIGN.md), each printing
+// the table or series that reproduces it and returning a result struct
+// the tests assert on. The cmd/ucbench binary and the repository-root
+// benchmarks are thin wrappers over this package.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// newTable returns a tabwriter-backed table with a header row.
+func newTable(w io.Writer, headers ...string) *table {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	t := &table{tw: tw}
+	t.row(toAny(headers)...)
+	return t
+}
+
+type table struct{ tw *tabwriter.Writer }
+
+func (t *table) row(cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.tw, "\t")
+		}
+		fmt.Fprint(t.tw, c)
+	}
+	fmt.Fprintln(t.tw)
+}
+
+func (t *table) flush() { t.tw.Flush() }
+
+func toAny(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+// mark renders a boolean in the tables' compact notation.
+func mark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// section prints an experiment banner.
+func section(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n=== %s — %s ===\n", id, title)
+}

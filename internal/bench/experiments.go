@@ -1,0 +1,346 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"updatec/internal/check"
+	"updatec/internal/history"
+	"updatec/internal/sim"
+)
+
+// FiguresResult reports experiment E1/E2.
+type FiguresResult struct {
+	// Mismatches counts figures whose decided classification differs
+	// from the paper's; 0 reproduces the artifact.
+	Mismatches int
+}
+
+// Figures reproduces Figures 1(a)–(d) and 2: the classification matrix
+// of the paper's example histories under EC, SEC, UC, SUC and PC.
+func Figures(w io.Writer) FiguresResult {
+	section(w, "E1/E2", "Figures 1(a)-(d) and 2: criteria classification")
+	t := newTable(w, "history", "EC", "SEC", "UC", "SUC", "PC", "matches paper")
+	var res FiguresResult
+	for _, fig := range history.Figures() {
+		got := check.Classify(fig.H)
+		ok := got == fig.Expect
+		if !ok {
+			res.Mismatches++
+		}
+		t.row(fig.Label, mark(got.EC), mark(got.SEC), mark(got.UC),
+			mark(got.SUC), mark(got.PC), mark(ok))
+	}
+	t.flush()
+	fmt.Fprintf(w, "paper row order: (a) EC only, (b) +SEC, (c) +UC, (d) +SUC (never PC), Fig2 PC only\n")
+	return res
+}
+
+// Prop1Result reports experiment E3.
+type Prop1Result struct {
+	// EagerDivergedRuns counts seeds on which the eager FIFO set
+	// failed to converge under the Figure 2 schedule; it must be
+	// positive (the impossibility bites).
+	EagerDivergedRuns int
+	// EagerPCViolations counts eager runs whose recorded history
+	// violated pipelined consistency; it must be 0 on a FIFO link
+	// (eager application preserves PC — what it loses is convergence).
+	EagerPCViolations int
+	// UCDivergedRuns counts uc-set runs that failed to converge; it
+	// must be 0.
+	UCDivergedRuns int
+	// UCPCViolations counts uc-set runs whose history violated PC; it
+	// must be positive for the partition schedule — Algorithm 1 keeps
+	// convergence and gives up pipelined consistency, exactly the
+	// trade Proposition 1 forces.
+	UCPCViolations int
+	Runs           int
+}
+
+// Proposition1 demonstrates the impossibility of pipelined
+// convergence (Prop. 1): under the Figure 2 workload with a partition
+// delaying all cross traffic, a wait-free implementation must give up
+// either convergence (the eager set does) or pipelined consistency
+// (Algorithm 1 does). No wait-free object can keep both.
+func Proposition1(w io.Writer) Prop1Result {
+	section(w, "E3", "Proposition 1: pipelined convergence is impossible")
+	res := Prop1Result{Runs: 40}
+	script := sim.Fig2Script()
+	for seed := int64(0); seed < int64(res.Runs); seed++ {
+		run := func(kind sim.SetKind) sim.Outcome {
+			return sim.Run(sim.Scenario{
+				Kind: kind, N: 2, Seed: seed, FIFO: true,
+				Script:          script,
+				PartitionUntil:  len(script),
+				PartitionGroups: [][]int{{0}, {1}},
+				Record:          true,
+			})
+		}
+		eager := run(sim.Eager)
+		if !eager.Converged {
+			res.EagerDivergedRuns++
+		}
+		if !check.PC(eager.History).Holds {
+			res.EagerPCViolations++
+		}
+		uc := run(sim.UCSet)
+		if !uc.Converged {
+			res.UCDivergedRuns++
+		}
+		if !check.PC(uc.History).Holds {
+			res.UCPCViolations++
+		}
+	}
+	t := newTable(w, "implementation", "runs", "diverged (EC lost)", "PC violated")
+	t.row("eager (FIFO apply)", res.Runs, res.EagerDivergedRuns, res.EagerPCViolations)
+	t.row("uc-set (Algorithm 1)", res.Runs, res.UCDivergedRuns, res.UCPCViolations)
+	t.flush()
+	fmt.Fprintf(w, "workload: Figure 2 program, both processes isolated until quiescence\n")
+	fmt.Fprintf(w, "reading: each implementation loses exactly one of the two properties\n")
+	return res
+}
+
+// Prop2Result reports experiment E4.
+type Prop2Result struct {
+	Runs       int
+	Violations int
+	// Counts[c] tallies histories per classification bucket.
+	CountEC, CountSEC, CountUC, CountSUC, CountPC, CountNone int
+}
+
+// Proposition2 validates the hierarchy SUC ⇒ SEC ∧ UC ⇒ EC on a
+// population of randomized histories and tabulates the classification
+// distribution.
+func Proposition2(w io.Writer, runs int) Prop2Result {
+	section(w, "E4", "Proposition 2: SUC ⇒ SEC ∧ UC; UC ⇒ EC")
+	res := Prop2Result{Runs: runs}
+	for seed := int64(0); seed < int64(runs); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := history.RandomSet(rng, history.RandomSetOptions{
+			Procs: 2, MaxUpdates: 2, MaxQueries: 1,
+			Mode: history.RandomMode(seed % 3), Omega: true,
+		})
+		c := check.Classify(h)
+		if (c.SUC && (!c.SEC || !c.UC)) || (c.UC && !c.EC) {
+			res.Violations++
+		}
+		if c.EC {
+			res.CountEC++
+		}
+		if c.SEC {
+			res.CountSEC++
+		}
+		if c.UC {
+			res.CountUC++
+		}
+		if c.SUC {
+			res.CountSUC++
+		}
+		if c.PC {
+			res.CountPC++
+		}
+		if !c.EC && !c.SEC && !c.PC {
+			res.CountNone++
+		}
+	}
+	t := newTable(w, "criterion", "histories satisfying", "of runs")
+	t.row("EC", res.CountEC, runs)
+	t.row("SEC", res.CountSEC, runs)
+	t.row("UC", res.CountUC, runs)
+	t.row("SUC", res.CountSUC, runs)
+	t.row("PC", res.CountPC, runs)
+	t.row("none of EC/SEC/PC", res.CountNone, runs)
+	t.flush()
+	fmt.Fprintf(w, "hierarchy violations: %d (Proposition 2 requires 0)\n", res.Violations)
+	return res
+}
+
+// Prop3Result reports experiment E5.
+type Prop3Result struct {
+	Runs, SUCHistories, InsertWinsFailures int
+}
+
+// Proposition3 validates that every SUC set history is SEC for the
+// Insert-wins set, using the constructive transformation of the
+// paper's proof on histories recorded from Algorithm 1 runs.
+func Proposition3(w io.Writer, runs int) Prop3Result {
+	section(w, "E5", "Proposition 3: SUC ⇒ SEC for the Insert-wins set")
+	res := Prop3Result{Runs: runs}
+	for seed := int64(0); seed < int64(runs); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		out := sim.Run(sim.Scenario{
+			Kind: sim.UCSet, N: 2, Seed: seed, Record: true,
+			Script: sim.RandomScript(rng, 2, 4, []string{"1", "2"}, 3),
+		})
+		r := check.SUC(out.History)
+		if !r.Holds {
+			continue
+		}
+		res.SUCHistories++
+		if err := check.InsertWinsFromSUC(out.History, r.Witness); err != nil {
+			res.InsertWinsFailures++
+		}
+	}
+	t := newTable(w, "runs", "SUC histories", "Insert-wins failures")
+	t.row(res.Runs, res.SUCHistories, res.InsertWinsFailures)
+	t.flush()
+	fmt.Fprintf(w, "Proposition 3 requires 0 failures over all SUC histories\n")
+	return res
+}
+
+// Prop4Row is one line of the experiment E6 grid.
+type Prop4Row struct {
+	N, Ops, Crashes, Runs  int
+	Converged, SUCVerified int
+}
+
+// Prop4Result reports experiment E6.
+type Prop4Result struct{ Rows []Prop4Row }
+
+// AllConverged reports whether every run of every row converged.
+func (r Prop4Result) AllConverged() bool {
+	for _, row := range r.Rows {
+		if row.Converged != row.Runs {
+			return false
+		}
+	}
+	return true
+}
+
+// Proposition4 validates the universal construction: Algorithm 1 runs
+// across cluster sizes, workload sizes and crash counts always
+// converge, and (for decider-sized runs) their histories are SUC.
+func Proposition4(w io.Writer) Prop4Result {
+	section(w, "E6", "Proposition 4: Algorithm 1 is strong update consistent")
+	var res Prop4Result
+	grid := []struct{ n, ops, crashes int }{
+		{2, 4, 0}, {2, 6, 0}, {3, 4, 0}, {3, 6, 1}, {4, 8, 1}, {4, 8, 2}, {5, 12, 2},
+	}
+	const runs = 20
+	for _, g := range grid {
+		row := Prop4Row{N: g.n, Ops: g.ops, Crashes: g.crashes, Runs: runs}
+		for seed := int64(0); seed < runs; seed++ {
+			rng := rand.New(rand.NewSource(seed*31 + int64(g.n)))
+			script := sim.RandomScript(rng, g.n, g.ops, []string{"1", "2", "3"}, 3)
+			crash := map[int]int{}
+			for c := 0; c < g.crashes; c++ {
+				crash[rng.Intn(len(script))] = g.n - 1 - c
+			}
+			verify := g.ops <= 6 && g.n <= 3 // decider-sized runs
+			out := sim.Run(sim.Scenario{
+				Kind: sim.UCSet, N: g.n, Seed: seed, Script: script,
+				CrashAt: crash, Record: verify,
+			})
+			if out.Converged {
+				row.Converged++
+			}
+			if verify && check.SUC(out.History).Holds {
+				row.SUCVerified++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	t := newTable(w, "n", "ops", "crashes", "runs", "converged", "SUC-verified")
+	for _, row := range res.Rows {
+		suc := "-"
+		if row.SUCVerified > 0 {
+			suc = fmt.Sprint(row.SUCVerified)
+		}
+		t.row(row.N, row.Ops, row.Crashes, row.Runs, row.Converged, suc)
+	}
+	t.flush()
+	fmt.Fprintf(w, "SUC verification runs only at decider-tractable sizes (n≤3, ops≤6)\n")
+	return res
+}
+
+// SetsRow is one implementation's outcome on a conflict workload.
+type SetsRow struct {
+	Kind      sim.SetKind
+	Final     string
+	Converged bool
+}
+
+// SetsResult reports experiment E7.
+type SetsResult struct {
+	Workload string
+	Rows     []SetsRow
+}
+
+// SetCaseStudy reproduces the §VI comparison: the same conflict
+// workload (Figure 1(b): I(1)·D(2) || I(2)·D(1), fully concurrent)
+// executed against every set implementation, showing each one's
+// conflict-resolution policy in its converged state.
+func SetCaseStudy(w io.Writer) []SetsResult {
+	section(w, "E7", "§VI case study: one workload, many set semantics")
+	workloads := []struct {
+		name   string
+		script []sim.Op
+		// partitionUntil isolates the processes for the whole script,
+		// making every cross-process pair concurrent.
+		partition bool
+	}{
+		{"Fig1b conflict (all concurrent)", sim.Fig1bScript(), true},
+		{"observed delete (sequential)", []sim.Op{
+			{Proc: 0, Kind: sim.OpInsert, V: "1"},
+			{Proc: 1, Kind: sim.OpRead},
+			{Proc: 1, Kind: sim.OpDelete, V: "1"},
+		}, false},
+	}
+	var results []SetsResult
+	for _, wl := range workloads {
+		res := SetsResult{Workload: wl.name}
+		fmt.Fprintf(w, "\nworkload: %s\n", wl.name)
+		t := newTable(w, "implementation", "converged state", "converged", "policy")
+		for _, kind := range sim.SetKinds() {
+			if kind == sim.GSet {
+				continue // no deletions in these workloads
+			}
+			sc := sim.Scenario{
+				Kind: kind, N: 2, Seed: 7, FIFO: true, Script: wl.script,
+			}
+			if wl.partition {
+				sc.PartitionUntil = len(wl.script)
+				sc.PartitionGroups = [][]int{{0}, {1}}
+			}
+			out := sim.Run(sc)
+			final := "(diverged)"
+			if out.Converged {
+				for _, v := range out.Final {
+					final = v
+					break
+				}
+			}
+			res.Rows = append(res.Rows, SetsRow{Kind: kind, Final: final, Converged: out.Converged})
+			t.row(kind, final, mark(out.Converged), setPolicy(kind))
+		}
+		t.flush()
+		results = append(results, res)
+	}
+	fmt.Fprintf(w, "\nreading: update consistent sets resolve Fig1b by linearizing all four\n")
+	fmt.Fprintf(w, "updates (a deletion is last: converged state has at most one element);\n")
+	fmt.Fprintf(w, "the OR-set lets both concurrent insertions win ({1, 2}); 2P/PN/LWW favor\n")
+	fmt.Fprintf(w, "deletions; the eager set may not converge at all.\n")
+	return results
+}
+
+func setPolicy(kind sim.SetKind) string {
+	switch kind {
+	case sim.UCSet, sim.UCSetCheckpoint, sim.UCSetUndo:
+		return "update linearization"
+	case sim.Eager:
+		return "delivery order (no resolution)"
+	case sim.TwoPSet:
+		return "delete wins forever"
+	case sim.PNSet:
+		return "counter sign"
+	case sim.CSet:
+		return "local-state deltas"
+	case sim.ORSet:
+		return "insert wins (Def. 10)"
+	case sim.LWWSet:
+		return "last writer wins"
+	default:
+		return ""
+	}
+}

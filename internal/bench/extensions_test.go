@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"updatec/internal/sim"
+)
+
+func TestPartitionHealShapes(t *testing.T) {
+	var buf bytes.Buffer
+	res := PartitionHeal(&buf)
+	byKind := map[sim.SetKind]PartitionRow{}
+	for _, row := range res.Rows {
+		byKind[row.Kind] = row
+	}
+	// Every implementation stays available; all but eager converge.
+	for kind, row := range byKind {
+		if !row.AvailableInBoth {
+			t.Fatalf("%s unavailable under partition", kind)
+		}
+		if kind == sim.Eager {
+			continue
+		}
+		if !row.ConvergedAfterHeal {
+			t.Fatalf("%s did not converge after heal", kind)
+		}
+	}
+	// The three UC variants agree on the healed state.
+	if byKind[sim.UCSet].Final != byKind[sim.UCSetUndo].Final ||
+		byKind[sim.UCSet].Final != byKind[sim.UCSetCheckpoint].Final {
+		t.Fatalf("uc engines disagree after heal: %+v", res.Rows)
+	}
+}
+
+func TestConvergenceLatencyShapes(t *testing.T) {
+	var buf bytes.Buffer
+	res := ConvergenceLatency(&buf)
+	per := map[sim.SetKind]map[int]LatencyRow{}
+	for _, row := range res.Rows {
+		if !row.Converged {
+			t.Fatalf("%s n=%d never converged", row.Kind, row.N)
+		}
+		if per[row.Kind] == nil {
+			per[row.Kind] = map[int]LatencyRow{}
+		}
+		per[row.Kind][row.N] = row
+	}
+	// Deliveries must grow with n for every implementation (broadcast
+	// fan-out), and the UC set must not need asymptotically more
+	// deliveries than the OR-set: both converge when every update has
+	// been delivered everywhere.
+	for kind, rows := range per {
+		if rows[8].Deliveries <= rows[2].Deliveries {
+			t.Fatalf("%s: deliveries did not grow with n: %+v", kind, rows)
+		}
+	}
+	// Identical budget at n=8: 2n updates to n replicas. OR-set
+	// deletes may broadcast zero-observed tags but still one message
+	// per op; allow a 2x envelope.
+	uc, or := per[sim.UCSet][8].Deliveries, per[sim.ORSet][8].Deliveries
+	if uc > 2*or {
+		t.Fatalf("uc-set needed %d deliveries vs or-set %d — more than 2x", uc, or)
+	}
+}
+
+func TestStateTransferShapes(t *testing.T) {
+	var buf bytes.Buffer
+	res := StateTransfer(&buf)
+	if !res.JoinerMatched {
+		t.Fatalf("joiner diverged from donor")
+	}
+	if res.LiveLogEntries >= 120 {
+		t.Fatalf("GC should have truncated the shipped log, got %d entries", res.LiveLogEntries)
+	}
+	if res.SnapshotBytes == 0 {
+		t.Fatalf("empty snapshot")
+	}
+}

@@ -1,0 +1,293 @@
+// Package check implements decision procedures for the consistency
+// criteria of the paper (Definitions 5–10) on finite ω-annotated
+// histories: eventual consistency (EC), strong eventual consistency
+// (SEC), pipelined consistency (PC), update consistency (UC), strong
+// update consistency (SUC), sequential consistency (SC, as a reference
+// point) and strong eventual consistency for the Insert-wins set.
+//
+// Finite-history semantics. The paper's criteria quantify over infinite
+// histories; the deciders interpret a query event marked ω as an
+// infinite suffix of identical queries issued after the process's last
+// update (the figures' R/∅^ω notation). Under that interpretation
+// "all but finitely many queries" means "every ω query", and "eventual
+// delivery" means "every ω query sees every update". See DESIGN.md for
+// the per-criterion encodings and their justification.
+//
+// The deciders are exact (sound and complete) for the encoded
+// semantics, using memoized backtracking searches. Searches carry a
+// node budget; exceeding it yields Result.Undecided = true rather than
+// a wrong answer. All positive answers come with machine-checkable
+// witnesses that the tests re-validate independently.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"updatec/internal/history"
+	"updatec/internal/spec"
+)
+
+// DefaultBudget bounds the number of search nodes a decider may expand
+// before giving up. The paper-scale examples need a few hundred nodes;
+// the randomized experiment histories stay well under a million.
+const DefaultBudget = 4_000_000
+
+// Options tunes a decider invocation.
+type Options struct {
+	// Budget overrides DefaultBudget when positive.
+	Budget int
+}
+
+func (o Options) budget() int {
+	if o.Budget > 0 {
+		return o.Budget
+	}
+	return DefaultBudget
+}
+
+// Result is a decider verdict.
+type Result struct {
+	// Criterion names the criterion decided ("EC", "SEC", ...).
+	Criterion string
+	// Holds reports whether the history satisfies the criterion.
+	Holds bool
+	// Undecided is set when the search budget ran out before an answer
+	// was found; Holds is then meaningless.
+	Undecided bool
+	// Reason is a human-readable explanation (for negative or undecided
+	// verdicts).
+	Reason string
+	// Witness carries the certificate for positive verdicts.
+	Witness *Witness
+}
+
+// Witness certifies a positive verdict. Which fields are set depends on
+// the criterion.
+type Witness struct {
+	// State is the converged state (EC) explaining all ω queries.
+	State spec.State
+	// Linearization is a full linearization in L(O) (SC, UC — for UC it
+	// covers updates and ω queries only).
+	Linearization []*history.Event
+	// PerProc maps each process to a linearization of (all updates ∪
+	// that process's queries) in L(O) (PC).
+	PerProc map[int][]*history.Event
+	// UpdateOrder is the total order on updates (SUC), ascending.
+	UpdateOrder []*history.Event
+	// Visibility maps query event IDs to the sorted update event IDs
+	// they see (SEC, SUC, Insert-wins).
+	Visibility map[int][]int
+	// UpdateVis lists extra update→update visibility edges as ID pairs
+	// (Insert-wins).
+	UpdateVis [][2]int
+}
+
+// holds builds a positive result.
+func holds(criterion string, w *Witness) Result {
+	return Result{Criterion: criterion, Holds: true, Witness: w}
+}
+
+// fails builds a negative result.
+func fails(criterion, reason string, args ...any) Result {
+	return Result{Criterion: criterion, Reason: fmt.Sprintf(reason, args...)}
+}
+
+// undecided builds a budget-exhausted result.
+func undecided(criterion string) Result {
+	return Result{Criterion: criterion, Undecided: true,
+		Reason: "search budget exhausted"}
+}
+
+// budgetErr signals budget exhaustion through the search recursion.
+type budgetErr struct{}
+
+func (budgetErr) Error() string { return "check: search budget exhausted" }
+
+// counter decrements a shared budget and panics with budgetErr when it
+// runs out; deciders recover it into an Undecided result.
+type counter struct{ left int }
+
+func (c *counter) spend() {
+	c.left--
+	if c.left < 0 {
+		panic(budgetErr{})
+	}
+}
+
+// run executes a search function, converting budget exhaustion into
+// (false, true).
+func run(fn func() bool) (ok, outOfBudget bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isBudget := r.(budgetErr); isBudget {
+				outOfBudget = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn(), false
+}
+
+// Classify runs the five paper criteria on a history.
+func Classify(h *history.History) history.Classification {
+	return history.Classification{
+		EC:  EC(h).Holds,
+		SEC: SEC(h).Holds,
+		UC:  UC(h).Holds,
+		SUC: SUC(h).Holds,
+		PC:  PC(h).Holds,
+	}
+}
+
+// ClassifyOpt is Classify with shared search options.
+func ClassifyOpt(h *history.History, opt Options) history.Classification {
+	return history.Classification{
+		EC:  ECOpt(h, opt).Holds,
+		SEC: SECOpt(h, opt).Holds,
+		UC:  UCOpt(h, opt).Holds,
+		SUC: SUCOpt(h, opt).Holds,
+		PC:  PCOpt(h, opt).Holds,
+	}
+}
+
+// chainCursor walks a fixed set of event chains during interleaving
+// searches. pos[i] is the number of consumed events of chain i.
+type chainCursor struct {
+	chains [][]*history.Event
+	pos    []int
+}
+
+func newCursor(chains [][]*history.Event) *chainCursor {
+	return &chainCursor{chains: chains, pos: make([]int, len(chains))}
+}
+
+// next returns the next event of chain i, or nil when exhausted.
+func (c *chainCursor) next(i int) *history.Event {
+	if c.pos[i] >= len(c.chains[i]) {
+		return nil
+	}
+	return c.chains[i][c.pos[i]]
+}
+
+// done reports whether every chain is exhausted.
+func (c *chainCursor) done() bool {
+	for i := range c.chains {
+		if c.pos[i] < len(c.chains[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// key produces a memoization key from the cursor position and a state
+// key.
+func (c *chainCursor) key(stateKey string) string {
+	var b strings.Builder
+	for _, p := range c.pos {
+		fmt.Fprintf(&b, "%d,", p)
+	}
+	b.WriteByte('|')
+	b.WriteString(stateKey)
+	return b.String()
+}
+
+// remainingUpdates counts unconsumed update events across all chains.
+func (c *chainCursor) remainingUpdates() int {
+	n := 0
+	for i, ch := range c.chains {
+		for _, e := range ch[c.pos[i]:] {
+			if e.IsUpdate() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// omegaObservations collects the observations of all ω queries.
+func omegaObservations(h *history.History) []spec.Observation {
+	var obs []spec.Observation
+	for _, q := range h.OmegaQueries() {
+		obs = append(obs, q.Observation())
+	}
+	return obs
+}
+
+// stateMatchesAll reports whether state s satisfies every observation.
+func stateMatchesAll(adt spec.UQADT, s spec.State, obs []spec.Observation) bool {
+	for _, o := range obs {
+		if !adt.EqualOutput(adt.Query(s, o.In), o.Out) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedIDs renders a set of update events as sorted IDs.
+func sortedIDs(events []*history.Event) []int {
+	ids := make([]int, len(events))
+	for i, e := range events {
+		ids[i] = e.ID
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// idsKey is a canonical string for a set of event IDs.
+func idsKey(ids []int) string {
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	return b.String()
+}
+
+// acyclic checks that the directed graph over event IDs (adjacency
+// lists) has no cycle.
+func acyclic(n int, edges map[int][]int) bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	var visit func(v int) bool
+	visit = func(v int) bool {
+		color[v] = grey
+		for _, w := range edges[v] {
+			switch color[w] {
+			case grey:
+				return false
+			case white:
+				if !visit(w) {
+					return false
+				}
+			}
+		}
+		color[v] = black
+		return true
+	}
+	for v := 0; v < n; v++ {
+		if color[v] == white && !visit(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// poEdges returns the program-order successor edges of h (each event to
+// its immediate process successor; transitivity is implied for
+// reachability purposes).
+func poEdges(h *history.History) map[int][]int {
+	edges := map[int][]int{}
+	for p := 0; p < h.NumProcs(); p++ {
+		seq := h.Proc(p)
+		for i := 0; i+1 < len(seq); i++ {
+			edges[seq[i].ID] = append(edges[seq[i].ID], seq[i+1].ID)
+		}
+	}
+	return edges
+}

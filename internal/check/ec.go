@@ -1,0 +1,107 @@
+package check
+
+import (
+	"updatec/internal/history"
+	"updatec/internal/spec"
+)
+
+// EC decides eventual consistency (Definition 5): there must exist a
+// state s ∈ S such that only finitely many queries return values
+// inconsistent with s. Under the finite ω-encoding this means: some
+// state satisfies every ω query. The state is *not* required to be
+// reachable from s0 — Figure 1(b) converges to {1,2}, which no update
+// linearization produces.
+//
+// The decider first asks the specification to explain the ω
+// observations (exact for every built-in type: their queries reveal the
+// state or an independent component of it). For specifications without
+// a StateExplainer it falls back to searching the states reachable by
+// update linearizations — sound but only complete for reachable
+// convergence states; the fallback reports Undecided instead of a
+// negative verdict in that case.
+func EC(h *history.History) Result { return ECOpt(h, Options{}) }
+
+// ECOpt is EC with search options.
+func ECOpt(h *history.History, opt Options) Result {
+	const name = "EC"
+	obs := omegaObservations(h)
+	if len(obs) == 0 {
+		// No process converged on a repeated query: the finite prefix
+		// may disagree arbitrarily (Definition 5's finite set), so the
+		// history is trivially eventually consistent.
+		return holds(name, &Witness{State: h.ADT().Initial()})
+	}
+	adt := h.ADT()
+	if ex, ok := adt.(spec.StateExplainer); ok {
+		s, found := ex.ExplainState(obs)
+		if !found {
+			return fails(name, "no state satisfies all ω queries")
+		}
+		if !stateMatchesAll(adt, s, obs) {
+			// The explainer contract was violated; treat as a decider
+			// bug rather than silently returning a wrong verdict.
+			panic("check: ExplainState returned a non-explaining state")
+		}
+		return holds(name, &Witness{State: s})
+	}
+	// Fallback: search reachable final states.
+	found, state, outOfBudget := searchFinalStates(h, opt, func(s spec.State) bool {
+		return stateMatchesAll(adt, s, obs)
+	})
+	switch {
+	case found:
+		return holds(name, &Witness{State: state})
+	case outOfBudget:
+		return undecided(name)
+	default:
+		// No reachable state works. A non-reachable state could still
+		// exist; without an explainer we cannot rule it out.
+		return Result{Criterion: name, Undecided: true,
+			Reason: "no reachable state satisfies the ω queries and the type has no StateExplainer"}
+	}
+}
+
+// searchFinalStates enumerates the final states of update
+// linearizations (memoized on (positions, state)) until pred accepts
+// one.
+func searchFinalStates(h *history.History, opt Options, pred func(spec.State) bool) (found bool, state spec.State, outOfBudget bool) {
+	adt := h.ADT()
+	cur := newCursor(h.UpdateChains())
+	memo := map[string]bool{}
+	budget := &counter{left: opt.budget()}
+	var result spec.State
+	ok, oob := run(func() bool {
+		var dfs func(s spec.State) bool
+		dfs = func(s spec.State) bool {
+			budget.spend()
+			key := cur.key(adt.KeyState(s))
+			if memo[key] {
+				return false
+			}
+			if cur.done() {
+				if pred(s) {
+					result = s
+					return true
+				}
+				memo[key] = true
+				return false
+			}
+			for i := range cur.chains {
+				e := cur.next(i)
+				if e == nil {
+					continue
+				}
+				cur.pos[i]++
+				next := adt.Apply(adt.Clone(s), e.U)
+				if dfs(next) {
+					return true
+				}
+				cur.pos[i]--
+			}
+			memo[key] = true
+			return false
+		}
+		return dfs(adt.Initial())
+	})
+	return ok, result, oob
+}

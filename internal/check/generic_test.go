@@ -1,0 +1,154 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"updatec/internal/history"
+	"updatec/internal/spec"
+)
+
+// typeCase wires one UQ-ADT into the generic random-history generator.
+type typeCase struct {
+	name    string
+	adt     spec.UQADT
+	gen     func(*rand.Rand) spec.Update
+	queryIn spec.QueryInput
+}
+
+func genericCases() []typeCase {
+	return []typeCase{
+		{
+			name: "register", adt: spec.Register(""),
+			gen: func(r *rand.Rand) spec.Update {
+				return spec.Write{V: string(rune('a' + r.Intn(3)))}
+			},
+			queryIn: spec.Read{},
+		},
+		{
+			name: "counter", adt: spec.Counter(),
+			gen: func(r *rand.Rand) spec.Update {
+				return spec.Add{N: int64(r.Intn(5) - 2)}
+			},
+			queryIn: spec.Read{},
+		},
+		{
+			name: "log", adt: spec.Log(),
+			gen: func(r *rand.Rand) spec.Update {
+				return spec.Append{V: string(rune('a' + r.Intn(3)))}
+			},
+			queryIn: spec.ReadLog{},
+		},
+		{
+			name: "memory", adt: spec.Memory(""),
+			gen: func(r *rand.Rand) spec.Update {
+				return spec.WriteKey{K: string(rune('x' + r.Intn(2))), V: string(rune('a' + r.Intn(2)))}
+			},
+			queryIn: spec.ReadKey{K: "x"},
+		},
+	}
+}
+
+// TestQuickHierarchyAllTypes: Proposition 2 on random histories of
+// every generic type.
+func TestQuickHierarchyAllTypes(t *testing.T) {
+	for _, tc := range genericCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				h := history.Random(rng, tc.adt, history.RandomOptions{
+					Procs: 2, MaxUpdates: 2, MaxQueries: 1,
+					Mode: history.RandomMode(seed % 3), Omega: true,
+					GenUpdate: tc.gen, QueryIn: tc.queryIn,
+				})
+				c := Classify(h)
+				if (c.SUC && (!c.SEC || !c.UC)) || (c.UC && !c.EC) {
+					t.Logf("hierarchy violated on:\n%s", h.String())
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickLinearizedIsSUCAllTypes: Algorithm-1-shaped executions are
+// SUC for every generic type, with witnesses that re-validate.
+func TestQuickLinearizedIsSUCAllTypes(t *testing.T) {
+	for _, tc := range genericCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				h := history.Random(rng, tc.adt, history.RandomOptions{
+					Procs: 2, MaxUpdates: 2, MaxQueries: 2,
+					Mode: history.ModeLinearized, Omega: true,
+					GenUpdate: tc.gen, QueryIn: tc.queryIn,
+				})
+				r := SUC(h)
+				if !r.Holds {
+					t.Logf("not SUC (%s):\n%s", r.Reason, h.String())
+					return false
+				}
+				return ValidateSUCWitness(h, r.Witness) == nil
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickEagerCounterIsUC: the counter is a pure CRDT, so even eager
+// delivery-order application is update consistent (§VII-C's claim that
+// commutativity makes the naive implementation UC).
+func TestQuickEagerCounterIsUC(t *testing.T) {
+	gen := func(r *rand.Rand) spec.Update { return spec.Add{N: int64(r.Intn(5) - 2)} }
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := history.Random(rng, spec.Counter(), history.RandomOptions{
+			Procs: 2, MaxUpdates: 3, MaxQueries: 1,
+			Mode: history.ModeEager, Omega: true,
+			GenUpdate: gen, QueryIn: spec.Read{},
+		})
+		r := UC(h)
+		if !r.Holds {
+			t.Logf("eager counter not UC (%s):\n%s", r.Reason, h.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEagerLogOftenNotEC: the log is order-sensitive, so eager
+// histories with cross-process appends frequently fail EC — the
+// divergence that motivates the paper. At least one seed must exhibit
+// it (most do).
+func TestQuickEagerLogOftenNotEC(t *testing.T) {
+	gen := func(r *rand.Rand) spec.Update {
+		return spec.Append{V: string(rune('a' + r.Intn(3)))}
+	}
+	failures := 0
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := history.Random(rng, spec.Log(), history.RandomOptions{
+			Procs: 2, MaxUpdates: 2, MaxQueries: 1,
+			Mode: history.ModeEager, Omega: true,
+			GenUpdate: gen, QueryIn: spec.ReadLog{},
+		})
+		if !EC(h).Holds {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Fatalf("eager log histories never diverged — generator too tame")
+	}
+}

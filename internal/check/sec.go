@@ -1,0 +1,223 @@
+package check
+
+import (
+	"math/bits"
+
+	"updatec/internal/history"
+	"updatec/internal/spec"
+)
+
+// SEC decides strong eventual consistency (Definition 6): there must
+// exist an acyclic, reflexive visibility relation containing the
+// program order such that (eventual delivery) every update is seen by
+// all but finitely many events, (growth) visibility persists along the
+// program order, and (strong convergence) any two queries seeing the
+// same set of updates can be explained by a common state.
+//
+// Finite encoding: the decider chooses, for every query q, the set
+// V(q) of updates visible to it, subject to
+//
+//   - V(q) ⊇ the updates that program-order precede q (vis ⊇ 7→,
+//     plus reflexivity and growth along q's own process);
+//   - V(q) ⊆ V(q') whenever q 7→ q' (growth);
+//   - V(q) = U_H for ω queries (eventual delivery: only finitely many
+//     events may miss an update, and an ω query stands for infinitely
+//     many);
+//   - queries with equal V(q) are jointly explainable by one state
+//     (strong convergence — the state is arbitrary in S, not
+//     necessarily reachable, which is why Figure 1(b) is SEC);
+//   - the relation 7→ ∪ {(u,q) : u ∈ V(q)} is acyclic.
+//
+// Minimality of the relation is justified in DESIGN.md: growth closure
+// of these edges adds only pairs that the encoding already accounts
+// for.
+func SEC(h *history.History) Result { return SECOpt(h, Options{}) }
+
+// SECOpt is SEC with search options.
+func SECOpt(h *history.History, opt Options) Result {
+	const name = "SEC"
+	updates := h.Updates()
+	if len(updates) > 63 {
+		return undecided(name)
+	}
+	adt := h.ADT()
+	ex, okEx := adt.(spec.StateExplainer)
+	if !okEx {
+		return Result{Criterion: name, Undecided: true,
+			Reason: "type has no StateExplainer; strong convergence cannot be decided"}
+	}
+	env := newVisEnv(h)
+	full := env.fullMask()
+	// Precheck: all ω queries share V = U_H and must be jointly
+	// explainable.
+	if _, ok := ex.ExplainState(omegaObservations(h)); !ok && len(h.OmegaQueries()) > 0 {
+		return fails(name, "ω queries (which all see U_H) are not jointly explainable")
+	}
+	budget := &counter{left: opt.budget()}
+	groups := map[uint64][]spec.Observation{}
+	assigned := make([]uint64, len(env.queries))
+	ok, outOfBudget := run(func() bool {
+		var dfs func(qi int) bool
+		dfs = func(qi int) bool {
+			budget.spend()
+			if qi == len(env.queries) {
+				return env.acyclicAssignment(assigned)
+			}
+			q := env.queries[qi]
+			base := env.baseMask(q, assigned)
+			if q.Omega {
+				if base&^full != 0 {
+					return false
+				}
+				return env.tryAssign(qi, full, assigned, groups, ex, adt, dfs)
+			}
+			// Enumerate supersets of base within full.
+			free := full &^ base
+			for sub := free; ; sub = (sub - 1) & free {
+				budget.spend()
+				if env.tryAssign(qi, base|sub, assigned, groups, ex, adt, dfs) {
+					return true
+				}
+				if sub == 0 {
+					break
+				}
+			}
+			return false
+		}
+		return dfs(0)
+	})
+	switch {
+	case ok:
+		return holds(name, env.witness(assigned))
+	case outOfBudget:
+		return undecided(name)
+	default:
+		return fails(name, "no visibility assignment satisfies Definition 6")
+	}
+}
+
+// tryAssign assigns mask to query qi, maintaining the same-visibility
+// groups, and recurses.
+func (env *visEnv) tryAssign(qi int, mask uint64, assigned []uint64,
+	groups map[uint64][]spec.Observation, ex spec.StateExplainer,
+	adt spec.UQADT, dfs func(int) bool) bool {
+	q := env.queries[qi]
+	obs := q.Observation()
+	groups[mask] = append(groups[mask], obs)
+	okGroup := false
+	if s, found := ex.ExplainState(groups[mask]); found && stateMatchesAll(adt, s, groups[mask]) {
+		okGroup = true
+	}
+	if okGroup {
+		assigned[qi] = mask
+		if dfs(qi + 1) {
+			return true
+		}
+	}
+	groups[mask] = groups[mask][:len(groups[mask])-1]
+	if len(groups[mask]) == 0 {
+		delete(groups, mask)
+	}
+	return false
+}
+
+// visEnv holds the bitmask bookkeeping shared by the SEC, SUC and
+// Insert-wins searches.
+type visEnv struct {
+	h       *history.History
+	updates []*history.Event
+	bit     map[int]uint64 // update event ID -> bit
+	queries []*history.Event
+	// prevQuery[qi] is the index (into queries) of the same process's
+	// previous query, or -1.
+	prevQuery []int
+	// priorMask[qi] is the mask of program-order prior updates.
+	priorMask []uint64
+}
+
+func newVisEnv(h *history.History) *visEnv {
+	env := &visEnv{h: h, bit: map[int]uint64{}}
+	env.updates = h.Updates()
+	for i, u := range env.updates {
+		env.bit[u.ID] = 1 << uint(i)
+	}
+	// Queries in (process, index) order so growth constraints flow
+	// forward.
+	lastQ := map[int]int{}
+	for p := 0; p < h.NumProcs(); p++ {
+		for _, e := range h.Proc(p) {
+			if !e.IsQuery() {
+				continue
+			}
+			qi := len(env.queries)
+			env.queries = append(env.queries, e)
+			var mask uint64
+			for _, u := range h.PriorUpdates(e) {
+				mask |= env.bit[u.ID]
+			}
+			env.priorMask = append(env.priorMask, mask)
+			if prev, ok := lastQ[p]; ok {
+				env.prevQuery = append(env.prevQuery, prev)
+			} else {
+				env.prevQuery = append(env.prevQuery, -1)
+			}
+			lastQ[p] = qi
+		}
+	}
+	return env
+}
+
+func (env *visEnv) fullMask() uint64 {
+	if len(env.updates) == 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(len(env.updates))) - 1
+}
+
+// baseMask is the minimum visibility for query qi: program-order prior
+// updates plus everything the process's previous query saw (growth).
+func (env *visEnv) baseMask(q *history.Event, assigned []uint64) uint64 {
+	for qi, e := range env.queries {
+		if e == q {
+			base := env.priorMask[qi]
+			if prev := env.prevQuery[qi]; prev >= 0 {
+				base |= assigned[prev]
+			}
+			return base
+		}
+	}
+	panic("check: query not in environment")
+}
+
+// acyclicAssignment checks acyclicity of program order plus the
+// visibility edges induced by the assignment.
+func (env *visEnv) acyclicAssignment(assigned []uint64) bool {
+	edges := poEdges(env.h)
+	for qi, q := range env.queries {
+		mask := assigned[qi]
+		for i, u := range env.updates {
+			if mask&(1<<uint(i)) != 0 {
+				edges[u.ID] = append(edges[u.ID], q.ID)
+			}
+		}
+	}
+	return acyclic(len(env.h.Events()), edges)
+}
+
+// witness materializes the assignment into a Witness.
+func (env *visEnv) witness(assigned []uint64) *Witness {
+	vis := map[int][]int{}
+	for qi, q := range env.queries {
+		var ids []int
+		for i, u := range env.updates {
+			if assigned[qi]&(1<<uint(i)) != 0 {
+				ids = append(ids, u.ID)
+			}
+		}
+		vis[q.ID] = ids
+	}
+	return &Witness{Visibility: vis}
+}
+
+// maskPopcount is a test helper exposing the number of visible updates.
+func maskPopcount(m uint64) int { return bits.OnesCount64(m) }

@@ -1,0 +1,246 @@
+package check
+
+import (
+	"fmt"
+
+	"updatec/internal/history"
+	"updatec/internal/spec"
+)
+
+// This file holds independent witness validators. They deliberately
+// share no code with the searches: a decider bug that fabricates a
+// witness is caught by re-validating it along the definitional rules.
+
+// validateLinearization checks that lin (a) contains exactly the events
+// of h selected by keep, each once; (b) respects the program order; and
+// (c) is a member of L(O), with ω queries additionally evaluated after
+// every update in lin.
+func validateLinearization(h *history.History, lin []*history.Event, keep func(*history.Event) bool) error {
+	adt := h.ADT()
+	want := map[int]bool{}
+	for _, e := range h.Events() {
+		if keep(e) {
+			want[e.ID] = true
+		}
+	}
+	seen := map[int]bool{}
+	lastIdx := map[int]int{} // proc -> last seen program-order index
+	updatesLeft := 0
+	for _, e := range lin {
+		if e.IsUpdate() {
+			updatesLeft++
+		}
+	}
+	s := adt.Initial()
+	for _, e := range lin {
+		if !want[e.ID] {
+			return fmt.Errorf("event %d not in selection", e.ID)
+		}
+		if seen[e.ID] {
+			return fmt.Errorf("event %d duplicated", e.ID)
+		}
+		seen[e.ID] = true
+		if last, ok := lastIdx[e.Proc]; ok && e.Index <= last {
+			return fmt.Errorf("program order violated at event %d", e.ID)
+		}
+		lastIdx[e.Proc] = e.Index
+		switch {
+		case e.IsUpdate():
+			s = adt.Apply(s, e.U)
+			updatesLeft--
+		case e.Omega:
+			if updatesLeft > 0 {
+				return fmt.Errorf("ω query %d consumed before last update", e.ID)
+			}
+			if !adt.EqualOutput(adt.Query(s, e.QIn), e.QOut) {
+				return fmt.Errorf("ω query %d output mismatch", e.ID)
+			}
+		default:
+			if !adt.EqualOutput(adt.Query(s, e.QIn), e.QOut) {
+				return fmt.Errorf("query %d output mismatch", e.ID)
+			}
+		}
+	}
+	if len(seen) != len(want) {
+		return fmt.Errorf("linearization has %d of %d selected events", len(seen), len(want))
+	}
+	return nil
+}
+
+// validateUpdatesThenOmega checks a UC witness: all updates in program
+// order, then all ω queries, valid in the final state.
+func validateUpdatesThenOmega(h *history.History, lin []*history.Event) error {
+	return validateLinearization(h, lin, func(e *history.Event) bool {
+		return e.IsUpdate() || (e.IsQuery() && e.Omega)
+	})
+}
+
+// ValidateECWitness re-validates an EC witness: the witness state must
+// satisfy every ω query.
+func ValidateECWitness(h *history.History, w *Witness) error {
+	adt := h.ADT()
+	for _, q := range h.OmegaQueries() {
+		if !adt.EqualOutput(adt.Query(w.State, q.QIn), q.QOut) {
+			return fmt.Errorf("ω query %d not satisfied by witness state %s",
+				q.ID, adt.KeyState(w.State))
+		}
+	}
+	return nil
+}
+
+// ValidateSECWitness re-validates an SEC witness along Definition 6:
+// visibility sets contain program-order prior updates, grow along each
+// process, are complete for ω queries, the induced relation is acyclic,
+// and queries sharing a visibility set are jointly explainable.
+func ValidateSECWitness(h *history.History, w *Witness) error {
+	if err := validateVisibilityCommon(h, w); err != nil {
+		return err
+	}
+	// Strong convergence: same visible set ⇒ some common state explains
+	// all outputs.
+	groups := map[string][]spec.Observation{}
+	for _, q := range h.Queries() {
+		ids := w.Visibility[q.ID]
+		groups[idsKey(ids)] = append(groups[idsKey(ids)], q.Observation())
+	}
+	adt := h.ADT()
+	ex, ok := adt.(spec.StateExplainer)
+	if !ok {
+		return fmt.Errorf("type %s has no StateExplainer; cannot re-validate", adt.Name())
+	}
+	for key, obs := range groups {
+		s, found := ex.ExplainState(obs)
+		if !found {
+			return fmt.Errorf("visibility group %q has no explaining state", key)
+		}
+		if !stateMatchesAll(adt, s, obs) {
+			return fmt.Errorf("explainer returned bad state for group %q", key)
+		}
+	}
+	return nil
+}
+
+// ValidateSUCWitness re-validates a SUC witness along Definition 9: the
+// SEC-style visibility constraints hold, the update order is a
+// linearization of the updates containing program order, visibility is
+// consistent with the total order, and replaying each query's visible
+// updates in order yields the query's declared output.
+func ValidateSUCWitness(h *history.History, w *Witness) error {
+	if err := validateVisibilityCommon(h, w); err != nil {
+		return err
+	}
+	adt := h.ADT()
+	// The update order must be a program-order-respecting permutation
+	// of U_H.
+	pos := map[int]int{}
+	lastIdx := map[int]int{}
+	for i, e := range w.UpdateOrder {
+		if !e.IsUpdate() {
+			return fmt.Errorf("non-update %d in update order", e.ID)
+		}
+		if _, dup := pos[e.ID]; dup {
+			return fmt.Errorf("update %d duplicated in order", e.ID)
+		}
+		pos[e.ID] = i
+		if last, ok := lastIdx[e.Proc]; ok && e.Index <= last {
+			return fmt.Errorf("update order violates program order at %d", e.ID)
+		}
+		lastIdx[e.Proc] = e.Index
+	}
+	if len(pos) != len(h.Updates()) {
+		return fmt.Errorf("update order has %d of %d updates", len(pos), len(h.Updates()))
+	}
+	// Strong sequential convergence, per query.
+	for _, q := range h.Queries() {
+		visible := append([]int(nil), w.Visibility[q.ID]...)
+		// Order the visible updates by the total order.
+		ordered := make([]*history.Event, 0, len(visible))
+		for _, e := range w.UpdateOrder {
+			for _, id := range visible {
+				if e.ID == id {
+					ordered = append(ordered, e)
+				}
+			}
+		}
+		if len(ordered) != len(visible) {
+			return fmt.Errorf("query %d sees updates outside the order", q.ID)
+		}
+		s := adt.Initial()
+		for _, e := range ordered {
+			s = adt.Apply(s, e.U)
+		}
+		if !adt.EqualOutput(adt.Query(s, q.QIn), q.QOut) {
+			return fmt.Errorf("query %d: replay of its visible updates yields %v, declared %v",
+				q.ID, adt.Query(s, q.QIn), q.QOut)
+		}
+	}
+	return nil
+}
+
+// validateVisibilityCommon checks the constraints shared by SEC and
+// SUC witnesses: program-order containment, growth, eventual delivery
+// for ω queries, and acyclicity of program order plus visibility
+// edges (plus the update total order, when present).
+func validateVisibilityCommon(h *history.History, w *Witness) error {
+	allUpdates := sortedIDs(h.Updates())
+	isUpdate := map[int]bool{}
+	for _, id := range allUpdates {
+		isUpdate[id] = true
+	}
+	for _, q := range h.Queries() {
+		vis, ok := w.Visibility[q.ID]
+		if !ok {
+			return fmt.Errorf("query %d has no visibility set", q.ID)
+		}
+		inVis := map[int]bool{}
+		for _, id := range vis {
+			if !isUpdate[id] {
+				return fmt.Errorf("query %d sees non-update %d", q.ID, id)
+			}
+			inVis[id] = true
+		}
+		// vis ⊇ program order.
+		for _, u := range h.PriorUpdates(q) {
+			if !inVis[u.ID] {
+				return fmt.Errorf("query %d does not see its own prior update %d", q.ID, u.ID)
+			}
+		}
+		// Eventual delivery for ω queries.
+		if q.Omega && len(vis) != len(allUpdates) {
+			return fmt.Errorf("ω query %d sees %d of %d updates", q.ID, len(vis), len(allUpdates))
+		}
+	}
+	// Growth along each process's query chain.
+	for p := 0; p < h.NumProcs(); p++ {
+		var prev map[int]bool
+		for _, e := range h.Proc(p) {
+			if !e.IsQuery() {
+				continue
+			}
+			cur := map[int]bool{}
+			for _, id := range w.Visibility[e.ID] {
+				cur[id] = true
+			}
+			for id := range prev {
+				if !cur[id] {
+					return fmt.Errorf("growth violated: query %d lost update %d", e.ID, id)
+				}
+			}
+			prev = cur
+		}
+	}
+	// Acyclicity of po ∪ vis-edges ∪ update order.
+	edges := poEdges(h)
+	for _, q := range h.Queries() {
+		for _, id := range w.Visibility[q.ID] {
+			edges[id] = append(edges[id], q.ID)
+		}
+	}
+	for i := 0; i+1 < len(w.UpdateOrder); i++ {
+		edges[w.UpdateOrder[i].ID] = append(edges[w.UpdateOrder[i].ID], w.UpdateOrder[i+1].ID)
+	}
+	if !acyclic(len(h.Events()), edges) {
+		return fmt.Errorf("visibility relation is cyclic")
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+// Package clock provides the logical time substrate of the paper's
+// generic construction (§VII): Lamport clocks, the (clock, process-id)
+// timestamp pairs that totally order updates, vector clocks, and the
+// low-water-mark stability tracker used for log garbage collection.
+package clock
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Timestamp is the pair (cl, j) attached to every update in
+// Algorithm 1: a Lamport clock value and the id of the issuing process.
+// Timestamps are totally ordered lexicographically — (cl, j) < (cl', j')
+// iff cl < cl' or (cl = cl' and j < j') — because process ids are unique
+// and totally ordered.
+type Timestamp struct {
+	Clock uint64
+	Proc  int
+}
+
+// Less reports the paper's total order on timestamps.
+func (t Timestamp) Less(o Timestamp) bool {
+	if t.Clock != o.Clock {
+		return t.Clock < o.Clock
+	}
+	return t.Proc < o.Proc
+}
+
+// Compare returns -1, 0 or +1 following the total order.
+func (t Timestamp) Compare(o Timestamp) int {
+	switch {
+	case t.Less(o):
+		return -1
+	case o.Less(t):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the timestamp as "(cl,j)".
+func (t Timestamp) String() string {
+	return fmt.Sprintf("(%d,%d)", t.Clock, t.Proc)
+}
+
+// Encode appends a compact wire encoding (uvarint clock, uvarint pid)
+// to dst and returns the extended slice. The encoding grows
+// logarithmically with the clock value and the number of processes,
+// matching the message-size claim of §VII-C.
+func (t Timestamp) Encode(dst []byte) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], t.Clock)
+	dst = append(dst, buf[:n]...)
+	n = binary.PutUvarint(buf[:], uint64(t.Proc))
+	return append(dst, buf[:n]...)
+}
+
+// DecodeTimestamp reads a timestamp produced by Encode and returns it
+// with the number of bytes consumed, or an error on malformed input.
+func DecodeTimestamp(b []byte) (Timestamp, int, error) {
+	cl, n := binary.Uvarint(b)
+	if n <= 0 {
+		return Timestamp{}, 0, fmt.Errorf("clock: malformed timestamp clock")
+	}
+	pid, m := binary.Uvarint(b[n:])
+	if m <= 0 {
+		return Timestamp{}, 0, fmt.Errorf("clock: malformed timestamp pid")
+	}
+	return Timestamp{Clock: cl, Proc: int(pid)}, n + m, nil
+}
+
+// Lamport is a Lamport logical clock (Lamport 1978), the pre-total
+// order that Algorithm 1 refines into a total order with process ids.
+// It is not safe for concurrent use; replicas guard it with their own
+// mutex.
+type Lamport struct {
+	now uint64
+}
+
+// Now returns the current clock value without advancing it.
+func (l *Lamport) Now() uint64 { return l.now }
+
+// Tick advances the clock for a local event (line 5 of Algorithm 1:
+// clock_i <- clock_i + 1) and returns the new value.
+func (l *Lamport) Tick() uint64 {
+	l.now++
+	return l.now
+}
+
+// Observe merges a remote clock value (line 9 of Algorithm 1:
+// clock_i <- max(clock_i, cl)).
+func (l *Lamport) Observe(remote uint64) {
+	if remote > l.now {
+		l.now = remote
+	}
+}
+
+// Vector is a vector clock over n processes. The reproduction uses it
+// for delivery bookkeeping (stability detection), not for ordering
+// updates — Algorithm 1 deliberately needs only scalar clocks.
+type Vector []uint64
+
+// NewVector returns a zero vector clock for n processes.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector { return append(Vector(nil), v...) }
+
+// Merge takes the component-wise maximum of v and o into v.
+func (v Vector) Merge(o Vector) {
+	for i := range v {
+		if i < len(o) && o[i] > v[i] {
+			v[i] = o[i]
+		}
+	}
+}
+
+// Min returns the smallest component of v, 0 for an empty vector.
+func (v Vector) Min() uint64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// LessEq reports the component-wise partial order v ≤ o.
+func (v Vector) LessEq(o Vector) bool {
+	for i := range v {
+		var ov uint64
+		if i < len(o) {
+			ov = o[i]
+		}
+		if v[i] > ov {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode appends uvarint components to dst.
+func (v Vector) Encode(dst []byte) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(v)))
+	dst = append(dst, buf[:n]...)
+	for _, x := range v {
+		n = binary.PutUvarint(buf[:], x)
+		dst = append(dst, buf[:n]...)
+	}
+	return dst
+}
+
+// DecodeVector reads a vector produced by Encode, returning it and the
+// number of bytes consumed.
+func DecodeVector(b []byte) (Vector, int, error) {
+	length, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("clock: malformed vector length")
+	}
+	v := make(Vector, length)
+	off := n
+	for i := range v {
+		x, m := binary.Uvarint(b[off:])
+		if m <= 0 {
+			return nil, 0, fmt.Errorf("clock: malformed vector component %d", i)
+		}
+		v[i] = x
+		off += m
+	}
+	return v, off, nil
+}
+
+// Stability tracks, per peer, the highest Lamport clock that peer is
+// known to have reached. An update timestamped (cl, j) is *stable* once
+// every process has reached a clock ≥ cl: no process can ever again
+// issue an update with a smaller timestamp (a process's next update is
+// stamped clock+1), so the prefix of the update linearization up to the
+// stability horizon is immutable and can be folded into a snapshot —
+// the garbage collection that §VII-C describes for "old messages".
+//
+// SOUNDNESS: for compacting a replay log, observations must be
+// *direct* — ObservePeer(j, c) may only be called when a message
+// stamped c was delivered from j over a FIFO link, because then every
+// still-in-flight message from j carries a larger stamp. Merging
+// hearsay vectors (ObserveVector) is only sound for applications where
+// overshooting the true minimum is acceptable; internal/core does not
+// use it for log compaction.
+type Stability struct {
+	reached Vector
+	self    int
+}
+
+// NewStability returns a tracker for n processes, for the local process
+// self.
+func NewStability(n, self int) *Stability {
+	return &Stability{reached: NewVector(n), self: self}
+}
+
+// ObserveSelf records the local process's clock.
+func (s *Stability) ObserveSelf(clock uint64) {
+	if clock > s.reached[s.self] {
+		s.reached[s.self] = clock
+	}
+}
+
+// ObservePeer records knowledge that process j reached the given clock.
+func (s *Stability) ObservePeer(j int, clock uint64) {
+	if j >= 0 && j < len(s.reached) && clock > s.reached[j] {
+		s.reached[j] = clock
+	}
+}
+
+// ObserveVector merges a piggybacked "reached" vector from a peer.
+func (s *Stability) ObserveVector(v Vector) { s.reached.Merge(v) }
+
+// Reached returns a copy of the per-process reached-clock vector, for
+// piggybacking on outgoing messages.
+func (s *Stability) Reached() Vector { return s.reached.Clone() }
+
+// Horizon returns the stability horizon: every update with
+// Timestamp.Clock ≤ Horizon() is stable. Updates *at* the horizon are
+// stable because any future update by any process j is stamped at
+// least reached[j]+1 > Horizon().
+func (s *Stability) Horizon() uint64 { return s.reached.Min() }
+
+// Stable reports whether an update with the given timestamp is stable.
+func (s *Stability) Stable(t Timestamp) bool { return t.Clock <= s.Horizon() }
+
+// Retire marks a crashed process as excluded from the horizon: a
+// crashed process issues no further updates, so it no longer holds
+// stability back. Without this, a single crash would freeze the
+// horizon forever — the price the paper acknowledges for wait-freedom
+// is that GC is an optimization requiring liveness information.
+func (s *Stability) Retire(j int) {
+	if j >= 0 && j < len(s.reached) {
+		s.reached[j] = ^uint64(0)
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"updatec/internal/spec"
+)
+
+// Engine computes the query-time state of Algorithm 1. The paper's
+// literal algorithm replays the whole update list on every query
+// (ReplayEngine); §VII-C notes that "in an effective implementation, a
+// process can keep intermediate states", re-computed "only if very
+// late messages arrive" (CheckpointEngine), and cites Karsenty &
+// Beaudouin-Lafon's undo-based scheme for splicing late updates
+// without replay (UndoEngine). All three engines produce identical
+// states — the ablation benchmarks (experiment E8) measure only their
+// cost.
+//
+// Engines are driven by their replica under its lock; they are not
+// safe for standalone concurrent use.
+type Engine interface {
+	// Name identifies the engine in benchmark tables.
+	Name() string
+	// Bind attaches the engine to a log. It is called once before use
+	// and again after log compaction (the engine must drop caches that
+	// referenced compacted entries).
+	Bind(adt spec.UQADT, log *Log)
+	// Inserted notifies the engine that log.Entries()[at] was just
+	// inserted.
+	Inserted(at int)
+	// State returns the state after all live entries (on top of the
+	// log's base). The caller treats it as read-only and does not
+	// retain it across mutations.
+	State() spec.State
+}
+
+// ReplayEngine is line 14–17 of Algorithm 1 verbatim: every query
+// replays the whole update list from the initial state. O(|log|) per
+// query, O(1) per insert.
+type ReplayEngine struct {
+	adt spec.UQADT
+	log *Log
+}
+
+// NewReplayEngine returns the paper's literal query engine.
+func NewReplayEngine() *ReplayEngine { return &ReplayEngine{} }
+
+// Name implements Engine.
+func (*ReplayEngine) Name() string { return "replay" }
+
+// Bind implements Engine.
+func (e *ReplayEngine) Bind(adt spec.UQADT, log *Log) { e.adt, e.log = adt, log }
+
+// Inserted implements Engine.
+func (*ReplayEngine) Inserted(int) {}
+
+// State implements Engine.
+func (e *ReplayEngine) State() spec.State { return e.log.Replay() }
+
+// CheckpointEngine keeps a snapshot of the state every interval
+// entries. A query replays only from the last snapshot; a late
+// insertion invalidates the snapshots after its position (the
+// "intermediate states are re-computed only if very late messages
+// arrive" optimization of §VII-C). O(interval + staleness) per query.
+type CheckpointEngine struct {
+	adt      spec.UQADT
+	log      *Log
+	interval int
+	// marks[i] is the snapshot after applying the first marks[i].n live
+	// entries on top of the base.
+	marks []checkpoint
+}
+
+type checkpoint struct {
+	n     int
+	state spec.State
+}
+
+// NewCheckpointEngine returns a snapshotting engine; interval must be
+// positive (a typical value is 64).
+func NewCheckpointEngine(interval int) *CheckpointEngine {
+	if interval <= 0 {
+		panic("core: checkpoint interval must be positive")
+	}
+	return &CheckpointEngine{interval: interval}
+}
+
+// Name implements Engine.
+func (e *CheckpointEngine) Name() string {
+	return fmt.Sprintf("checkpoint(%d)", e.interval)
+}
+
+// Bind implements Engine.
+func (e *CheckpointEngine) Bind(adt spec.UQADT, log *Log) {
+	e.adt, e.log = adt, log
+	e.marks = nil
+}
+
+// Inserted implements Engine: snapshots at or after the insertion
+// point are stale.
+func (e *CheckpointEngine) Inserted(at int) {
+	keep := len(e.marks)
+	for keep > 0 && e.marks[keep-1].n > at {
+		keep--
+	}
+	e.marks = e.marks[:keep]
+}
+
+// State implements Engine.
+func (e *CheckpointEngine) State() spec.State {
+	entries := e.log.Entries()
+	start := 0
+	var s spec.State
+	if len(e.marks) > 0 {
+		last := e.marks[len(e.marks)-1]
+		start = last.n
+		s = e.adt.Clone(last.state)
+	} else {
+		s = e.log.BaseState()
+	}
+	for i := start; i < len(entries); i++ {
+		s = e.adt.Apply(s, entries[i].U)
+		applied := i + 1
+		if applied%e.interval == 0 && (len(e.marks) == 0 || e.marks[len(e.marks)-1].n < applied) {
+			e.marks = append(e.marks, checkpoint{n: applied, state: e.adt.Clone(s)})
+		}
+	}
+	return s
+}
+
+// UndoEngine maintains the current state plus an undo closure per live
+// entry; a late insertion at position p undoes the suffix beyond p,
+// applies the new update, and redoes the suffix — the Karsenty &
+// Beaudouin-Lafon scheme cited in §VII-C. O(1) per in-order insert and
+// query; O(suffix) per late insert. Requires a spec implementing
+// spec.Undoable.
+type UndoEngine struct {
+	adt   spec.UQADT
+	und   spec.Undoable
+	log   *Log
+	state spec.State
+	undos []spec.Undo
+}
+
+// NewUndoEngine returns an undo-redo engine; Bind panics if the data
+// type does not support undo.
+func NewUndoEngine() *UndoEngine { return &UndoEngine{} }
+
+// Name implements Engine.
+func (*UndoEngine) Name() string { return "undo" }
+
+// Bind implements Engine.
+func (e *UndoEngine) Bind(adt spec.UQADT, log *Log) {
+	und, ok := adt.(spec.Undoable)
+	if !ok {
+		panic(fmt.Sprintf("core: %s does not implement spec.Undoable", adt.Name()))
+	}
+	e.adt, e.und, e.log = adt, und, log
+	e.state = log.BaseState()
+	e.undos = e.undos[:0]
+	for _, en := range log.Entries() {
+		var u spec.Undo
+		e.state, u = e.und.ApplyUndo(e.state, en.U)
+		e.undos = append(e.undos, u)
+	}
+}
+
+// Inserted implements Engine.
+func (e *UndoEngine) Inserted(at int) {
+	entries := e.log.Entries()
+	// Undo the suffix that now sits after the new entry. Before the
+	// insertion the engine had applied len(entries)-1 updates; entries
+	// [at+1:] are the displaced ones.
+	for len(e.undos) > at {
+		e.state = e.undos[len(e.undos)-1](e.state)
+		e.undos = e.undos[:len(e.undos)-1]
+	}
+	// Redo from the insertion point, including the new entry.
+	for i := at; i < len(entries); i++ {
+		var u spec.Undo
+		e.state, u = e.und.ApplyUndo(e.state, entries[i].U)
+		e.undos = append(e.undos, u)
+	}
+}
+
+// State implements Engine.
+func (e *UndoEngine) State() spec.State { return e.state }
+
+var (
+	_ Engine = (*ReplayEngine)(nil)
+	_ Engine = (*CheckpointEngine)(nil)
+	_ Engine = (*UndoEngine)(nil)
+)

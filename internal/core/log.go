@@ -1,0 +1,124 @@
+// Package core implements the paper's primary contribution: the
+// universal construction of strong update consistent objects
+// (Algorithm 1, §VII-B) for arbitrary UQ-ADTs in wait-free asynchronous
+// crash-prone message-passing systems, the optimized shared memory of
+// Algorithm 2, the query-engine optimizations sketched in §VII-C
+// (cached intermediate states and undo-redo splicing), and
+// stability-based garbage collection of the update log.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"updatec/internal/clock"
+	"updatec/internal/spec"
+)
+
+// Entry is one timestamped update of Algorithm 1's updates_i list: a
+// triple (cl, j, u) ordered by its (cl, j) timestamp.
+type Entry struct {
+	TS clock.Timestamp
+	U  spec.Update
+}
+
+// Log is the sorted list updates_i of Algorithm 1, extended with an
+// optional compacted stable prefix: entries whose timestamps are below
+// the stability horizon are folded into a base snapshot and dropped
+// (§VII-C: "after some time old messages can be garbage collected").
+type Log struct {
+	adt spec.UQADT
+	// base is the state reached by the compacted prefix; nil means the
+	// prefix is empty and the base is the initial state.
+	base spec.State
+	// baseLen counts compacted updates, for reporting.
+	baseLen int
+	// baseTS is the largest timestamp folded into base.
+	baseTS clock.Timestamp
+	// entries is the live suffix, sorted by timestamp.
+	entries []Entry
+}
+
+// NewLog returns an empty log for the given data type.
+func NewLog(adt spec.UQADT) *Log {
+	return &Log{adt: adt}
+}
+
+// Len returns the number of live (non-compacted) entries.
+func (l *Log) Len() int { return len(l.entries) }
+
+// TotalLen returns the number of updates ever inserted, including
+// compacted ones.
+func (l *Log) TotalLen() int { return l.baseLen + len(l.entries) }
+
+// Entries exposes the live suffix; callers must not mutate it.
+func (l *Log) Entries() []Entry { return l.entries }
+
+// Base returns the compacted-prefix snapshot (nil when empty) and the
+// timestamp up to which the log was compacted.
+func (l *Log) Base() (spec.State, clock.Timestamp) { return l.base, l.baseTS }
+
+// BaseState returns a clone of the base state, or a fresh initial
+// state when nothing was compacted.
+func (l *Log) BaseState() spec.State {
+	if l.base == nil {
+		return l.adt.Initial()
+	}
+	return l.adt.Clone(l.base)
+}
+
+// Insert adds a timestamped update, keeping the list sorted, and
+// returns the index at which it landed. Inserting an entry at or below
+// the compaction horizon is an invariant violation (it would mean the
+// stability tracker declared stability too early — e.g. GC enabled on
+// a non-FIFO transport) and panics rather than silently corrupting the
+// convergence order.
+func (l *Log) Insert(e Entry) int {
+	if l.baseLen > 0 && !l.baseTS.Less(e.TS) {
+		panic(fmt.Sprintf("core: update %s arrived below compaction horizon %s — stability was not honored (is the transport FIFO?)",
+			e.TS, l.baseTS))
+	}
+	at := sort.Search(len(l.entries), func(i int) bool {
+		return e.TS.Less(l.entries[i].TS)
+	})
+	if at > 0 && l.entries[at-1].TS == e.TS {
+		panic(fmt.Sprintf("core: duplicate timestamp %s — broadcast delivered twice?", e.TS))
+	}
+	l.entries = append(l.entries, Entry{})
+	copy(l.entries[at+1:], l.entries[at:])
+	l.entries[at] = e
+	return at
+}
+
+// CompactBelow folds every entry with timestamp clock ≤ horizon into
+// the base snapshot and returns how many entries were folded. The
+// caller (the replica) must guarantee, via the stability tracker, that
+// no future insert can sort at or below the horizon.
+func (l *Log) CompactBelow(horizon uint64) int {
+	cut := 0
+	for cut < len(l.entries) && l.entries[cut].TS.Clock <= horizon {
+		cut++
+	}
+	if cut == 0 {
+		return 0
+	}
+	s := l.BaseState()
+	for _, e := range l.entries[:cut] {
+		s = l.adt.Apply(s, e.U)
+	}
+	l.base = s
+	l.baseTS = l.entries[cut-1].TS
+	l.baseLen += cut
+	l.entries = append([]Entry(nil), l.entries[cut:]...)
+	return cut
+}
+
+// Replay returns the state after the base and all live entries. The
+// result is freshly built and owned by the caller.
+func (l *Log) Replay() spec.State {
+	s := l.BaseState()
+	for _, e := range l.entries {
+		s = l.adt.Apply(s, e.U)
+	}
+	return s
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"updatec/internal/clock"
+	"updatec/internal/history"
+	"updatec/internal/spec"
+	"updatec/internal/transport"
+)
+
+// Memory is Algorithm 2: the update consistent shared memory. It
+// orders writes exactly like Algorithm 1 (Lamport timestamps broken by
+// process id) but exploits the register semantics — an overwritten
+// value can never be read again — to keep only the latest (cl, j, v)
+// per register:
+//
+//	write(x, v): clock++; broadcast (clock, id, x, v)      (lines 4–7)
+//	on receive (cl, j, x, v): clock = max(clock, cl);
+//	    if mem[x].(cl', j') < (cl, j) then mem[x] = (cl,j,v) (8–14)
+//	read(x): return mem[x].v                                (15–18)
+//
+// Reads and writes are O(1) and memory grows with the number of
+// registers, not the number of operations — the §VII-C comparison that
+// experiment E9 measures against the generic construction.
+type Memory struct {
+	mu    sync.Mutex
+	id    int
+	init  string
+	clk   clock.Lamport
+	cells map[string]memCell
+	net   transport.Network
+	rec   *history.Recorder
+}
+
+type memCell struct {
+	ts clock.Timestamp
+	v  string
+}
+
+// MemoryConfig assembles a Memory replica.
+type MemoryConfig struct {
+	// ID is the process id; N is kept for symmetry with Config but only
+	// the id participates in timestamps.
+	ID int
+	// Init is the initial value v0 of every register.
+	Init string
+	// Net is the shared broadcast transport.
+	Net transport.Network
+	// Recorder, when set, records operations against spec.Memory(Init).
+	Recorder *history.Recorder
+}
+
+// NewMemory builds an Algorithm 2 replica and attaches it to the
+// transport.
+func NewMemory(cfg MemoryConfig) *Memory {
+	m := &Memory{
+		id:    cfg.ID,
+		init:  cfg.Init,
+		cells: map[string]memCell{},
+		net:   cfg.Net,
+		rec:   cfg.Recorder,
+	}
+	m.net.Attach(cfg.ID, m.handle)
+	return m
+}
+
+// Write implements lines 4–7 of Algorithm 2.
+func (m *Memory) Write(x, v string) {
+	m.mu.Lock()
+	cl := m.clk.Tick()
+	payload := encodeMemMsg(clock.Timestamp{Clock: cl, Proc: m.id}, x, v)
+	if m.rec != nil {
+		m.rec.Update(m.id, spec.WriteKey{K: x, V: v})
+	}
+	m.mu.Unlock()
+	m.net.Broadcast(m.id, payload)
+}
+
+// Read implements lines 15–18 of Algorithm 2: constant time, purely
+// local.
+func (m *Memory) Read(x string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.readLocked(x)
+	if m.rec != nil {
+		m.rec.Query(m.id, spec.ReadKey{K: x}, spec.RegVal(v))
+	}
+	return v
+}
+
+// ReadOmega records the read as the replica's converged observation.
+func (m *Memory) ReadOmega(x string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.readLocked(x)
+	if m.rec != nil {
+		m.rec.QueryOmega(m.id, spec.ReadKey{K: x}, spec.RegVal(v))
+	}
+	return v
+}
+
+func (m *Memory) readLocked(x string) string {
+	if c, ok := m.cells[x]; ok {
+		return c.v
+	}
+	return m.init
+}
+
+// Keys returns the registers that have been written, sorted.
+func (m *Memory) Keys() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.cells))
+	for k := range m.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// StateKey canonically renders the memory content for convergence
+// checks.
+func (m *Memory) StateKey() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.cells))
+	for k := range m.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%s;", k, m.cells[k].v)
+	}
+	return out
+}
+
+// CellCount reports how many registers are materialized — the E9
+// memory-growth metric (compare Replica.Stats().LogLen).
+func (m *Memory) CellCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.cells)
+}
+
+// handle implements lines 8–14 of Algorithm 2.
+func (m *Memory) handle(from int, payload []byte) {
+	ts, x, v, err := decodeMemMsg(payload)
+	if err != nil {
+		panic(fmt.Sprintf("core: memory %d: corrupt message: %v", m.id, err))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clk.Observe(ts.Clock)
+	if cur, ok := m.cells[x]; !ok || cur.ts.Less(ts) {
+		m.cells[x] = memCell{ts: ts, v: v}
+	}
+}
+
+func encodeMemMsg(ts clock.Timestamp, x, v string) []byte {
+	buf := ts.Encode(nil)
+	var lenb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenb[:], uint64(len(x)))
+	buf = append(buf, lenb[:n]...)
+	buf = append(buf, x...)
+	return append(buf, v...)
+}
+
+func decodeMemMsg(payload []byte) (clock.Timestamp, string, string, error) {
+	ts, off, err := clock.DecodeTimestamp(payload)
+	if err != nil {
+		return ts, "", "", err
+	}
+	klen, n := binary.Uvarint(payload[off:])
+	if n <= 0 {
+		return ts, "", "", fmt.Errorf("bad key length")
+	}
+	off += n
+	if uint64(len(payload)-off) < klen {
+		return ts, "", "", fmt.Errorf("truncated key")
+	}
+	x := string(payload[off : off+int(klen)])
+	v := string(payload[off+int(klen):])
+	return ts, x, v, nil
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"updatec/internal/check"
+	"updatec/internal/clock"
+	"updatec/internal/history"
+	"updatec/internal/spec"
+	"updatec/internal/transport"
+)
+
+func memCluster(n int, seed int64, rec *history.Recorder) ([]*Memory, *transport.SimNetwork) {
+	net := transport.NewSim(transport.SimOptions{N: n, Seed: seed})
+	mems := make([]*Memory, n)
+	for i := 0; i < n; i++ {
+		mems[i] = NewMemory(MemoryConfig{ID: i, Init: "0", Net: net, Recorder: rec})
+	}
+	return mems, net
+}
+
+func TestMemoryBasics(t *testing.T) {
+	mems, net := memCluster(2, 1, nil)
+	if got := mems[0].Read("x"); got != "0" {
+		t.Fatalf("initial read: %s", got)
+	}
+	mems[0].Write("x", "1")
+	if got := mems[0].Read("x"); got != "1" {
+		t.Fatalf("read own write: %s", got)
+	}
+	if got := mems[1].Read("x"); got != "0" {
+		t.Fatalf("remote write visible before delivery: %s", got)
+	}
+	net.Quiesce()
+	if got := mems[1].Read("x"); got != "1" {
+		t.Fatalf("write not propagated: %s", got)
+	}
+}
+
+func TestMemoryLWWConvergence(t *testing.T) {
+	// Concurrent writes to the same register converge via the
+	// timestamp order on every seed.
+	f := func(seed int64) bool {
+		mems, net := memCluster(3, seed, nil)
+		rng := rand.New(rand.NewSource(seed))
+		for k := 0; k < 20; k++ {
+			p := rng.Intn(3)
+			mems[p].Write(fmt.Sprintf("k%d", rng.Intn(3)), fmt.Sprintf("v%d.%d", p, k))
+			net.StepN(rng.Intn(4))
+		}
+		net.Quiesce()
+		want := mems[0].StateKey()
+		for _, m := range mems[1:] {
+			if m.StateKey() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryOldWriteNeverOverwritesNewer(t *testing.T) {
+	// Deliver a stale write after a newer one: the cell must keep the
+	// newer value (lines 11–13 of Algorithm 2).
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 0})
+	m0 := NewMemory(MemoryConfig{ID: 0, Init: "0", Net: net})
+	m1 := NewMemory(MemoryConfig{ID: 1, Init: "0", Net: net})
+	m0.Write("x", "old") // ts (1,0)
+	m1.Write("x", "new") // ts (1,1) > (1,0)
+	net.Quiesce()
+	if got := m0.Read("x"); got != "new" {
+		t.Fatalf("m0: %s", got)
+	}
+	if got := m1.Read("x"); got != "new" {
+		t.Fatalf("m1 overwrote newer with older: %s", got)
+	}
+}
+
+func TestMemoryRecordedHistoryIsUC(t *testing.T) {
+	// Algorithm 2's histories must be update consistent for the memory
+	// UQ-ADT (the paper presents it as "an update consistent
+	// implementation of the shared memory object").
+	for seed := int64(0); seed < 10; seed++ {
+		rec := history.NewRecorder(spec.Memory("0"), 2)
+		mems, net := memCluster(2, seed, rec)
+		rng := rand.New(rand.NewSource(seed))
+		keys := []string{"x", "y"}
+		for k := 0; k < 4; k++ {
+			p := rng.Intn(2)
+			mems[p].Write(keys[rng.Intn(2)], fmt.Sprintf("%d", k))
+			if rng.Intn(2) == 0 {
+				mems[p].Read(keys[rng.Intn(2)])
+			}
+			net.StepN(rng.Intn(2))
+		}
+		net.Quiesce()
+		for _, m := range mems {
+			m.ReadOmega("x")
+		}
+		h, err := rec.History()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := check.UC(h)
+		if !r.Holds {
+			t.Fatalf("seed %d: memory history not UC (%s):\n%s", seed, r.Reason, h.String())
+		}
+	}
+}
+
+func TestMemoryCellCountBounded(t *testing.T) {
+	// §VII-C/E9: Algorithm 2's memory grows with the register count,
+	// not the operation count.
+	mems, net := memCluster(2, 3, nil)
+	for k := 0; k < 500; k++ {
+		mems[k%2].Write(fmt.Sprintf("k%d", k%4), fmt.Sprint(k))
+	}
+	net.Quiesce()
+	for _, m := range mems {
+		if got := m.CellCount(); got != 4 {
+			t.Fatalf("cell count %d, want 4", got)
+		}
+	}
+	if got := mems[0].Keys(); len(got) != 4 || got[0] != "k0" {
+		t.Fatalf("keys: %v", got)
+	}
+}
+
+func TestMemoryWireCodec(t *testing.T) {
+	f := func(cl uint64, p uint8, k, v string) bool {
+		ts := clock.Timestamp{Clock: cl % 1e9, Proc: int(p)}
+		payload := encodeMemMsg(ts, k, v)
+		ts2, k2, v2, err := decodeMemMsg(payload)
+		return err == nil && ts2 == ts && k2 == k && v2 == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range [][]byte{{}, {0x01}, {0x01, 0x00, 0x09}} {
+		if _, _, _, err := decodeMemMsg(b); err == nil {
+			t.Fatalf("decodeMemMsg(%v) should fail", b)
+		}
+	}
+}
+
+func TestMemoryCrashTolerance(t *testing.T) {
+	mems, net := memCluster(3, 4, nil)
+	mems[0].Write("x", "1")
+	net.Quiesce()
+	net.Crash(0)
+	mems[1].Write("y", "2")
+	net.Quiesce()
+	if mems[1].StateKey() != mems[2].StateKey() {
+		t.Fatalf("survivors diverged: %s vs %s", mems[1].StateKey(), mems[2].StateKey())
+	}
+	if got := mems[2].Read("y"); got != "2" {
+		t.Fatalf("y not propagated after crash of 0: %s", got)
+	}
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"updatec/internal/clock"
+	"updatec/internal/history"
+	"updatec/internal/spec"
+	"updatec/internal/transport"
+)
+
+// Replica is one process's instance of Algorithm 1: the universal
+// strong update consistent implementation of an arbitrary UQ-ADT.
+//
+//	update(u): clock++; broadcast (clock, id, u)          (lines 4–7)
+//	on receive (cl, j, u): clock = max(clock, cl);
+//	                       updates ∪= {(cl, j, u)}        (lines 8–11)
+//	query(q):  clock++; replay updates sorted by (cl, j);
+//	           return G(state, q)                         (lines 12–19)
+//
+// Every operation completes using only local state — the replica never
+// waits for the network — so the implementation is wait-free and
+// tolerates any number of crashes (Proposition 4).
+//
+// A Replica is safe for concurrent use; one mutex serializes its
+// operation and delivery steps, which models the paper's sequential
+// process while allowing the live goroutine transport to deliver
+// concurrently with application calls.
+type Replica struct {
+	mu      sync.Mutex
+	id      int
+	n       int
+	adt     spec.UQADT
+	codec   spec.Codec
+	clk     clock.Lamport
+	log     *Log
+	engine  Engine
+	net     transport.Network
+	stab    *clock.Stability
+	gc      bool
+	gcEvery int
+	sinceGC int
+	rec     *history.Recorder
+	// originMax[j] is the highest update clock delivered from process
+	// j; sessions use it (together with the compaction horizon) to
+	// decide whether this replica covers a client's observations.
+	originMax clock.Vector
+	// lateInserts counts inserts that did not land at the log tail —
+	// the "very late messages" of §VII-C that force engines to redo
+	// work.
+	lateInserts uint64
+	compacted   uint64
+}
+
+// Config assembles a Replica.
+type Config struct {
+	// ID is the process id (0 ≤ ID < N); ids are unique and totally
+	// ordered, as the timestamp tie-break requires.
+	ID int
+	// N is the number of processes.
+	N int
+	// ADT is the sequential specification; it must implement spec.Codec
+	// so updates can be broadcast.
+	ADT spec.UQADT
+	// Net is the broadcast transport shared by the cluster.
+	Net transport.Network
+	// Engine selects the query engine; nil means ReplayEngine (the
+	// paper's literal algorithm).
+	Engine Engine
+	// GC enables stability-based log compaction. It requires a FIFO
+	// transport (see Log.Insert) and piggybacks a reached-clock vector
+	// on every update message.
+	GC bool
+	// GCEvery triggers a compaction attempt every GCEvery deliveries
+	// (default 32) when GC is enabled.
+	GCEvery int
+	// Recorder, when set, records this replica's operations for the
+	// consistency deciders.
+	Recorder *history.Recorder
+}
+
+// NewReplica builds the replica and attaches it to the transport.
+func NewReplica(cfg Config) *Replica {
+	codec, ok := cfg.ADT.(spec.Codec)
+	if !ok {
+		panic(fmt.Sprintf("core: %s does not implement spec.Codec", cfg.ADT.Name()))
+	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = NewReplayEngine()
+	}
+	gcEvery := cfg.GCEvery
+	if gcEvery <= 0 {
+		gcEvery = 32
+	}
+	r := &Replica{
+		id:        cfg.ID,
+		n:         cfg.N,
+		adt:       cfg.ADT,
+		codec:     codec,
+		log:       NewLog(cfg.ADT),
+		engine:    eng,
+		net:       cfg.Net,
+		gc:        cfg.GC,
+		gcEvery:   gcEvery,
+		rec:       cfg.Recorder,
+		originMax: clock.NewVector(cfg.N),
+	}
+	if cfg.GC {
+		r.stab = clock.NewStability(cfg.N, cfg.ID)
+	}
+	r.engine.Bind(cfg.ADT, r.log)
+	r.net.Attach(cfg.ID, r.handle)
+	return r
+}
+
+// ID returns the process id.
+func (r *Replica) ID() int { return r.id }
+
+// ADT returns the replica's sequential specification.
+func (r *Replica) ADT() spec.UQADT { return r.adt }
+
+// Update implements lines 4–7 of Algorithm 1: stamp the update with
+// (clock+1, id) and reliably broadcast it. The state change lands via
+// the broadcast's self-delivery, which the transports perform inline,
+// so the update is locally visible when Update returns.
+func (r *Replica) Update(u spec.Update) {
+	r.mu.Lock()
+	cl := r.clk.Tick()
+	if r.stab != nil {
+		r.stab.ObserveSelf(cl)
+	}
+	payload := r.encode(clock.Timestamp{Clock: cl, Proc: r.id}, u)
+	if r.rec != nil {
+		r.rec.Update(r.id, u)
+	}
+	r.mu.Unlock()
+	// Broadcast outside the lock: self-delivery re-enters handle.
+	r.net.Broadcast(r.id, payload)
+}
+
+// Query implements lines 12–19 of Algorithm 1: advance the clock and
+// evaluate the query on the state derived from the sorted update list.
+func (r *Replica) Query(in spec.QueryInput) spec.QueryOutput {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cl := r.clk.Tick()
+	if r.stab != nil {
+		r.stab.ObserveSelf(cl)
+	}
+	out := r.adt.Query(r.engine.State(), in)
+	if r.rec != nil {
+		r.rec.Query(r.id, in, out)
+	}
+	return out
+}
+
+// QueryOmega evaluates a query and records it as the replica's
+// converged (ω) observation. The simulation harness calls it once per
+// replica after quiescence.
+func (r *Replica) QueryOmega(in spec.QueryInput) spec.QueryOutput {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clk.Tick()
+	out := r.adt.Query(r.engine.State(), in)
+	if r.rec != nil {
+		r.rec.QueryOmega(r.id, in, out)
+	}
+	return out
+}
+
+// handle implements lines 8–11 of Algorithm 1 plus the GC bookkeeping.
+//
+// Stability only trusts *direct* observations: a sender's update stamps
+// strictly increase, so on a FIFO link the highest stamp delivered from
+// a sender bounds every still-in-flight message from it. Hearsay (a
+// vector piggybacked by a third process) is NOT sound here — another
+// process's knowledge of j's clock can overtake j's own in-flight
+// messages on our link, which would let the horizon pass an update
+// that has not arrived yet.
+func (r *Replica) handle(from int, payload []byte) {
+	ts, u, err := r.decode(payload)
+	if err != nil {
+		panic(fmt.Sprintf("core: replica %d: corrupt update message: %v", r.id, err))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clk.Observe(ts.Clock)
+	at := r.log.Insert(Entry{TS: ts, U: u})
+	if at != r.log.Len()-1 {
+		r.lateInserts++
+	}
+	if ts.Proc >= 0 && ts.Proc < len(r.originMax) && ts.Clock > r.originMax[ts.Proc] {
+		r.originMax[ts.Proc] = ts.Clock
+	}
+	r.engine.Inserted(at)
+	if r.stab != nil {
+		r.stab.ObservePeer(ts.Proc, ts.Clock)
+		// Delivery advanced our own clock too: our next update will be
+		// stamped above it, so our own reached-clock may follow — this
+		// lets passive (query-only) replicas compact.
+		r.stab.ObserveSelf(r.clk.Now())
+		r.sinceGC++
+		if r.sinceGC >= r.gcEvery {
+			r.sinceGC = 0
+			r.compact()
+		}
+	}
+}
+
+// compact folds stable entries into the log base. Caller holds the
+// lock.
+func (r *Replica) compact() {
+	n := r.log.CompactBelow(r.stab.Horizon())
+	if n > 0 {
+		r.compacted += uint64(n)
+		r.engine.Bind(r.adt, r.log)
+	}
+}
+
+// ForceCompact runs a compaction immediately (the harness uses it to
+// measure GC effects deterministically).
+func (r *Replica) ForceCompact() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stab != nil {
+		r.compact()
+	}
+}
+
+// RetireProcess tells the stability tracker that a process crashed and
+// will never issue updates again, unblocking the GC horizon (see
+// clock.Stability.Retire).
+func (r *Replica) RetireProcess(j int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stab != nil {
+		r.stab.Retire(j)
+	}
+}
+
+// Stats reports replica-side counters for the experiment tables.
+type Stats struct {
+	// LogLen is the live log length; Compacted counts GC'd entries.
+	LogLen    int
+	TotalOps  int
+	Compacted uint64
+	// LateInserts counts out-of-order arrivals (they force engine
+	// recomputation).
+	LateInserts uint64
+	Clock       uint64
+}
+
+// Stats returns a snapshot of the replica counters.
+func (r *Replica) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		LogLen:      r.log.Len(),
+		TotalOps:    r.log.TotalLen(),
+		Compacted:   r.compacted,
+		LateInserts: r.lateInserts,
+		Clock:       r.clk.Now(),
+	}
+}
+
+// StateKey returns the canonical key of the replica's current state —
+// the convergence predicate of the experiments compares these across
+// replicas.
+func (r *Replica) StateKey() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.adt.KeyState(r.engine.State())
+}
+
+// encode serializes an update message: timestamp, then the op bytes.
+// This is exactly the paper's message(cl, i, u) — "the information to
+// identify the update and a timestamp composed of two integer values,
+// that only grow logarithmically with the number of processes and the
+// number of operations" (§VII-C), measured by BenchmarkMessageOverhead.
+func (r *Replica) encode(ts clock.Timestamp, u spec.Update) []byte {
+	op, err := r.codec.EncodeUpdate(u)
+	if err != nil {
+		panic(fmt.Sprintf("core: cannot encode update: %v", err))
+	}
+	buf := ts.Encode(nil)
+	return append(buf, op...)
+}
+
+// decode parses an update message.
+func (r *Replica) decode(payload []byte) (clock.Timestamp, spec.Update, error) {
+	ts, off, err := clock.DecodeTimestamp(payload)
+	if err != nil {
+		return ts, nil, err
+	}
+	u, err := r.codec.DecodeUpdate(payload[off:])
+	if err != nil {
+		return ts, nil, err
+	}
+	return ts, u, nil
+}
+
+// Cluster builds n replicas sharing one transport, all with the same
+// engine constructor and options.
+func Cluster(n int, adt spec.UQADT, net transport.Network, opt ClusterOptions) []*Replica {
+	reps := make([]*Replica, n)
+	for i := 0; i < n; i++ {
+		var eng Engine
+		if opt.NewEngine != nil {
+			eng = opt.NewEngine()
+		}
+		reps[i] = NewReplica(Config{
+			ID: i, N: n, ADT: adt, Net: net,
+			Engine: eng, GC: opt.GC, GCEvery: opt.GCEvery,
+			Recorder: opt.Recorder,
+		})
+	}
+	return reps
+}
+
+// ClusterOptions configures Cluster.
+type ClusterOptions struct {
+	// NewEngine builds each replica's engine (nil → ReplayEngine).
+	NewEngine func() Engine
+	// GC enables stability-based compaction (FIFO transport required).
+	GC bool
+	// GCEvery is the compaction period in deliveries.
+	GCEvery int
+	// Recorder records all replicas' operations when set.
+	Recorder *history.Recorder
+}

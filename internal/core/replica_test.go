@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"updatec/internal/check"
+	"updatec/internal/clock"
+	"updatec/internal/history"
+	"updatec/internal/spec"
+	"updatec/internal/transport"
+)
+
+// driveRandom issues a pseudo-random set workload interleaved with
+// network deliveries and returns the replicas after quiescence.
+func driveRandom(t *testing.T, seed int64, n, opsPerProc int, opt ClusterOptions, fifo bool) ([]*Replica, *transport.SimNetwork) {
+	t.Helper()
+	net := transport.NewSim(transport.SimOptions{N: n, Seed: seed, FIFO: fifo})
+	reps := Cluster(n, spec.Set(), net, opt)
+	rng := rand.New(rand.NewSource(seed))
+	support := []string{"1", "2", "3"}
+	for k := 0; k < opsPerProc*n; k++ {
+		p := rng.Intn(n)
+		v := support[rng.Intn(len(support))]
+		if rng.Intn(2) == 0 {
+			reps[p].Update(spec.Ins{V: v})
+		} else {
+			reps[p].Update(spec.Del{V: v})
+		}
+		// Interleave a few deliveries to create genuine concurrency.
+		net.StepN(rng.Intn(3))
+	}
+	net.Quiesce()
+	return reps, net
+}
+
+func TestClusterConvergesAdversarialDelivery(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		reps, _ := driveRandom(t, seed, 4, 6, ClusterOptions{}, false)
+		want := reps[0].StateKey()
+		for _, r := range reps[1:] {
+			if got := r.StateKey(); got != want {
+				t.Fatalf("seed %d: replica %d diverged: %s vs %s", seed, r.ID(), got, want)
+			}
+		}
+	}
+}
+
+func TestUpdateVisibleLocallyOnReturn(t *testing.T) {
+	// Wait-freedom with read-your-writes at the local replica: the
+	// paper's broadcast is self-received instantaneously.
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 0})
+	reps := Cluster(2, spec.Set(), net, ClusterOptions{})
+	reps[0].Update(spec.Ins{V: "x"})
+	out := reps[0].Query(spec.Read{}).(spec.Elems)
+	if out.String() != "{x}" {
+		t.Fatalf("own update not locally visible: %v", out)
+	}
+	// And NOT yet visible remotely (no delivery happened).
+	if got := reps[1].Query(spec.Read{}).(spec.Elems); got.String() != "∅" {
+		t.Fatalf("remote update visible without delivery: %v", got)
+	}
+}
+
+func TestRecordedHistoryIsSUC(t *testing.T) {
+	// Proposition 4, experimentally: Algorithm 1's histories are
+	// strong update consistent. Small sizes keep the decider fast.
+	for seed := int64(0); seed < 15; seed++ {
+		rec := history.NewRecorder(spec.Set(), 2)
+		net := transport.NewSim(transport.SimOptions{N: 2, Seed: seed})
+		reps := Cluster(2, spec.Set(), net, ClusterOptions{Recorder: rec})
+		rng := rand.New(rand.NewSource(seed))
+		for k := 0; k < 4; k++ {
+			p := rng.Intn(2)
+			v := fmt.Sprint(rng.Intn(2) + 1)
+			if rng.Intn(2) == 0 {
+				reps[p].Update(spec.Ins{V: v})
+			} else {
+				reps[p].Update(spec.Del{V: v})
+			}
+			if rng.Intn(2) == 0 {
+				reps[p].Query(spec.Read{})
+			}
+			net.StepN(rng.Intn(2))
+		}
+		net.Quiesce()
+		for _, r := range reps {
+			r.QueryOmega(spec.Read{})
+		}
+		h, err := rec.History()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := check.SUC(h)
+		if !r.Holds {
+			t.Fatalf("seed %d: history not SUC (%s):\n%s", seed, r.Reason, h.String())
+		}
+		if err := check.ValidateSUCWitness(h, r.Witness); err != nil {
+			t.Fatalf("seed %d: witness: %v", seed, err)
+		}
+		// Proposition 3 on the same run: the SUC witness converts to an
+		// Insert-wins relation.
+		if err := check.InsertWinsFromSUC(h, r.Witness); err != nil {
+			t.Fatalf("seed %d: Prop 3: %v", seed, err)
+		}
+	}
+}
+
+func TestCrashedReplicaDoesNotBlockConvergence(t *testing.T) {
+	// Wait-freedom under crashes: any number of processes may halt;
+	// the survivors still converge among themselves.
+	net := transport.NewSim(transport.SimOptions{N: 4, Seed: 9})
+	reps := Cluster(4, spec.Set(), net, ClusterOptions{})
+	reps[0].Update(spec.Ins{V: "a"})
+	net.Quiesce()
+	net.Crash(3)
+	reps[1].Update(spec.Ins{V: "b"})
+	reps[2].Update(spec.Del{V: "a"})
+	net.Crash(2) // crash after its broadcast was handed to the network
+	net.Quiesce()
+	want := reps[0].StateKey()
+	if got := reps[1].StateKey(); got != want {
+		t.Fatalf("survivors diverged: %s vs %s", got, want)
+	}
+	if want != "{b}" {
+		t.Fatalf("survivors state = %s, want {b}", want)
+	}
+}
+
+func TestPartialBroadcastCrashNeedsURB(t *testing.T) {
+	// With best-effort broadcast, a crash mid-broadcast may leave the
+	// survivors diverged; with URB it cannot (the relay repairs it).
+	diverged := false
+	for seed := int64(0); seed < 200 && !diverged; seed++ {
+		net := transport.NewSim(transport.SimOptions{N: 3, Seed: seed})
+		reps := Cluster(3, spec.Set(), net, ClusterOptions{})
+		reps[0].Update(spec.Ins{V: "x"})
+		net.StepN(1) // one copy reaches someone, then the sender dies
+		net.CrashPartialBroadcast(0, 0)
+		net.Quiesce()
+		if reps[1].StateKey() != reps[2].StateKey() {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatalf("best-effort broadcast never diverged under partial crash")
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		base := transport.NewSim(transport.SimOptions{N: 3, Seed: seed})
+		urb := transport.NewURB(base, 3)
+		reps := Cluster(3, spec.Set(), urb, ClusterOptions{})
+		reps[0].Update(spec.Ins{V: "x"})
+		base.StepN(1)
+		base.CrashPartialBroadcast(0, 0.5)
+		base.Quiesce()
+		if reps[1].StateKey() != reps[2].StateKey() {
+			t.Fatalf("seed %d: URB survivors diverged: %s vs %s",
+				seed, reps[1].StateKey(), reps[2].StateKey())
+		}
+	}
+}
+
+func TestClusterOnAtLeastOnceChannelNeedsURB(t *testing.T) {
+	// Raw duplicating network: the replica's duplicate-timestamp guard
+	// fires (the algorithm's exactly-once assumption is violated).
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("expected duplicate-timestamp panic without URB")
+			}
+		}()
+		for seed := int64(0); seed < 50; seed++ {
+			net := transport.NewSim(transport.SimOptions{N: 2, Seed: seed, DuplicateProb: 0.9})
+			reps := Cluster(2, spec.Set(), net, ClusterOptions{})
+			for k := 0; k < 10; k++ {
+				reps[0].Update(spec.Ins{V: "x"})
+			}
+			net.Quiesce()
+		}
+	}()
+	// With URB layered in, duplicates are absorbed and the cluster
+	// converges.
+	for seed := int64(0); seed < 20; seed++ {
+		base := transport.NewSim(transport.SimOptions{N: 2, Seed: seed, DuplicateProb: 0.5})
+		urb := transport.NewURB(base, 2)
+		reps := Cluster(2, spec.Set(), urb, ClusterOptions{})
+		reps[0].Update(spec.Ins{V: "a"})
+		reps[1].Update(spec.Del{V: "a"})
+		base.Quiesce()
+		if reps[0].StateKey() != reps[1].StateKey() {
+			t.Fatalf("seed %d: URB cluster diverged", seed)
+		}
+	}
+}
+
+func TestLiveClusterUnderRace(t *testing.T) {
+	// Concurrent goroutine workload on the live transport; run with
+	// -race in CI. Convergence after drain.
+	const n = 3
+	net := transport.NewLive(n)
+	defer net.Close()
+	reps := Cluster(n, spec.Set(), net, ClusterOptions{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < 30; k++ {
+				if k%3 == 0 {
+					reps[id].Update(spec.Del{V: fmt.Sprint(k % 5)})
+				} else {
+					reps[id].Update(spec.Ins{V: fmt.Sprint(k % 5)})
+				}
+				if k%7 == 0 {
+					reps[id].Query(spec.Read{})
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	net.Drain()
+	want := reps[0].StateKey()
+	for _, r := range reps[1:] {
+		if got := r.StateKey(); got != want {
+			t.Fatalf("live cluster diverged: %s vs %s", got, want)
+		}
+	}
+}
+
+func TestWireCodecRoundTrip(t *testing.T) {
+	net := transport.NewSim(transport.SimOptions{N: 1, Seed: 0})
+	r := NewReplica(Config{ID: 0, N: 1, ADT: spec.Set(), Net: net})
+	f := func(cl uint64, ins bool, v string) bool {
+		var u spec.Update
+		if ins {
+			u = spec.Ins{V: v}
+		} else {
+			u = spec.Del{V: v}
+		}
+		ts := clock.Timestamp{Clock: cl % 1000000, Proc: 0}
+		payload := r.encode(ts, u)
+		ts2, u2, err := r.decode(payload)
+		return err == nil && ts2 == ts && u2 == u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsCorruptMessages(t *testing.T) {
+	net := transport.NewSim(transport.SimOptions{N: 1, Seed: 0})
+	r := NewReplica(Config{ID: 0, N: 1, ADT: spec.Set(), Net: net})
+	bad := [][]byte{
+		{},
+		{0x01},             // timestamp truncated after the clock
+		{0x01, 0x00, 0x05}, // unknown set-update tag 0x05
+	}
+	for _, b := range bad {
+		if _, _, err := r.decode(b); err == nil {
+			t.Fatalf("decode(%v) should fail", b)
+		}
+	}
+}
+
+func TestReplicaStats(t *testing.T) {
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 1})
+	reps := Cluster(2, spec.Set(), net, ClusterOptions{})
+	reps[0].Update(spec.Ins{V: "a"})
+	reps[1].Update(spec.Ins{V: "b"})
+	net.Quiesce()
+	s := reps[0].Stats()
+	if s.TotalOps != 2 || s.LogLen != 2 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+	if s.Clock == 0 {
+		t.Fatalf("clock did not advance")
+	}
+}
+
+func TestNonCodecSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for spec without codec")
+		}
+	}()
+	net := transport.NewSim(transport.SimOptions{N: 1, Seed: 0})
+	NewReplica(Config{ID: 0, N: 1, ADT: codecSansCodec(), Net: net})
+}
+
+// codecSansCodec hides CounterSpec's codec behind a wrapper that only
+// exposes the UQADT surface.
+func codecSansCodec() spec.UQADT {
+	return struct {
+		spec.UQADT
+	}{spec.Counter()}
+}

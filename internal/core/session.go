@@ -1,0 +1,128 @@
+package core
+
+import (
+	"updatec/internal/clock"
+	"updatec/internal/spec"
+)
+
+// Session provides per-client *session guarantees* on top of update
+// consistent replicas: read-your-writes and monotonic reads, preserved
+// across failover from one replica to another. Update consistency is a
+// convergence guarantee — it says nothing about which prefix of the
+// update stream a given replica has seen at a given moment, so a
+// client that switches replicas mid-session could observe a state
+// missing updates it already saw (or issued). A Session tracks, per
+// originating process, the highest update timestamp the client has
+// observed; a replica can serve the session only when its log covers
+// that vector.
+//
+// The check is sound on FIFO transports: a process's update timestamps
+// strictly increase, so "the replica's log contains an update of
+// origin j with clock ≥ v[j]" implies it contains every update of j
+// with clock ≤ v[j].
+//
+// Sessions keep operations wait-free: TryQuery never blocks — it
+// reports a stale replica instead, and the client chooses to retry,
+// switch replicas, or accept the stale read.
+type Session struct {
+	r   *Replica
+	vec clock.Vector
+}
+
+// NewSession starts a session against the given replica.
+func NewSession(r *Replica) *Session {
+	return &Session{r: r, vec: clock.NewVector(r.n)}
+}
+
+// Replica returns the session's current replica.
+func (s *Session) Replica() *Replica { return s.r }
+
+// Switch fails the session over to another replica of the same
+// cluster. The next TryQuery succeeds only once the new replica has
+// caught up with everything this session observed.
+func (s *Session) Switch(r *Replica) { s.r = r }
+
+// Update issues an update through the session's replica and folds its
+// timestamp into the session vector (read-your-writes).
+func (s *Session) Update(u spec.Update) {
+	ts := s.r.UpdateTimestamped(u)
+	s.observe(ts)
+}
+
+// TryQuery evaluates the query if the replica covers the session's
+// observation vector; otherwise it returns ok = false without
+// blocking. On success the session vector absorbs the replica's
+// current coverage (monotonic reads).
+func (s *Session) TryQuery(in spec.QueryInput) (out spec.QueryOutput, ok bool) {
+	cov, covered := s.r.covers(s.vec)
+	if !covered {
+		return nil, false
+	}
+	out = s.r.Query(in)
+	s.vec.Merge(cov)
+	return out, true
+}
+
+func (s *Session) observe(ts clock.Timestamp) {
+	if ts.Proc >= 0 && ts.Proc < len(s.vec) && ts.Clock > s.vec[ts.Proc] {
+		s.vec[ts.Proc] = ts.Clock
+	}
+}
+
+// UpdateTimestamped is Update returning the timestamp assigned to the
+// update; sessions use it to record their own writes.
+func (r *Replica) UpdateTimestamped(u spec.Update) clock.Timestamp {
+	r.mu.Lock()
+	cl := r.clk.Tick()
+	if r.stab != nil {
+		r.stab.ObserveSelf(cl)
+	}
+	ts := clock.Timestamp{Clock: cl, Proc: r.id}
+	payload := r.encode(ts, u)
+	if r.rec != nil {
+		r.rec.Update(r.id, u)
+	}
+	r.mu.Unlock()
+	r.net.Broadcast(r.id, payload)
+	return ts
+}
+
+// Coverage returns the replica's per-origin coverage vector: for each
+// process j, a clock c such that the replica holds every update of j
+// with clock ≤ c.
+func (r *Replica) Coverage() clock.Vector {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, baseTS := r.log.Base()
+	cov := r.originMax.Clone()
+	for j := range cov {
+		if baseTS.Clock > cov[j] {
+			cov[j] = baseTS.Clock
+		}
+	}
+	return cov
+}
+
+// covers reports whether the replica's log (including its compacted
+// prefix) contains every update the vector describes: for each origin
+// j, all of j's updates with clock ≤ v[j]. The compacted base holds
+// *every* update below the horizon clock, whatever its origin, so
+// coverage per origin is max(originMax[j], horizon). It returns the
+// replica's own coverage vector for the session to absorb.
+func (r *Replica) covers(v clock.Vector) (clock.Vector, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, baseTS := r.log.Base()
+	cov := r.originMax.Clone()
+	for j := range cov {
+		if baseTS.Clock > cov[j] {
+			cov[j] = baseTS.Clock
+		}
+	}
+	for j := range v {
+		if v[j] > cov[j] {
+			return nil, false
+		}
+	}
+	return cov, true
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"updatec/internal/spec"
+	"updatec/internal/transport"
+)
+
+func TestSessionReadYourWrites(t *testing.T) {
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 1})
+	reps := Cluster(2, spec.Set(), net, ClusterOptions{})
+	sess := NewSession(reps[0])
+	sess.Update(spec.Ins{V: "mine"})
+	out, ok := sess.TryQuery(spec.Read{})
+	if !ok {
+		t.Fatalf("own replica must serve immediately")
+	}
+	if out.(spec.Elems).String() != "{mine}" {
+		t.Fatalf("read-your-writes violated: %v", out)
+	}
+}
+
+func TestSessionFailoverBlocksStaleReplica(t *testing.T) {
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 2})
+	reps := Cluster(2, spec.Set(), net, ClusterOptions{})
+	sess := NewSession(reps[0])
+	sess.Update(spec.Ins{V: "x"})
+	// Fail over before the broadcast reaches replica 1.
+	sess.Switch(reps[1])
+	if _, ok := sess.TryQuery(spec.Read{}); ok {
+		t.Fatalf("stale replica served a session that wrote x")
+	}
+	net.Quiesce()
+	out, ok := sess.TryQuery(spec.Read{})
+	if !ok {
+		t.Fatalf("caught-up replica must serve")
+	}
+	if out.(spec.Elems).String() != "{x}" {
+		t.Fatalf("failover read wrong: %v", out)
+	}
+}
+
+func TestSessionMonotonicReadsAcrossFailover(t *testing.T) {
+	net := transport.NewSim(transport.SimOptions{N: 3, Seed: 3})
+	reps := Cluster(3, spec.Set(), net, ClusterOptions{})
+	// Replica 2 issues an update; only replica 0 receives it yet.
+	reps[2].Update(spec.Ins{V: "seen"})
+	for net.Pending() > 1 {
+		if !net.Step() {
+			break
+		}
+	}
+	// Find a replica that has the update and one that does not.
+	var fresh, stale *Replica
+	for _, r := range reps[:2] {
+		if r.StateKey() == "{seen}" {
+			fresh = r
+		} else {
+			stale = r
+		}
+	}
+	if fresh == nil || stale == nil {
+		t.Skip("delivery order did not split the replicas")
+	}
+	sess := NewSession(fresh)
+	if _, ok := sess.TryQuery(spec.Read{}); !ok {
+		t.Fatalf("fresh replica must serve")
+	}
+	// Monotonic reads: the stale replica must refuse the session.
+	sess.Switch(stale)
+	if _, ok := sess.TryQuery(spec.Read{}); ok {
+		t.Fatalf("session read went backwards")
+	}
+	net.Quiesce()
+	if _, ok := sess.TryQuery(spec.Read{}); !ok {
+		t.Fatalf("converged replica must serve")
+	}
+}
+
+func TestSessionWithCompactedReplica(t *testing.T) {
+	// Coverage must account for the compacted prefix: a replica whose
+	// log was GC'd still covers sessions that observed old updates.
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 4, FIFO: true})
+	reps := Cluster(2, spec.Set(), net, ClusterOptions{GC: true, GCEvery: 4})
+	sess := NewSession(reps[0])
+	for k := 0; k < 30; k++ {
+		sess.Update(spec.Ins{V: fmt.Sprint(k % 3)})
+		net.StepN(3)
+	}
+	net.Quiesce()
+	reps[1].ForceCompact()
+	if reps[1].Stats().Compacted == 0 {
+		t.Fatalf("test needs a compacted target replica")
+	}
+	sess.Switch(reps[1])
+	if _, ok := sess.TryQuery(spec.Read{}); !ok {
+		t.Fatalf("compacted replica wrongly refused a covered session")
+	}
+}
+
+// TestQuickSessionNeverReadsBackwards: under arbitrary schedules and
+// failovers, every successful session read is served by a replica
+// whose per-origin coverage dominates the coverage of the previous
+// successful read — the session never observes a past that "forgot"
+// an update it saw. (Total op counts are NOT monotone across failover:
+// a covering replica may lack updates the session never observed.)
+func TestQuickSessionNeverReadsBackwards(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 3
+		net := transport.NewSim(transport.SimOptions{N: n, Seed: seed})
+		reps := Cluster(n, spec.Counter(), net, ClusterOptions{})
+		rng := rand.New(rand.NewSource(seed))
+		sess := NewSession(reps[0])
+		var prevCov []uint64
+		for step := 0; step < 40; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				reps[rng.Intn(n)].Update(spec.Add{N: 1})
+			case 1:
+				sess.Update(spec.Add{N: 1})
+			case 2:
+				net.StepN(rng.Intn(3))
+			case 3:
+				target := reps[rng.Intn(n)]
+				sess.Switch(target)
+				if _, ok := sess.TryQuery(spec.Read{}); ok {
+					cov := target.Coverage()
+					for j := range prevCov {
+						if cov[j] < prevCov[j] {
+							return false
+						}
+					}
+					prevCov = cov
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateTimestampedMatchesLog(t *testing.T) {
+	net := transport.NewSim(transport.SimOptions{N: 1, Seed: 0})
+	r := NewReplica(Config{ID: 0, N: 1, ADT: spec.Set(), Net: net})
+	ts := r.UpdateTimestamped(spec.Ins{V: "a"})
+	entries := r.log.Entries()
+	if len(entries) != 1 || entries[0].TS != ts {
+		t.Fatalf("returned timestamp %v does not match log %v", ts, entries)
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"updatec/internal/clock"
+	"updatec/internal/spec"
+)
+
+// State transfer. The paper's model fixes the process set, but its
+// motivation (§II) includes peer-to-peer systems "where peers may join
+// and leave". A joining or recovering replica does not need to replay
+// the network's entire message history: any existing replica can hand
+// it a Snapshot — the compacted base state (if any), the live
+// timestamped update log, and the clock — after which the newcomer is
+// exactly as converged as its donor and continues from live traffic.
+//
+// Snapshots are self-delimiting byte strings:
+//
+//	uvarint clock
+//	uvarint baseLen  (0 when nothing was compacted)
+//	[ baseTS, uvarint len(baseState), baseState ]   when baseLen > 0
+//	uvarint entryCount
+//	entryCount × ( timestamp, uvarint opLen, op )
+//
+// Encoding the base state requires the spec to implement
+// spec.StateCodec; uncompacted replicas need only the update codec.
+
+// Snapshot serializes the replica's replicated state.
+func (r *Replica) Snapshot() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var buf bytes.Buffer
+	var lenb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenb[:], r.clk.Now())
+	buf.Write(lenb[:n])
+
+	base, baseTS := r.log.Base()
+	n = binary.PutUvarint(lenb[:], uint64(r.log.TotalLen()-r.log.Len()))
+	buf.Write(lenb[:n])
+	if base != nil {
+		sc, ok := r.adt.(spec.StateCodec)
+		if !ok {
+			return nil, fmt.Errorf("core: %s has a compacted log but no spec.StateCodec; cannot snapshot", r.adt.Name())
+		}
+		stateBytes, err := sc.EncodeState(base)
+		if err != nil {
+			return nil, fmt.Errorf("core: encoding base state: %w", err)
+		}
+		buf.Write(baseTS.Encode(nil))
+		n = binary.PutUvarint(lenb[:], uint64(len(stateBytes)))
+		buf.Write(lenb[:n])
+		buf.Write(stateBytes)
+	}
+
+	entries := r.log.Entries()
+	n = binary.PutUvarint(lenb[:], uint64(len(entries)))
+	buf.Write(lenb[:n])
+	for _, e := range entries {
+		op, err := r.codec.EncodeUpdate(e.U)
+		if err != nil {
+			return nil, fmt.Errorf("core: encoding log entry: %w", err)
+		}
+		buf.Write(e.TS.Encode(nil))
+		n = binary.PutUvarint(lenb[:], uint64(len(op)))
+		buf.Write(lenb[:n])
+		buf.Write(op)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore installs a snapshot into a *fresh* replica (no updates
+// observed yet). The replica's clock is lifted to the snapshot clock
+// so its future updates are ordered after everything it absorbed.
+func (r *Replica) Restore(snap []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.log.TotalLen() != 0 {
+		return fmt.Errorf("core: Restore requires a fresh replica (log has %d updates)", r.log.TotalLen())
+	}
+	cl, off := binary.Uvarint(snap)
+	if off <= 0 {
+		return fmt.Errorf("core: malformed snapshot clock")
+	}
+	baseLen, n := binary.Uvarint(snap[off:])
+	if n <= 0 {
+		return fmt.Errorf("core: malformed snapshot base length")
+	}
+	off += n
+	if baseLen > 0 {
+		sc, ok := r.adt.(spec.StateCodec)
+		if !ok {
+			return fmt.Errorf("core: snapshot has a base state but %s lacks spec.StateCodec", r.adt.Name())
+		}
+		baseTS, m, err := clock.DecodeTimestamp(snap[off:])
+		if err != nil {
+			return fmt.Errorf("core: malformed snapshot base timestamp: %w", err)
+		}
+		off += m
+		stateLen, m2 := binary.Uvarint(snap[off:])
+		if m2 <= 0 || uint64(len(snap)-off-m2) < stateLen {
+			return fmt.Errorf("core: truncated snapshot base state")
+		}
+		off += m2
+		base, err := sc.DecodeState(snap[off : off+int(stateLen)])
+		if err != nil {
+			return fmt.Errorf("core: decoding snapshot base state: %w", err)
+		}
+		off += int(stateLen)
+		r.log.RestoreBase(base, baseTS, int(baseLen))
+	}
+	count, n := binary.Uvarint(snap[off:])
+	if n <= 0 {
+		return fmt.Errorf("core: malformed snapshot entry count")
+	}
+	off += n
+	for i := uint64(0); i < count; i++ {
+		ts, m, err := clock.DecodeTimestamp(snap[off:])
+		if err != nil {
+			return fmt.Errorf("core: malformed snapshot entry %d: %w", i, err)
+		}
+		off += m
+		opLen, m2 := binary.Uvarint(snap[off:])
+		if m2 <= 0 || uint64(len(snap)-off-m2) < opLen {
+			return fmt.Errorf("core: truncated snapshot entry %d", i)
+		}
+		off += m2
+		u, err := r.codec.DecodeUpdate(snap[off : off+int(opLen)])
+		if err != nil {
+			return fmt.Errorf("core: decoding snapshot entry %d: %w", i, err)
+		}
+		off += int(opLen)
+		r.log.Insert(Entry{TS: ts, U: u})
+		if ts.Proc >= 0 && ts.Proc < len(r.originMax) && ts.Clock > r.originMax[ts.Proc] {
+			r.originMax[ts.Proc] = ts.Clock
+		}
+	}
+	r.clk.Observe(cl)
+	if r.stab != nil {
+		r.stab.ObserveSelf(cl)
+	}
+	r.engine.Bind(r.adt, r.log)
+	return nil
+}
+
+// RestoreBase installs a compacted prefix into an empty log (state
+// transfer only).
+func (l *Log) RestoreBase(base spec.State, baseTS clock.Timestamp, baseLen int) {
+	if l.TotalLen() != 0 {
+		panic("core: RestoreBase requires an empty log")
+	}
+	l.base = base
+	l.baseTS = baseTS
+	l.baseLen = baseLen
+}

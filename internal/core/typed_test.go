@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"updatec/internal/spec"
+	"updatec/internal/transport"
+)
+
+// typedCluster builds n typed replicas over a fresh deterministic
+// network.
+func typedCluster[T any](n int, adt spec.UQADT, wrap func(*Replica) T) ([]T, *transport.SimNetwork) {
+	net := transport.NewSim(transport.SimOptions{N: n, Seed: 42})
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		out[i] = wrap(NewReplica(Config{ID: i, N: n, ADT: adt, Net: net}))
+	}
+	return out, net
+}
+
+func TestTypedSet(t *testing.T) {
+	sets, net := typedCluster(2, spec.Set(), NewSet)
+	sets[0].Insert("a")
+	sets[1].Insert("b")
+	sets[1].Delete("a") // concurrent with the insert of a
+	net.Quiesce()
+	a, b := sets[0].Elements(), sets[1].Elements()
+	if len(a) != len(b) {
+		t.Fatalf("diverged: %v vs %v", a, b)
+	}
+	if !sets[0].Contains("b") || !sets[1].Contains("b") {
+		t.Fatalf("b must be present everywhere")
+	}
+	if sets[0].Contains("a") != sets[1].Contains("a") {
+		t.Fatalf("disagreement on a")
+	}
+}
+
+func TestTypedCounter(t *testing.T) {
+	ctrs, net := typedCluster(3, spec.Counter(), NewCounter)
+	ctrs[0].Inc()
+	ctrs[1].Add(10)
+	ctrs[2].Dec()
+	net.Quiesce()
+	for i, c := range ctrs {
+		if got := c.Value(); got != 10 {
+			t.Fatalf("counter %d = %d, want 10", i, got)
+		}
+	}
+}
+
+func TestTypedRegister(t *testing.T) {
+	regs, net := typedCluster(2, spec.Register("init"), NewRegister)
+	if got := regs[0].Read(); got != "init" {
+		t.Fatalf("initial: %s", got)
+	}
+	regs[0].Write("a")
+	regs[1].Write("b")
+	net.Quiesce()
+	if regs[0].Read() != regs[1].Read() {
+		t.Fatalf("registers diverged: %s vs %s", regs[0].Read(), regs[1].Read())
+	}
+}
+
+func TestTypedTextLog(t *testing.T) {
+	logs, net := typedCluster(2, spec.Log(), NewTextLog)
+	logs[0].Append("alice: hi")
+	logs[1].Append("bob: hello")
+	logs[0].Append("alice: bye")
+	net.Quiesce()
+	a, b := logs[0].Lines(), logs[1].Lines()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("line counts: %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("documents diverged at line %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTypedKV(t *testing.T) {
+	kvs, net := typedCluster(2, spec.Memory(""), NewKV)
+	kvs[0].Put("user:1", "alice")
+	kvs[1].Put("user:2", "bob")
+	kvs[1].Put("user:1", "carol") // concurrent with replica 0's write
+	net.Quiesce()
+	if kvs[0].Get("user:1") != kvs[1].Get("user:1") {
+		t.Fatalf("kv diverged on user:1")
+	}
+	if got := kvs[0].Get("user:2"); got != "bob" {
+		t.Fatalf("user:2 = %q", got)
+	}
+}
+
+func TestTypedWrappersRejectWrongSpec(t *testing.T) {
+	net := transport.NewSim(transport.SimOptions{N: 1, Seed: 0})
+	r := NewReplica(Config{ID: 0, N: 1, ADT: spec.Set(), Net: net})
+	for name, fn := range map[string]func(){
+		"counter":  func() { NewCounter(r) },
+		"register": func() { NewRegister(r) },
+		"textlog":  func() { NewTextLog(r) },
+		"kv":       func() { NewKV(r) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s wrapper accepted a set replica", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// The matching wrapper must not panic and must expose the replica.
+	if NewSet(r).Replica() != r {
+		t.Fatalf("NewSet must wrap the given replica")
+	}
+}
+
+func TestTypedSetWithEnginesAndGC(t *testing.T) {
+	// The typed façade composes with engines and GC.
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 7, FIFO: true})
+	reps := Cluster(2, spec.Set(), net, ClusterOptions{
+		NewEngine: func() Engine { return NewUndoEngine() },
+		GC:        true, GCEvery: 4,
+	})
+	s0, s1 := NewSet(reps[0]), NewSet(reps[1])
+	for k := 0; k < 40; k++ {
+		if k%2 == 0 {
+			s0.Insert("x")
+		} else {
+			s1.Delete("x")
+		}
+		net.StepN(2)
+	}
+	net.Quiesce()
+	if got, want := reps[0].StateKey(), reps[1].StateKey(); got != want {
+		t.Fatalf("diverged: %s vs %s", got, want)
+	}
+}

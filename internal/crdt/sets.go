@@ -1,0 +1,510 @@
+package crdt
+
+import (
+	"fmt"
+
+	"updatec/internal/transport"
+)
+
+// NaiveSet applies insertions and deletions in delivery order with no
+// conflict resolution. It is wait-free and pipelined consistent on a
+// FIFO transport, but NOT eventually consistent: two replicas that
+// receive concurrent I(x)/D(x) in different orders diverge forever.
+// Proposition 1 proves this is not an implementation bug but a
+// fundamental trade-off — experiment E3 demonstrates it with this
+// type.
+type NaiveSet struct {
+	base
+	present map[string]bool
+}
+
+// NewNaiveSet attaches a naive eager set replica to the transport.
+func NewNaiveSet(id int, net transport.Network) *NaiveSet {
+	s := &NaiveSet{base: base{id: id, net: net}, present: map[string]bool{}}
+	s.attach(s.handle)
+	return s
+}
+
+// Name implements ReplicatedSet.
+func (*NaiveSet) Name() string { return "eager" }
+
+// SupportsDelete implements ReplicatedSet.
+func (*NaiveSet) SupportsDelete() bool { return true }
+
+// Insert implements ReplicatedSet.
+func (s *NaiveSet) Insert(v string) {
+	s.net.Broadcast(s.id, mustMarshal(setMsg{Kind: "add", V: v}))
+}
+
+// Delete implements ReplicatedSet.
+func (s *NaiveSet) Delete(v string) {
+	s.net.Broadcast(s.id, mustMarshal(setMsg{Kind: "rem", V: v}))
+}
+
+func (s *NaiveSet) handle(_ int, payload []byte) {
+	m := mustUnmarshal(payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch m.Kind {
+	case "add":
+		s.present[m.V] = true
+	case "rem":
+		delete(s.present, m.V)
+	}
+}
+
+// Elements implements ReplicatedSet.
+func (s *NaiveSet) Elements() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sortedKeys(s.present)
+}
+
+// StateKey implements ReplicatedSet.
+func (s *NaiveSet) StateKey() string { return elemsKey(s.Elements()) }
+
+// GSet is the grow-only set [9]: insertions only. All updates commute,
+// so eager application converges — the simplest CRDT.
+type GSet struct {
+	base
+	present map[string]bool
+}
+
+// NewGSet attaches a G-Set replica to the transport.
+func NewGSet(id int, net transport.Network) *GSet {
+	s := &GSet{base: base{id: id, net: net}, present: map[string]bool{}}
+	s.attach(s.handle)
+	return s
+}
+
+// Name implements ReplicatedSet.
+func (*GSet) Name() string { return "g-set" }
+
+// SupportsDelete implements ReplicatedSet.
+func (*GSet) SupportsDelete() bool { return false }
+
+// Insert implements ReplicatedSet.
+func (s *GSet) Insert(v string) {
+	s.net.Broadcast(s.id, mustMarshal(setMsg{Kind: "add", V: v}))
+}
+
+// Delete implements ReplicatedSet; the G-Set has no deletions.
+func (s *GSet) Delete(string) {
+	panic("crdt: G-Set does not support deletion")
+}
+
+func (s *GSet) handle(_ int, payload []byte) {
+	m := mustUnmarshal(payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.Kind == "add" {
+		s.present[m.V] = true
+	}
+}
+
+// Elements implements ReplicatedSet.
+func (s *GSet) Elements() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sortedKeys(s.present)
+}
+
+// StateKey implements ReplicatedSet.
+func (s *GSet) StateKey() string { return elemsKey(s.Elements()) }
+
+// TwoPhaseSet is the 2P-Set (U-Set) [18]: a white list of insertions
+// and a black list of deletions, both grow-only. An element once
+// deleted can never be re-inserted; concurrent insert/delete resolves
+// in favor of the deletion.
+type TwoPhaseSet struct {
+	base
+	added   map[string]bool
+	removed map[string]bool
+}
+
+// NewTwoPhaseSet attaches a 2P-Set replica to the transport.
+func NewTwoPhaseSet(id int, net transport.Network) *TwoPhaseSet {
+	s := &TwoPhaseSet{
+		base:  base{id: id, net: net},
+		added: map[string]bool{}, removed: map[string]bool{},
+	}
+	s.attach(s.handle)
+	return s
+}
+
+// Name implements ReplicatedSet.
+func (*TwoPhaseSet) Name() string { return "2p-set" }
+
+// SupportsDelete implements ReplicatedSet.
+func (*TwoPhaseSet) SupportsDelete() bool { return true }
+
+// Insert implements ReplicatedSet.
+func (s *TwoPhaseSet) Insert(v string) {
+	s.net.Broadcast(s.id, mustMarshal(setMsg{Kind: "add", V: v}))
+}
+
+// Delete implements ReplicatedSet.
+func (s *TwoPhaseSet) Delete(v string) {
+	s.net.Broadcast(s.id, mustMarshal(setMsg{Kind: "rem", V: v}))
+}
+
+func (s *TwoPhaseSet) handle(_ int, payload []byte) {
+	m := mustUnmarshal(payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch m.Kind {
+	case "add":
+		s.added[m.V] = true
+	case "rem":
+		s.removed[m.V] = true
+	}
+}
+
+// Elements implements ReplicatedSet.
+func (s *TwoPhaseSet) Elements() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, v := range sortedKeys(s.added) {
+		if !s.removed[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// StateKey implements ReplicatedSet.
+func (s *TwoPhaseSet) StateKey() string { return elemsKey(s.Elements()) }
+
+// PNSet attaches a signed counter to every element [9]: insert
+// broadcasts +1, delete broadcasts −1, the element is present while
+// its counter is positive. Counter updates commute, but the observable
+// semantics surprise users: inserting twice requires deleting twice,
+// and a delete-without-insert drives the counter negative.
+type PNSet struct {
+	base
+	counts map[string]int64
+}
+
+// NewPNSet attaches a PN-Set replica to the transport.
+func NewPNSet(id int, net transport.Network) *PNSet {
+	s := &PNSet{base: base{id: id, net: net}, counts: map[string]int64{}}
+	s.attach(s.handle)
+	return s
+}
+
+// Name implements ReplicatedSet.
+func (*PNSet) Name() string { return "pn-set" }
+
+// SupportsDelete implements ReplicatedSet.
+func (*PNSet) SupportsDelete() bool { return true }
+
+// Insert implements ReplicatedSet.
+func (s *PNSet) Insert(v string) {
+	s.net.Broadcast(s.id, mustMarshal(setMsg{Kind: "add", V: v, N: 1}))
+}
+
+// Delete implements ReplicatedSet.
+func (s *PNSet) Delete(v string) {
+	s.net.Broadcast(s.id, mustMarshal(setMsg{Kind: "rem", V: v, N: -1}))
+}
+
+func (s *PNSet) handle(_ int, payload []byte) {
+	m := mustUnmarshal(payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counts[m.V] += m.N
+}
+
+// Elements implements ReplicatedSet.
+func (s *PNSet) Elements() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, v := range sortedKeys(s.counts) {
+		if s.counts[v] > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// StateKey implements ReplicatedSet.
+func (s *PNSet) StateKey() string { return elemsKey(s.Elements()) }
+
+// CSet is the commutative set of Aslan et al. [19]: like the PN-Set it
+// counts per element, but the delta of each operation is computed from
+// the issuing replica's local count so that a locally observed state
+// change always happens (insert on an absent element brings the count
+// to exactly one, delete on a present element to exactly zero).
+// Operations that would not change the local state broadcast nothing.
+type CSet struct {
+	base
+	counts map[string]int64
+}
+
+// NewCSet attaches a C-Set replica to the transport.
+func NewCSet(id int, net transport.Network) *CSet {
+	s := &CSet{base: base{id: id, net: net}, counts: map[string]int64{}}
+	s.attach(s.handle)
+	return s
+}
+
+// Name implements ReplicatedSet.
+func (*CSet) Name() string { return "c-set" }
+
+// SupportsDelete implements ReplicatedSet.
+func (*CSet) SupportsDelete() bool { return true }
+
+// Insert implements ReplicatedSet.
+func (s *CSet) Insert(v string) {
+	s.mu.Lock()
+	delta := int64(0)
+	if c := s.counts[v]; c <= 0 {
+		delta = 1 - c
+	}
+	s.mu.Unlock()
+	if delta != 0 {
+		s.net.Broadcast(s.id, mustMarshal(setMsg{Kind: "add", V: v, N: delta}))
+	}
+}
+
+// Delete implements ReplicatedSet.
+func (s *CSet) Delete(v string) {
+	s.mu.Lock()
+	delta := int64(0)
+	if c := s.counts[v]; c > 0 {
+		delta = -c
+	}
+	s.mu.Unlock()
+	if delta != 0 {
+		s.net.Broadcast(s.id, mustMarshal(setMsg{Kind: "rem", V: v, N: delta}))
+	}
+}
+
+func (s *CSet) handle(_ int, payload []byte) {
+	m := mustUnmarshal(payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counts[m.V] += m.N
+}
+
+// Elements implements ReplicatedSet.
+func (s *CSet) Elements() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, v := range sortedKeys(s.counts) {
+		if s.counts[v] > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// StateKey implements ReplicatedSet.
+func (s *CSet) StateKey() string { return elemsKey(s.Elements()) }
+
+// ORSet is the Observed-Remove set [9], [20] — the best documented set
+// CRDT, whose concurrent specification is the Insert-wins set of
+// Definition 10. Every insertion carries a globally unique tag; a
+// deletion black-lists exactly the tags it has observed. An element is
+// present while it has a live (inserted, not black-listed) tag, so a
+// concurrent insert always survives a concurrent delete.
+type ORSet struct {
+	base
+	n       int
+	nextTag uint64
+	live    map[string]map[string]bool // element -> live tags
+	removed map[string]bool            // black-listed tags
+}
+
+// NewORSet attaches an OR-Set replica to the transport.
+func NewORSet(id int, net transport.Network) *ORSet {
+	s := &ORSet{
+		base: base{id: id, net: net},
+		live: map[string]map[string]bool{}, removed: map[string]bool{},
+	}
+	s.attach(s.handle)
+	return s
+}
+
+// Name implements ReplicatedSet.
+func (*ORSet) Name() string { return "or-set" }
+
+// SupportsDelete implements ReplicatedSet.
+func (*ORSet) SupportsDelete() bool { return true }
+
+// Insert implements ReplicatedSet.
+func (s *ORSet) Insert(v string) {
+	s.mu.Lock()
+	s.nextTag++
+	tag := fmt.Sprintf("%d.%d", s.id, s.nextTag)
+	s.mu.Unlock()
+	s.net.Broadcast(s.id, mustMarshal(setMsg{Kind: "add", V: v, Tag: tag}))
+}
+
+// Delete implements ReplicatedSet: it black-lists the currently
+// observed tags of v; unobserved concurrent insertions win.
+func (s *ORSet) Delete(v string) {
+	s.mu.Lock()
+	var tags []string
+	for tag := range s.live[v] {
+		tags = append(tags, tag)
+	}
+	s.mu.Unlock()
+	s.net.Broadcast(s.id, mustMarshal(setMsg{Kind: "rem", V: v, Tags: tags}))
+}
+
+func (s *ORSet) handle(_ int, payload []byte) {
+	m := mustUnmarshal(payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch m.Kind {
+	case "add":
+		if s.removed[m.Tag] {
+			return // the remove overtook the add
+		}
+		if s.live[m.V] == nil {
+			s.live[m.V] = map[string]bool{}
+		}
+		s.live[m.V][m.Tag] = true
+	case "rem":
+		for _, tag := range m.Tags {
+			s.removed[tag] = true
+			if set := s.live[m.V]; set != nil {
+				delete(set, tag)
+				if len(set) == 0 {
+					delete(s.live, m.V)
+				}
+			}
+		}
+	}
+}
+
+// Elements implements ReplicatedSet.
+func (s *ORSet) Elements() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, v := range sortedKeys(s.live) {
+		if len(s.live[v]) > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// StateKey implements ReplicatedSet.
+func (s *ORSet) StateKey() string { return elemsKey(s.Elements()) }
+
+// TombstoneCount reports the black-list size — the space cost the
+// paper alludes to when noting an OR-set "in some cases may have a
+// better space complexity than update consistency" (and in others,
+// worse).
+func (s *ORSet) TombstoneCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.removed)
+}
+
+// LWWSet is the last-writer-wins element set [9]: each element keeps
+// the timestamps of its latest insertion and deletion; the element is
+// present when the insertion is newer. Timestamps are Lamport clocks
+// with process-id tie-break, so concurrent conflicts resolve by an
+// arbitrary but convergent total order.
+type LWWSet struct {
+	base
+	clock uint64
+	addTS map[string][2]uint64 // element -> (clock, pid) of latest add
+	remTS map[string][2]uint64
+}
+
+// NewLWWSet attaches an LWW-element-Set replica to the transport.
+func NewLWWSet(id int, net transport.Network) *LWWSet {
+	s := &LWWSet{
+		base:  base{id: id, net: net},
+		addTS: map[string][2]uint64{}, remTS: map[string][2]uint64{},
+	}
+	s.attach(s.handle)
+	return s
+}
+
+// Name implements ReplicatedSet.
+func (*LWWSet) Name() string { return "lww-set" }
+
+// SupportsDelete implements ReplicatedSet.
+func (*LWWSet) SupportsDelete() bool { return true }
+
+// Insert implements ReplicatedSet.
+func (s *LWWSet) Insert(v string) {
+	s.mu.Lock()
+	s.clock++
+	cl := s.clock
+	s.mu.Unlock()
+	s.net.Broadcast(s.id, mustMarshal(setMsg{Kind: "add", V: v, Cl: cl, Pid: s.id}))
+}
+
+// Delete implements ReplicatedSet.
+func (s *LWWSet) Delete(v string) {
+	s.mu.Lock()
+	s.clock++
+	cl := s.clock
+	s.mu.Unlock()
+	s.net.Broadcast(s.id, mustMarshal(setMsg{Kind: "rem", V: v, Cl: cl, Pid: s.id}))
+}
+
+func tsLess(a, b [2]uint64) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+func (s *LWWSet) handle(_ int, payload []byte) {
+	m := mustUnmarshal(payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.Cl > s.clock {
+		s.clock = m.Cl
+	}
+	ts := [2]uint64{m.Cl, uint64(m.Pid)}
+	switch m.Kind {
+	case "add":
+		if cur, ok := s.addTS[m.V]; !ok || tsLess(cur, ts) {
+			s.addTS[m.V] = ts
+		}
+	case "rem":
+		if cur, ok := s.remTS[m.V]; !ok || tsLess(cur, ts) {
+			s.remTS[m.V] = ts
+		}
+	}
+}
+
+// Elements implements ReplicatedSet.
+func (s *LWWSet) Elements() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, v := range sortedKeys(s.addTS) {
+		add := s.addTS[v]
+		rem, removed := s.remTS[v]
+		if !removed || tsLess(rem, add) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// StateKey implements ReplicatedSet.
+func (s *LWWSet) StateKey() string { return elemsKey(s.Elements()) }
+
+var (
+	_ ReplicatedSet = (*NaiveSet)(nil)
+	_ ReplicatedSet = (*GSet)(nil)
+	_ ReplicatedSet = (*TwoPhaseSet)(nil)
+	_ ReplicatedSet = (*PNSet)(nil)
+	_ ReplicatedSet = (*CSet)(nil)
+	_ ReplicatedSet = (*ORSet)(nil)
+	_ ReplicatedSet = (*LWWSet)(nil)
+)

@@ -1,0 +1,234 @@
+package history
+
+import (
+	"math/rand"
+	"sort"
+
+	"updatec/internal/spec"
+)
+
+// RandomMode selects how query outputs are produced by RandomSet.
+type RandomMode int
+
+const (
+	// ModeArbitrary invents query outputs uniformly at random; such
+	// histories usually violate every criterion, exercising the
+	// deciders' negative paths.
+	ModeArbitrary RandomMode = iota
+	// ModeEager simulates replicas that apply updates in delivery
+	// order (a CRDT-style eager implementation): per-query outputs come
+	// from replaying a randomly grown, program-order-consistent
+	// delivered set in delivery order. Such histories are usually SEC
+	// but often not UC.
+	ModeEager
+	// ModeLinearized simulates replicas that re-order delivered
+	// updates along a global total order before replaying (what
+	// Algorithm 1 does); such histories are SUC by construction.
+	ModeLinearized
+)
+
+// RandomSetOptions configures RandomSet.
+type RandomSetOptions struct {
+	// Procs is the number of processes (default 2).
+	Procs int
+	// MaxUpdates bounds updates per process (default 2).
+	MaxUpdates int
+	// MaxQueries bounds non-ω queries per process (default 2).
+	MaxQueries int
+	// Support is the element universe (default {"1","2"}).
+	Support []string
+	// Mode selects output generation.
+	Mode RandomMode
+	// Omega adds a converged ω query to every process, with the output
+	// produced per Mode over the full update set.
+	Omega bool
+}
+
+func (o RandomSetOptions) withDefaults() RandomSetOptions {
+	if o.Procs == 0 {
+		o.Procs = 2
+	}
+	if o.MaxUpdates == 0 {
+		o.MaxUpdates = 2
+	}
+	if o.MaxQueries == 0 {
+		o.MaxQueries = 2
+	}
+	if len(o.Support) == 0 {
+		o.Support = []string{"1", "2"}
+	}
+	return o
+}
+
+// RandomSet generates a pseudo-random set history driven by rng. The
+// same rng state always yields the same history. The generator is used
+// by the property tests and by experiment E4 (validating Proposition
+// 2's hierarchy on large populations of histories).
+func RandomSet(rng *rand.Rand, opts RandomSetOptions) *History {
+	opts = opts.withDefaults()
+	sp := spec.Set()
+	b := New(sp)
+
+	// Plan the update skeleton first so delivery simulation can use it.
+	type upd struct {
+		proc int
+		op   spec.Update
+		id   int // global plan id
+	}
+	var plan []upd
+	perProc := make([][]int, opts.Procs)
+	for p := 0; p < opts.Procs; p++ {
+		n := rng.Intn(opts.MaxUpdates + 1)
+		for i := 0; i < n; i++ {
+			v := opts.Support[rng.Intn(len(opts.Support))]
+			var op spec.Update
+			if rng.Intn(2) == 0 {
+				op = spec.Ins{V: v}
+			} else {
+				op = spec.Del{V: v}
+			}
+			id := len(plan)
+			plan = append(plan, upd{proc: p, op: op, id: id})
+			perProc[p] = append(perProc[p], id)
+		}
+	}
+	// A global linearization extending program order, used by
+	// ModeLinearized (it plays the role of the Lamport-timestamp
+	// order).
+	global := append([]int(nil), make([]int, 0, len(plan))...)
+	cursors := make([]int, opts.Procs)
+	for len(global) < len(plan) {
+		p := rng.Intn(opts.Procs)
+		if cursors[p] < len(perProc[p]) {
+			global = append(global, perProc[p][cursors[p]])
+			cursors[p]++
+		}
+	}
+	globalPos := make([]int, len(plan))
+	for i, id := range global {
+		globalPos[id] = i
+	}
+
+	replay := func(ids []int, linearized bool) spec.Elems {
+		ordered := append([]int(nil), ids...)
+		if linearized {
+			sort.Slice(ordered, func(a, b int) bool {
+				return globalPos[ordered[a]] < globalPos[ordered[b]]
+			})
+		}
+		s := sp.Initial()
+		for _, id := range ordered {
+			s = sp.Apply(s, plan[id].op)
+		}
+		return sp.Query(s, spec.Read{}).(spec.Elems)
+	}
+	arbitrary := func() spec.Elems {
+		s := sp.Initial()
+		for _, v := range opts.Support {
+			if rng.Intn(2) == 0 {
+				s = sp.Apply(s, spec.Ins{V: v})
+			}
+		}
+		return sp.Query(s, spec.Read{}).(spec.Elems)
+	}
+	allIDs := make([]int, len(plan))
+	for i := range allIDs {
+		allIDs[i] = i
+	}
+
+	for p := 0; p < opts.Procs; p++ {
+		pr := b.Process()
+		// Delivered set for this process, in delivery order: grows
+		// over time; always includes own prior updates immediately.
+		var delivered []int
+		seen := map[int]bool{}
+		ownCursor := 0
+		deliverOwn := func(id int) {
+			if !seen[id] {
+				seen[id] = true
+				delivered = append(delivered, id)
+			}
+		}
+		// nextOwnPos is the global position of p's next unissued
+		// update (or ∞). Remote updates positioned after it must not
+		// be delivered yet: once p observes an update, Lamport clocks
+		// force all of p's subsequent updates after it in the global
+		// order (happened-before containment, Algorithm 1 line 9).
+		nextOwnPos := func() int {
+			if ownCursor < len(perProc[p]) {
+				return globalPos[perProc[p][ownCursor]]
+			}
+			return len(plan) + 1
+		}
+		deliverSomeRemote := func() {
+			horizon := nextOwnPos()
+			for _, u := range plan {
+				if u.proc != p && !seen[u.id] && globalPos[u.id] < horizon && rng.Intn(2) == 0 {
+					// Respect the sender's program order: deliver all
+					// of the sender's earlier updates first.
+					for _, prior := range perProc[u.proc] {
+						if prior > u.id {
+							break
+						}
+						if !seen[prior] {
+							seen[prior] = true
+							delivered = append(delivered, prior)
+						}
+					}
+				}
+			}
+		}
+		queries := rng.Intn(opts.MaxQueries + 1)
+		slots := len(perProc[p]) + queries
+		for slot := 0; slot < slots; slot++ {
+			doUpdate := ownCursor < len(perProc[p]) &&
+				(slot >= slots-(len(perProc[p])-ownCursor) || rng.Intn(2) == 0)
+			if doUpdate {
+				id := perProc[p][ownCursor]
+				ownCursor++
+				deliverOwn(id)
+				pr.Update(plan[id].op)
+				continue
+			}
+			deliverSomeRemote()
+			var out spec.Elems
+			switch opts.Mode {
+			case ModeArbitrary:
+				out = arbitrary()
+			case ModeEager:
+				out = replay(delivered, false)
+			case ModeLinearized:
+				out = replay(delivered, true)
+			}
+			pr.Query(spec.Read{}, out)
+		}
+		if opts.Omega {
+			var out spec.Elems
+			switch opts.Mode {
+			case ModeArbitrary:
+				out = arbitrary()
+			case ModeEager:
+				// Deliver the rest in a random program-order-consistent
+				// order, then read.
+				rest := append([]int(nil), allIDs...)
+				rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+				for _, id := range rest {
+					for _, prior := range perProc[plan[id].proc] {
+						if prior > id {
+							break
+						}
+						if !seen[prior] {
+							seen[prior] = true
+							delivered = append(delivered, prior)
+						}
+					}
+				}
+				out = replay(delivered, false)
+			case ModeLinearized:
+				out = replay(allIDs, true)
+			}
+			pr.QueryOmega(spec.Read{}, out)
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,185 @@
+package history
+
+import (
+	"math/rand"
+	"sort"
+
+	"updatec/internal/spec"
+)
+
+// RandomOptions configures Random, the type-generic history generator.
+// It mirrors RandomSetOptions but delegates update generation and the
+// query shape to the caller.
+type RandomOptions struct {
+	// Procs, MaxUpdates, MaxQueries as in RandomSetOptions.
+	Procs      int
+	MaxUpdates int
+	MaxQueries int
+	// Mode selects output generation, as in RandomSet. ModeArbitrary
+	// produces outputs by replaying a random subset of the planned
+	// updates in a random order — plausible-looking but usually
+	// inconsistent observations.
+	Mode RandomMode
+	// Omega appends a converged query per process.
+	Omega bool
+	// GenUpdate produces one random update of the target type.
+	GenUpdate func(*rand.Rand) spec.Update
+	// QueryIn is the query input used for every query event.
+	QueryIn spec.QueryInput
+}
+
+// Random generates a pseudo-random history over an arbitrary UQ-ADT,
+// with the same delivery discipline as RandomSet: per-process grown
+// delivered sets containing program-order prefixes, and (for
+// ModeLinearized) a shared happened-before-consistent total order —
+// the shape of executions Algorithm 1 produces.
+func Random(rng *rand.Rand, adt spec.UQADT, opts RandomOptions) *History {
+	if opts.Procs == 0 {
+		opts.Procs = 2
+	}
+	if opts.MaxUpdates == 0 {
+		opts.MaxUpdates = 2
+	}
+	if opts.MaxQueries == 0 {
+		opts.MaxQueries = 2
+	}
+	b := New(adt)
+
+	type upd struct {
+		proc int
+		op   spec.Update
+	}
+	var plan []upd
+	perProc := make([][]int, opts.Procs)
+	for p := 0; p < opts.Procs; p++ {
+		n := rng.Intn(opts.MaxUpdates + 1)
+		for i := 0; i < n; i++ {
+			id := len(plan)
+			plan = append(plan, upd{proc: p, op: opts.GenUpdate(rng)})
+			perProc[p] = append(perProc[p], id)
+		}
+	}
+	// Global order extending program order.
+	var global []int
+	cursors := make([]int, opts.Procs)
+	for len(global) < len(plan) {
+		p := rng.Intn(opts.Procs)
+		if cursors[p] < len(perProc[p]) {
+			global = append(global, perProc[p][cursors[p]])
+			cursors[p]++
+		}
+	}
+	globalPos := make([]int, len(plan))
+	for i, id := range global {
+		globalPos[id] = i
+	}
+
+	replay := func(ids []int, linearized bool) spec.QueryOutput {
+		ordered := append([]int(nil), ids...)
+		if linearized {
+			sort.Slice(ordered, func(a, b int) bool {
+				return globalPos[ordered[a]] < globalPos[ordered[b]]
+			})
+		}
+		s := adt.Initial()
+		for _, id := range ordered {
+			s = adt.Apply(s, plan[id].op)
+		}
+		return adt.Query(s, opts.QueryIn)
+	}
+	arbitrary := func() spec.QueryOutput {
+		var subset []int
+		for id := range plan {
+			if rng.Intn(2) == 0 {
+				subset = append(subset, id)
+			}
+		}
+		rng.Shuffle(len(subset), func(i, j int) { subset[i], subset[j] = subset[j], subset[i] })
+		return replay(subset, false)
+	}
+	allIDs := make([]int, len(plan))
+	for i := range allIDs {
+		allIDs[i] = i
+	}
+
+	for p := 0; p < opts.Procs; p++ {
+		pr := b.Process()
+		var delivered []int
+		seen := map[int]bool{}
+		ownCursor := 0
+		nextOwnPos := func() int {
+			if ownCursor < len(perProc[p]) {
+				return globalPos[perProc[p][ownCursor]]
+			}
+			return len(plan) + 1
+		}
+		deliverPrefix := func(id int) {
+			for _, prior := range perProc[plan[id].proc] {
+				if prior > id {
+					break
+				}
+				if !seen[prior] {
+					seen[prior] = true
+					delivered = append(delivered, prior)
+				}
+			}
+		}
+		deliverSomeRemote := func() {
+			horizon := nextOwnPos()
+			for id, u := range plan {
+				if u.proc != p && !seen[id] && globalPos[id] < horizon && rng.Intn(2) == 0 {
+					deliverPrefix(id)
+				}
+			}
+		}
+		emitQuery := func(omega bool) {
+			var out spec.QueryOutput
+			switch opts.Mode {
+			case ModeArbitrary:
+				out = arbitrary()
+			case ModeEager:
+				out = replay(delivered, false)
+			case ModeLinearized:
+				if omega {
+					out = replay(allIDs, true)
+				} else {
+					out = replay(delivered, true)
+				}
+			}
+			if omega {
+				pr.QueryOmega(opts.QueryIn, out)
+			} else {
+				pr.Query(opts.QueryIn, out)
+			}
+		}
+		queries := rng.Intn(opts.MaxQueries + 1)
+		slots := len(perProc[p]) + queries
+		for slot := 0; slot < slots; slot++ {
+			doUpdate := ownCursor < len(perProc[p]) &&
+				(slot >= slots-(len(perProc[p])-ownCursor) || rng.Intn(2) == 0)
+			if doUpdate {
+				id := perProc[p][ownCursor]
+				ownCursor++
+				if !seen[id] {
+					seen[id] = true
+					delivered = append(delivered, id)
+				}
+				pr.Update(plan[id].op)
+				continue
+			}
+			deliverSomeRemote()
+			emitQuery(false)
+		}
+		if opts.Omega {
+			if opts.Mode == ModeEager {
+				rest := append([]int(nil), allIDs...)
+				rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+				for _, id := range rest {
+					deliverPrefix(id)
+				}
+			}
+			emitQuery(true)
+		}
+	}
+	return b.MustBuild()
+}

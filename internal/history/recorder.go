@@ -1,0 +1,68 @@
+package history
+
+import (
+	"sync"
+
+	"updatec/internal/spec"
+)
+
+// Recorder collects operation events from concurrently running
+// replicas and assembles them into a History. Each replica records only
+// its own events, in its own program order; the recorder is safe for
+// concurrent use by multiple replicas.
+type Recorder struct {
+	mu    sync.Mutex
+	adt   spec.UQADT
+	procs [][]*Event
+}
+
+// NewRecorder returns a recorder for n processes over the given UQ-ADT.
+func NewRecorder(adt spec.UQADT, n int) *Recorder {
+	return &Recorder{adt: adt, procs: make([][]*Event, n)}
+}
+
+// Update records an update event by process p.
+func (r *Recorder) Update(p int, u spec.Update) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.procs[p] = append(r.procs[p], &Event{Kind: Upd, U: u})
+}
+
+// Query records a query event by process p with the output it observed.
+func (r *Recorder) Query(p int, in spec.QueryInput, out spec.QueryOutput) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.procs[p] = append(r.procs[p], &Event{Kind: Qry, QIn: in, QOut: out})
+}
+
+// QueryOmega records process p's converged query: the query it would
+// repeat forever after quiescence. It must be the last event recorded
+// for p.
+func (r *Recorder) QueryOmega(p int, in spec.QueryInput, out spec.QueryOutput) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.procs[p] = append(r.procs[p], &Event{Kind: Qry, QIn: in, QOut: out, Omega: true})
+}
+
+// History builds the recorded history. It may be called once recording
+// has stopped; the recorder can keep being used afterwards (History
+// snapshots current state).
+func (r *Recorder) History() (*History, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := New(r.adt)
+	for _, seq := range r.procs {
+		p := b.Process()
+		for _, e := range seq {
+			switch {
+			case e.IsUpdate():
+				p.Update(e.U)
+			case e.Omega:
+				p.QueryOmega(e.QIn, e.QOut)
+			default:
+				p.Query(e.QIn, e.QOut)
+			}
+		}
+	}
+	return b.Build()
+}

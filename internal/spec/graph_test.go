@@ -1,0 +1,233 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphSemantics(t *testing.T) {
+	sp := Graph()
+	s := sp.Initial()
+	s = sp.Apply(s, AddV{"a"})
+	s = sp.Apply(s, AddV{"b"})
+	s = sp.Apply(s, AddE{"a", "b"})
+	if got := sp.KeyState(s); got != "(a,b|a→b)" {
+		t.Fatalf("graph state: %s", got)
+	}
+	// Edge to a missing vertex is a no-op: referential integrity.
+	s = sp.Apply(s, AddE{"a", "zz"})
+	if got := sp.KeyState(s); got != "(a,b|a→b)" {
+		t.Fatalf("dangling edge accepted: %s", got)
+	}
+	// Removing a vertex removes incident edges.
+	s = sp.Apply(s, RemV{"b"})
+	if got := sp.KeyState(s); got != "(a|)" {
+		t.Fatalf("incident edge survived: %s", got)
+	}
+}
+
+func TestGraphEdgeDirections(t *testing.T) {
+	sp := Graph()
+	s := Replay(sp, []Update{AddV{"a"}, AddV{"b"}, AddE{"a", "b"}, AddE{"b", "a"}})
+	if got := sp.KeyState(s); got != "(a,b|a→b,b→a)" {
+		t.Fatalf("directed edges wrong: %s", got)
+	}
+	s = sp.Apply(s, RemE{"a", "b"})
+	if got := sp.KeyState(s); got != "(a,b|b→a)" {
+		t.Fatalf("directional removal wrong: %s", got)
+	}
+}
+
+func TestGraphIntegrityInvariant(t *testing.T) {
+	// Invariant: after ANY update word, every edge endpoint is a
+	// present vertex. This is the property CRDT graphs give up.
+	sp := Graph()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := sp.Initial()
+		verts := []string{"a", "b", "c"}
+		for i := 0; i < int(n%30); i++ {
+			v := verts[rng.Intn(3)]
+			w := verts[rng.Intn(3)]
+			switch rng.Intn(4) {
+			case 0:
+				s = sp.Apply(s, AddV{v})
+			case 1:
+				s = sp.Apply(s, RemV{v})
+			case 2:
+				s = sp.Apply(s, AddE{v, w})
+			case 3:
+				s = sp.Apply(s, RemE{v, w})
+			}
+		}
+		val := sp.Query(s, ReadGraph{}).(GraphVal)
+		present := map[string]bool{}
+		for _, v := range val.Vertices {
+			present[v] = true
+		}
+		for _, e := range val.Edges {
+			if !present[e[0]] || !present[e[1]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphUndoRoundTrip(t *testing.T) {
+	sp := Graph()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := sp.Initial()
+		verts := []string{"a", "b"}
+		mkOp := func() Update {
+			v := verts[rng.Intn(2)]
+			w := verts[rng.Intn(2)]
+			switch rng.Intn(4) {
+			case 0:
+				return AddV{v}
+			case 1:
+				return RemV{v}
+			case 2:
+				return AddE{v, w}
+			default:
+				return RemE{v, w}
+			}
+		}
+		for i := 0; i < int(n%15); i++ {
+			s = sp.Apply(s, mkOp())
+		}
+		before := sp.KeyState(s)
+		next, undo := sp.ApplyUndo(s, mkOp())
+		return sp.KeyState(undo(next)) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphExplainState(t *testing.T) {
+	sp := Graph()
+	val := GraphVal{Vertices: []string{"a", "b"}, Edges: [][2]string{{"a", "b"}}}
+	s, ok := sp.ExplainState([]Observation{{ReadGraph{}, val}})
+	if !ok {
+		t.Fatalf("legal graph should explain")
+	}
+	if !sp.EqualOutput(sp.Query(s, ReadGraph{}), val) {
+		t.Fatalf("explained state does not reproduce the observation")
+	}
+	// A dangling edge is not a legal state of the type.
+	bad := GraphVal{Vertices: []string{"a"}, Edges: [][2]string{{"a", "b"}}}
+	if _, ok := sp.ExplainState([]Observation{{ReadGraph{}, bad}}); ok {
+		t.Fatalf("dangling edge must be unexplainable")
+	}
+}
+
+func TestGraphCodecRoundTrip(t *testing.T) {
+	sp := Graph()
+	ops := []Update{AddV{"a"}, RemV{"x y"}, AddE{"a", "b"}, RemE{"", "b"}}
+	for _, u := range ops {
+		b, err := sp.EncodeUpdate(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sp.DecodeUpdate(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != u {
+			t.Fatalf("round trip %v -> %v", u, got)
+		}
+	}
+}
+
+func TestSequenceSemantics(t *testing.T) {
+	sp := Sequence()
+	s := sp.Initial()
+	s = sp.Apply(s, InsAt{0, "b"})
+	s = sp.Apply(s, InsAt{0, "a"})
+	s = sp.Apply(s, InsAt{2, "c"})
+	if got := sp.Query(s, ReadSeq{}).(Lines).String(); got != "[a;b;c]" {
+		t.Fatalf("sequence: %s", got)
+	}
+	s = sp.Apply(s, DelAt{1})
+	if got := sp.Query(s, ReadSeq{}).(Lines).String(); got != "[a;c]" {
+		t.Fatalf("after delete: %s", got)
+	}
+}
+
+func TestSequenceClamping(t *testing.T) {
+	// Total functions: out-of-range positions clamp (insert) or no-op
+	// (delete), so every linearization is executable.
+	sp := Sequence()
+	s := Replay(sp, []Update{InsAt{100, "x"}, InsAt{-5, "y"}, DelAt{42}, DelAt{-1}})
+	if got := sp.Query(s, ReadSeq{}).(Lines).String(); got != "[y;x]" {
+		t.Fatalf("clamped sequence: %s", got)
+	}
+}
+
+func TestSequenceNotCommutative(t *testing.T) {
+	sp := Sequence()
+	a := sp.KeyState(Replay(sp, []Update{InsAt{0, "a"}, InsAt{0, "b"}}))
+	b := sp.KeyState(Replay(sp, []Update{InsAt{0, "b"}, InsAt{0, "a"}}))
+	if a == b {
+		t.Fatalf("front inserts unexpectedly commute")
+	}
+}
+
+func TestSequenceUndoRoundTrip(t *testing.T) {
+	sp := Sequence()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := sp.Initial()
+		mkOp := func() Update {
+			if rng.Intn(3) == 0 {
+				return DelAt{Pos: rng.Intn(6) - 1}
+			}
+			return InsAt{Pos: rng.Intn(8) - 1, V: string(rune('a' + rng.Intn(4)))}
+		}
+		for i := 0; i < int(n%15); i++ {
+			s = sp.Apply(s, mkOp())
+		}
+		before := sp.KeyState(sp.Clone(s))
+		next, undo := sp.ApplyUndo(sp.Clone(s).([]string), mkOp())
+		return sp.KeyState(undo(next)) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequenceCodecRoundTrip(t *testing.T) {
+	sp := Sequence()
+	ops := []Update{InsAt{0, "x"}, InsAt{12, "a b"}, DelAt{0}, DelAt{99}}
+	for _, u := range ops {
+		b, err := sp.EncodeUpdate(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sp.DecodeUpdate(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != u {
+			t.Fatalf("round trip %v -> %v", u, got)
+		}
+	}
+}
+
+func TestNewTypesRegistered(t *testing.T) {
+	for _, name := range []string{"graph", "sequence"} {
+		adt, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adt.Name() != name {
+			t.Fatalf("registry name mismatch for %s", name)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Append is the log update append(v): add a line at the end of the
+// shared document.
+type Append struct{ V string }
+
+// String renders the update, e.g. "App(a)".
+func (a Append) String() string { return fmt.Sprintf("App(%s)", a.V) }
+
+// ReadLog is the log query: it returns the whole document.
+type ReadLog struct{}
+
+// String renders the query input.
+func (ReadLog) String() string { return "RL" }
+
+// Lines is the log query output: the document lines in order.
+type Lines []string
+
+// String renders the document as "[a;b;c]".
+func (l Lines) String() string {
+	return "[" + strings.Join(l, ";") + "]"
+}
+
+// LogSpec is an append-only totally ordered log (a minimal model of the
+// collaborative-editing objects that motivate intention preservation in
+// §I). Appends do not commute — the document differs by line order —
+// so, unlike a counter or a grow-only set, the log is not a pure CRDT
+// and genuinely needs the update linearization that update consistency
+// provides: all replicas converge to the same line order.
+type LogSpec struct{}
+
+// Log returns the append-only log UQ-ADT.
+func Log() LogSpec { return LogSpec{} }
+
+// Name implements UQADT.
+func (LogSpec) Name() string { return "log" }
+
+// Initial implements UQADT.
+func (LogSpec) Initial() State { return []string(nil) }
+
+// Apply implements UQADT.
+func (LogSpec) Apply(s State, u Update) State {
+	a, ok := u.(Append)
+	if !ok {
+		panic(fmt.Sprintf("spec: log does not recognize update %T", u))
+	}
+	return append(s.([]string), a.V)
+}
+
+// Clone implements UQADT.
+func (LogSpec) Clone(s State) State {
+	return append([]string(nil), s.([]string)...)
+}
+
+// Query implements UQADT.
+func (LogSpec) Query(s State, in QueryInput) QueryOutput {
+	if _, ok := in.(ReadLog); !ok {
+		panic(fmt.Sprintf("spec: log does not recognize query %T", in))
+	}
+	return Lines(append([]string(nil), s.([]string)...))
+}
+
+// EqualOutput implements UQADT.
+func (LogSpec) EqualOutput(a, b QueryOutput) bool {
+	la, ok := a.(Lines)
+	if !ok {
+		return false
+	}
+	lb, ok := b.(Lines)
+	if !ok || len(la) != len(lb) {
+		return false
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// KeyState implements UQADT.
+func (LogSpec) KeyState(s State) string {
+	return strings.Join(s.([]string), "\x1f")
+}
+
+// ApplyUndo implements Undoable.
+func (LogSpec) ApplyUndo(s State, u Update) (State, Undo) {
+	a, ok := u.(Append)
+	if !ok {
+		panic(fmt.Sprintf("spec: log does not recognize update %T", u))
+	}
+	next := append(s.([]string), a.V)
+	return next, func(t State) State {
+		lines := t.([]string)
+		return lines[:len(lines)-1]
+	}
+}
+
+// ExplainState implements StateExplainer.
+func (LogSpec) ExplainState(obs []Observation) (State, bool) {
+	if len(obs) == 0 {
+		return []string(nil), true
+	}
+	first, ok := obs[0].Out.(Lines)
+	if !ok {
+		return nil, false
+	}
+	sp := LogSpec{}
+	for _, o := range obs[1:] {
+		if !sp.EqualOutput(first, o.Out) {
+			return nil, false
+		}
+	}
+	return append([]string(nil), first...), true
+}
+
+// EncodeUpdate implements Codec.
+func (LogSpec) EncodeUpdate(u Update) ([]byte, error) {
+	a, ok := u.(Append)
+	if !ok {
+		return nil, fmt.Errorf("spec: log does not recognize update %T", u)
+	}
+	return []byte(a.V), nil
+}
+
+// DecodeUpdate implements Codec.
+func (LogSpec) DecodeUpdate(b []byte) (Update, error) {
+	return Append{V: string(b)}, nil
+}

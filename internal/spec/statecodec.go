@@ -1,0 +1,195 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// StateCodec is implemented by specifications whose states can be
+// serialized. It is required only for transferring a *compacted*
+// replica snapshot (internal/core's state transfer): a replica whose
+// log still contains every update can always be bootstrapped from the
+// update log alone.
+type StateCodec interface {
+	EncodeState(s State) ([]byte, error)
+	DecodeState(b []byte) (State, error)
+}
+
+// encodeStrings writes a length-prefixed string list.
+func encodeStrings(ss []string) []byte {
+	var buf bytes.Buffer
+	var lenb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenb[:], uint64(len(ss)))
+	buf.Write(lenb[:n])
+	for _, s := range ss {
+		n = binary.PutUvarint(lenb[:], uint64(len(s)))
+		buf.Write(lenb[:n])
+		buf.WriteString(s)
+	}
+	return buf.Bytes()
+}
+
+// decodeStrings reads a list written by encodeStrings and returns the
+// number of bytes consumed.
+func decodeStrings(b []byte) ([]string, int, error) {
+	count, off := binary.Uvarint(b)
+	if off <= 0 {
+		return nil, 0, fmt.Errorf("spec: malformed string list")
+	}
+	out := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		l, n := binary.Uvarint(b[off:])
+		if n <= 0 || uint64(len(b)-off-n) < l {
+			return nil, 0, fmt.Errorf("spec: truncated string list")
+		}
+		off += n
+		out = append(out, string(b[off:off+int(l)]))
+		off += int(l)
+	}
+	return out, off, nil
+}
+
+// EncodeState implements StateCodec for the set.
+func (SetSpec) EncodeState(s State) ([]byte, error) {
+	return encodeStrings(setElems(s.(map[string]bool))), nil
+}
+
+// DecodeState implements StateCodec for the set.
+func (SetSpec) DecodeState(b []byte) (State, error) {
+	elems, _, err := decodeStrings(b)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]bool, len(elems))
+	for _, v := range elems {
+		m[v] = true
+	}
+	return m, nil
+}
+
+// EncodeState implements StateCodec for the register.
+func (RegisterSpec) EncodeState(s State) ([]byte, error) {
+	return []byte(s.(string)), nil
+}
+
+// DecodeState implements StateCodec for the register.
+func (RegisterSpec) DecodeState(b []byte) (State, error) {
+	return string(b), nil
+}
+
+// EncodeState implements StateCodec for the counter.
+func (CounterSpec) EncodeState(s State) ([]byte, error) {
+	return []byte(strconv.FormatInt(s.(int64), 10)), nil
+}
+
+// DecodeState implements StateCodec for the counter.
+func (CounterSpec) DecodeState(b []byte) (State, error) {
+	n, err := strconv.ParseInt(string(b), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("spec: bad counter state: %w", err)
+	}
+	return n, nil
+}
+
+// EncodeState implements StateCodec for the memory: sorted key/value
+// pairs.
+func (MemorySpec) EncodeState(s State) ([]byte, error) {
+	m := s.(map[string]string)
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	flat := make([]string, 0, 2*len(keys))
+	for _, k := range keys {
+		flat = append(flat, k, m[k])
+	}
+	return encodeStrings(flat), nil
+}
+
+// DecodeState implements StateCodec for the memory.
+func (MemorySpec) DecodeState(b []byte) (State, error) {
+	flat, _, err := decodeStrings(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(flat)%2 != 0 {
+		return nil, fmt.Errorf("spec: odd memory state list")
+	}
+	m := make(map[string]string, len(flat)/2)
+	for i := 0; i < len(flat); i += 2 {
+		m[flat[i]] = flat[i+1]
+	}
+	return m, nil
+}
+
+// EncodeState implements StateCodec for the log.
+func (LogSpec) EncodeState(s State) ([]byte, error) {
+	return encodeStrings(s.([]string)), nil
+}
+
+// DecodeState implements StateCodec for the log.
+func (LogSpec) DecodeState(b []byte) (State, error) {
+	lines, _, err := decodeStrings(b)
+	if err != nil {
+		return nil, err
+	}
+	return lines, nil
+}
+
+// EncodeState implements StateCodec for the sequence.
+func (SequenceSpec) EncodeState(s State) ([]byte, error) {
+	return encodeStrings(s.([]string)), nil
+}
+
+// DecodeState implements StateCodec for the sequence.
+func (SequenceSpec) DecodeState(b []byte) (State, error) {
+	items, _, err := decodeStrings(b)
+	if err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// EncodeState implements StateCodec for the graph: vertex list then
+// flattened edge list.
+func (GraphSpec) EncodeState(s State) ([]byte, error) {
+	val := s.(*graphState).value()
+	flatEdges := make([]string, 0, 2*len(val.Edges))
+	for _, e := range val.Edges {
+		flatEdges = append(flatEdges, e[0], e[1])
+	}
+	var buf bytes.Buffer
+	buf.Write(encodeStrings(val.Vertices))
+	buf.Write(encodeStrings(flatEdges))
+	return buf.Bytes(), nil
+}
+
+// DecodeState implements StateCodec for the graph.
+func (sp GraphSpec) DecodeState(b []byte) (State, error) {
+	verts, off, err := decodeStrings(b)
+	if err != nil {
+		return nil, err
+	}
+	flatEdges, _, err := decodeStrings(b[off:])
+	if err != nil {
+		return nil, err
+	}
+	if len(flatEdges)%2 != 0 {
+		return nil, fmt.Errorf("spec: odd graph edge list")
+	}
+	g := sp.Initial().(*graphState)
+	for _, v := range verts {
+		g.vertices[v] = true
+	}
+	for i := 0; i < len(flatEdges); i += 2 {
+		if !g.vertices[flatEdges[i]] || !g.vertices[flatEdges[i+1]] {
+			return nil, fmt.Errorf("spec: dangling edge in graph state")
+		}
+		g.edges[[2]string{flatEdges[i], flatEdges[i+1]}] = true
+	}
+	return g, nil
+}

@@ -1,0 +1,460 @@
+// Package transport provides the wait-free asynchronous message-passing
+// substrate of §VII-A: a complete, reliable network connecting n
+// sequential processes, any number of which may crash, with no bound on
+// message transfer delays.
+//
+// Two implementations are provided. SimNetwork is a deterministic,
+// seeded, single-goroutine simulator in which asynchrony is modeled by
+// adversarially (pseudo-randomly) choosing which in-flight message to
+// deliver next; it supports crash faults, network partitions and
+// per-link FIFO control, and is what the experiment harness uses for
+// reproducible runs. LiveNetwork delivers messages with real goroutines
+// and per-process mailboxes and is used by the examples and the
+// race-detector tests.
+//
+// Both networks implement the broadcast contract of Algorithm 1: a
+// broadcast is delivered to the sender instantaneously (the handler is
+// invoked inline, as in the paper's proof of Proposition 4, "messages
+// are received instantaneously by the sender") and to every other
+// process asynchronously.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Handler consumes a message delivered to a process. Handlers are
+// invoked serially per process.
+type Handler func(from int, payload []byte)
+
+// Network is the broadcast interface replicas are written against.
+type Network interface {
+	// Attach registers the handler for process id. It must be called
+	// before any Broadcast involving id.
+	Attach(id int, h Handler)
+	// Broadcast sends payload from process `from` to every process.
+	// Self-delivery is synchronous; remote delivery is asynchronous.
+	Broadcast(from int, payload []byte)
+}
+
+// Stats counts network traffic. Broadcasts is the number of broadcast
+// invocations (the unit §VII-C's "a unique message is broadcast for
+// each update" refers to); Sends counts point-to-point transmissions;
+// Bytes counts payload bytes across all sends.
+type Stats struct {
+	Broadcasts uint64
+	Sends      uint64
+	Delivered  uint64
+	Dropped    uint64
+	Bytes      uint64
+}
+
+// envelope is one in-flight point-to-point message.
+type envelope struct {
+	from, to int
+	payload  []byte
+	seq      uint64 // per-(from,to) link sequence, for FIFO
+	id       uint64 // global tie-break id
+}
+
+// SimOptions configures a SimNetwork.
+type SimOptions struct {
+	// N is the number of processes.
+	N int
+	// Seed drives the adversarial delivery order.
+	Seed int64
+	// FIFO restricts delivery to per-link FIFO order (the assumption
+	// pipelined consistency needs). When false the adversary may
+	// reorder messages arbitrarily, which Algorithm 1 tolerates.
+	FIFO bool
+	// DuplicateProb re-enqueues a delivered message with this
+	// probability, modeling at-least-once channels. Incompatible with
+	// FIFO (a duplicate is inherently out of order). Algorithm 1
+	// assumes exactly-once delivery; layer NewURB (which deduplicates)
+	// between a duplicating network and the replicas.
+	DuplicateProb float64
+}
+
+// SimNetwork is the deterministic simulator. It is not safe for
+// concurrent use: the simulation harness alternates process steps and
+// network steps in one goroutine, which is exactly what makes runs
+// reproducible.
+type SimNetwork struct {
+	opts     SimOptions
+	rng      *rand.Rand
+	handlers []Handler
+	crashed  []bool
+	group    []int // partition group per process
+	pending  []*envelope
+	linkSeq  map[[2]int]uint64
+	nextSeq  map[[2]int]uint64
+	nextID   uint64
+	stats    Stats
+}
+
+// NewSim returns a deterministic network for opts.N processes.
+func NewSim(opts SimOptions) *SimNetwork {
+	if opts.N <= 0 {
+		panic("transport: SimOptions.N must be positive")
+	}
+	if opts.DuplicateProb > 0 && opts.FIFO {
+		panic("transport: DuplicateProb is incompatible with FIFO delivery")
+	}
+	if opts.DuplicateProb >= 1 {
+		panic("transport: DuplicateProb must be below 1 or delivery never quiesces")
+	}
+	return &SimNetwork{
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		handlers: make([]Handler, opts.N),
+		crashed:  make([]bool, opts.N),
+		group:    make([]int, opts.N),
+		linkSeq:  map[[2]int]uint64{},
+		nextSeq:  map[[2]int]uint64{},
+	}
+}
+
+// Attach implements Network.
+func (n *SimNetwork) Attach(id int, h Handler) { n.handlers[id] = h }
+
+// Broadcast implements Network. The sender's own copy is delivered
+// inline; copies to other live processes are queued for adversarial
+// delivery. A crashed sender cannot broadcast.
+func (n *SimNetwork) Broadcast(from int, payload []byte) {
+	if n.crashed[from] {
+		return
+	}
+	n.stats.Broadcasts++
+	// Instantaneous self-delivery (line 8 of Algorithm 1 fires for the
+	// sender before update() returns).
+	n.stats.Sends++
+	n.stats.Delivered++
+	n.stats.Bytes += uint64(len(payload))
+	n.handlers[from](from, payload)
+	for to := 0; to < n.opts.N; to++ {
+		if to == from {
+			continue
+		}
+		link := [2]int{from, to}
+		n.linkSeq[link]++
+		n.pending = append(n.pending, &envelope{
+			from: from, to: to, payload: payload,
+			seq: n.linkSeq[link], id: n.nextID,
+		})
+		n.nextID++
+		n.stats.Sends++
+		n.stats.Bytes += uint64(len(payload))
+	}
+}
+
+// eligible reports whether an envelope may be delivered now.
+func (n *SimNetwork) eligible(e *envelope) bool {
+	if n.crashed[e.to] {
+		return false
+	}
+	if n.group[e.from] != n.group[e.to] {
+		return false
+	}
+	if n.opts.FIFO {
+		link := [2]int{e.from, e.to}
+		return e.seq == n.nextSeq[link]+1
+	}
+	return true
+}
+
+// Step delivers one pseudo-randomly chosen eligible in-flight message,
+// returning false when nothing can be delivered (quiescence, or all
+// remaining messages are blocked by partitions).
+func (n *SimNetwork) Step() bool {
+	var candidates []int
+	for i, e := range n.pending {
+		if n.eligible(e) {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return false
+	}
+	idx := candidates[n.rng.Intn(len(candidates))]
+	e := n.pending[idx]
+	n.pending = append(n.pending[:idx], n.pending[idx+1:]...)
+	if n.opts.FIFO {
+		n.nextSeq[[2]int{e.from, e.to}] = e.seq
+	}
+	if n.opts.DuplicateProb > 0 && n.rng.Float64() < n.opts.DuplicateProb {
+		dup := *e
+		dup.id = n.nextID
+		n.nextID++
+		n.pending = append(n.pending, &dup)
+		n.stats.Sends++
+		n.stats.Bytes += uint64(len(e.payload))
+	}
+	n.stats.Delivered++
+	n.handlers[e.to](e.from, e.payload)
+	return true
+}
+
+// StepN delivers up to k messages, returning how many were delivered.
+func (n *SimNetwork) StepN(k int) int {
+	for i := 0; i < k; i++ {
+		if !n.Step() {
+			return i
+		}
+	}
+	return k
+}
+
+// Quiesce delivers until no message is deliverable. Handlers may
+// broadcast during delivery (e.g. reliable-broadcast relays); those
+// messages are delivered too.
+func (n *SimNetwork) Quiesce() {
+	for n.Step() {
+	}
+}
+
+// Pending returns the number of in-flight messages (including ones
+// blocked by partitions or addressed to crashed processes).
+func (n *SimNetwork) Pending() int { return len(n.pending) }
+
+// Crash halts a process: it never receives another message and its
+// future broadcasts are suppressed. Messages it already sent remain in
+// flight (they were handed to the network).
+func (n *SimNetwork) Crash(id int) {
+	n.crashed[id] = true
+	var keep []*envelope
+	for _, e := range n.pending {
+		if e.to == id {
+			n.stats.Dropped++
+			continue
+		}
+		keep = append(keep, e)
+	}
+	n.pending = keep
+}
+
+// CrashPartialBroadcast models the adversarial crash of §VII's fault
+// model at its harshest: the process halts mid-broadcast, so each of
+// its in-flight messages independently survives with probability
+// keepProb. With best-effort broadcast this can leave correct processes
+// disagreeing about the crashed process's updates; the URB wrapper
+// exists to repair exactly this.
+func (n *SimNetwork) CrashPartialBroadcast(id int, keepProb float64) {
+	var keep []*envelope
+	for _, e := range n.pending {
+		if e.from == id && n.rng.Float64() >= keepProb {
+			n.stats.Dropped++
+			continue
+		}
+		keep = append(keep, e)
+	}
+	n.pending = keep
+	n.Crash(id)
+}
+
+// Crashed reports whether id has crashed.
+func (n *SimNetwork) Crashed(id int) bool { return n.crashed[id] }
+
+// Partition splits the processes into groups; messages only flow within
+// a group. Messages already in flight across the cut stay queued until
+// Heal. Unmentioned processes form group 0.
+func (n *SimNetwork) Partition(groups ...[]int) {
+	for i := range n.group {
+		n.group[i] = 0
+	}
+	for g, members := range groups {
+		for _, id := range members {
+			n.group[id] = g + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *SimNetwork) Heal() {
+	for i := range n.group {
+		n.group[i] = 0
+	}
+}
+
+// Stats returns a copy of the traffic counters.
+func (n *SimNetwork) Stats() Stats { return n.stats }
+
+var _ Network = (*SimNetwork)(nil)
+
+// LiveNetwork delivers messages with one dispatcher goroutine and an
+// unbounded mailbox per process, so Broadcast never blocks — the
+// wait-freedom requirement. It is safe for concurrent use.
+type LiveNetwork struct {
+	n      int
+	nodes  []*liveNode
+	mu     sync.Mutex
+	stats  Stats
+	closed bool
+}
+
+type liveNode struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []envelope
+	handler Handler
+	crashed bool
+	closed  bool
+	busy    bool // dispatcher is executing a handler
+	done    chan struct{}
+}
+
+// NewLive returns a live network for n processes. Close must be called
+// to stop the dispatcher goroutines.
+func NewLive(n int) *LiveNetwork {
+	ln := &LiveNetwork{n: n, nodes: make([]*liveNode, n)}
+	for i := range ln.nodes {
+		node := &liveNode{done: make(chan struct{})}
+		node.cond = sync.NewCond(&node.mu)
+		ln.nodes[i] = node
+		go node.run()
+	}
+	return ln
+}
+
+func (nd *liveNode) run() {
+	defer close(nd.done)
+	for {
+		nd.mu.Lock()
+		for len(nd.queue) == 0 && !nd.closed {
+			nd.cond.Wait()
+		}
+		if nd.closed && len(nd.queue) == 0 {
+			nd.mu.Unlock()
+			return
+		}
+		e := nd.queue[0]
+		nd.queue = nd.queue[1:]
+		h := nd.handler
+		crashed := nd.crashed
+		nd.busy = true
+		nd.mu.Unlock()
+		if h != nil && !crashed {
+			h(e.from, e.payload)
+		}
+		nd.mu.Lock()
+		nd.busy = false
+		nd.cond.Broadcast() // wake Drain waiters
+		nd.mu.Unlock()
+	}
+}
+
+// Attach implements Network.
+func (ln *LiveNetwork) Attach(id int, h Handler) {
+	nd := ln.nodes[id]
+	nd.mu.Lock()
+	nd.handler = h
+	nd.mu.Unlock()
+}
+
+// Broadcast implements Network. Self-delivery is synchronous (invoked
+// on the caller's goroutine); remote deliveries are enqueued.
+func (ln *LiveNetwork) Broadcast(from int, payload []byte) {
+	self := ln.nodes[from]
+	self.mu.Lock()
+	crashed := self.crashed
+	h := self.handler
+	self.mu.Unlock()
+	if crashed {
+		return
+	}
+	ln.mu.Lock()
+	ln.stats.Broadcasts++
+	ln.stats.Sends += uint64(ln.n)
+	ln.stats.Delivered++ // self
+	ln.stats.Bytes += uint64(len(payload) * ln.n)
+	ln.mu.Unlock()
+	if h != nil {
+		h(from, payload)
+	}
+	for to := 0; to < ln.n; to++ {
+		if to == from {
+			continue
+		}
+		nd := ln.nodes[to]
+		nd.mu.Lock()
+		if !nd.closed {
+			nd.queue = append(nd.queue, envelope{from: from, to: to, payload: payload})
+			// Broadcast, not Signal: the condition variable is shared
+			// between the dispatcher and Drain waiters.
+			nd.cond.Broadcast()
+		}
+		nd.mu.Unlock()
+		ln.mu.Lock()
+		ln.stats.Delivered++
+		ln.mu.Unlock()
+	}
+}
+
+// Crash halts a process: it stops handling queued and future messages
+// and its broadcasts are suppressed.
+func (ln *LiveNetwork) Crash(id int) {
+	nd := ln.nodes[id]
+	nd.mu.Lock()
+	nd.crashed = true
+	nd.mu.Unlock()
+}
+
+// Close stops all dispatchers after draining their queues and waits for
+// them to exit.
+func (ln *LiveNetwork) Close() {
+	ln.mu.Lock()
+	if ln.closed {
+		ln.mu.Unlock()
+		return
+	}
+	ln.closed = true
+	ln.mu.Unlock()
+	for _, nd := range ln.nodes {
+		nd.mu.Lock()
+		nd.closed = true
+		nd.cond.Broadcast()
+		nd.mu.Unlock()
+	}
+	for _, nd := range ln.nodes {
+		<-nd.done
+	}
+}
+
+// Drain blocks until every mailbox is empty and every dispatcher is
+// idle, repeating until one full pass observes the whole network
+// quiescent (handlers may re-broadcast, e.g. URB relays, refilling
+// mailboxes checked earlier in the pass). With no concurrent
+// broadcasters, Drain returning means every sent message has been
+// fully handled.
+func (ln *LiveNetwork) Drain() {
+	for {
+		stable := true
+		for _, nd := range ln.nodes {
+			nd.mu.Lock()
+			for (len(nd.queue) > 0 || nd.busy) && !nd.closed {
+				stable = false
+				nd.cond.Wait()
+			}
+			nd.mu.Unlock()
+		}
+		if stable {
+			return
+		}
+	}
+}
+
+// Stats returns a copy of the traffic counters.
+func (ln *LiveNetwork) Stats() Stats {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	return ln.stats
+}
+
+var _ Network = (*LiveNetwork)(nil)
+
+// String renders traffic counters for experiment tables.
+func (s Stats) String() string {
+	return fmt.Sprintf("broadcasts=%d sends=%d delivered=%d dropped=%d bytes=%d",
+		s.Broadcasts, s.Sends, s.Delivered, s.Dropped, s.Bytes)
+}

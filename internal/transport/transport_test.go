@@ -1,0 +1,420 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// collect attaches recording handlers to all processes of a network and
+// returns the per-process delivery logs (as "from:payload" strings).
+func collect(net Network, n int) []*[]string {
+	logs := make([]*[]string, n)
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		log := &[]string{}
+		logs[i] = log
+		id := i
+		_ = id
+		net.Attach(i, func(from int, payload []byte) {
+			mu.Lock()
+			*log = append(*log, fmt.Sprintf("%d:%s", from, payload))
+			mu.Unlock()
+		})
+	}
+	return logs
+}
+
+func TestSimSelfDeliveryIsSynchronous(t *testing.T) {
+	net := NewSim(SimOptions{N: 2, Seed: 1})
+	logs := collect(net, 2)
+	net.Broadcast(0, []byte("a"))
+	if len(*logs[0]) != 1 {
+		t.Fatalf("sender must deliver to itself inline, log=%v", *logs[0])
+	}
+	if len(*logs[1]) != 0 {
+		t.Fatalf("remote delivery must be asynchronous")
+	}
+	net.Quiesce()
+	if len(*logs[1]) != 1 {
+		t.Fatalf("remote delivery missing after quiesce")
+	}
+}
+
+func TestSimReliableDeliveryToCorrect(t *testing.T) {
+	const n = 4
+	net := NewSim(SimOptions{N: n, Seed: 42})
+	logs := collect(net, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			net.Broadcast(i, []byte(fmt.Sprintf("m%d-%d", i, k)))
+		}
+	}
+	net.Quiesce()
+	for i := 0; i < n; i++ {
+		if len(*logs[i]) != n*3 {
+			t.Fatalf("process %d delivered %d of %d", i, len(*logs[i]), n*3)
+		}
+	}
+	if net.Pending() != 0 {
+		t.Fatalf("pending after quiesce: %d", net.Pending())
+	}
+}
+
+func TestSimFIFOOrder(t *testing.T) {
+	net := NewSim(SimOptions{N: 2, Seed: 7, FIFO: true})
+	logs := collect(net, 2)
+	for k := 0; k < 10; k++ {
+		net.Broadcast(0, []byte(fmt.Sprintf("%02d", k)))
+	}
+	net.Quiesce()
+	got := *logs[1]
+	for k := 0; k < 10; k++ {
+		if got[k] != fmt.Sprintf("0:%02d", k) {
+			t.Fatalf("FIFO violated at %d: %v", k, got)
+		}
+	}
+}
+
+func TestSimNonFIFOCanReorder(t *testing.T) {
+	// Without FIFO, some seed must produce an out-of-order delivery.
+	reordered := false
+	for seed := int64(0); seed < 20 && !reordered; seed++ {
+		net := NewSim(SimOptions{N: 2, Seed: seed})
+		logs := collect(net, 2)
+		for k := 0; k < 6; k++ {
+			net.Broadcast(0, []byte(fmt.Sprintf("%d", k)))
+		}
+		net.Quiesce()
+		got := *logs[1]
+		for k := 1; k < len(got); k++ {
+			if got[k] < got[k-1] {
+				reordered = true
+			}
+		}
+	}
+	if !reordered {
+		t.Fatalf("no seed reordered messages — adversary too weak")
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func() []string {
+		net := NewSim(SimOptions{N: 3, Seed: 99})
+		logs := collect(net, 3)
+		for i := 0; i < 3; i++ {
+			for k := 0; k < 5; k++ {
+				net.Broadcast(i, []byte(fmt.Sprintf("%d.%d", i, k)))
+			}
+		}
+		net.Quiesce()
+		var all []string
+		for _, l := range logs {
+			all = append(all, *l...)
+		}
+		return all
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("determinism broken at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSimCrashStopsDelivery(t *testing.T) {
+	net := NewSim(SimOptions{N: 3, Seed: 5})
+	logs := collect(net, 3)
+	net.Broadcast(0, []byte("before"))
+	net.Crash(2)
+	net.Quiesce()
+	net.Broadcast(0, []byte("after"))
+	net.Broadcast(2, []byte("from-crashed"))
+	net.Quiesce()
+	if len(*logs[2]) != 0 {
+		t.Fatalf("crashed process received messages: %v", *logs[2])
+	}
+	for _, m := range *logs[1] {
+		if m == "2:from-crashed" {
+			t.Fatalf("crashed process broadcast leaked")
+		}
+	}
+	if len(*logs[1]) != 2 {
+		t.Fatalf("correct process should get 2 messages, got %v", *logs[1])
+	}
+}
+
+func TestSimPartitionAndHeal(t *testing.T) {
+	net := NewSim(SimOptions{N: 4, Seed: 11})
+	logs := collect(net, 4)
+	net.Partition([]int{0, 1}, []int{2, 3})
+	net.Broadcast(0, []byte("x"))
+	net.Quiesce()
+	if len(*logs[1]) != 1 || len(*logs[2]) != 0 || len(*logs[3]) != 0 {
+		t.Fatalf("partition not respected: %v %v %v", *logs[1], *logs[2], *logs[3])
+	}
+	if net.Pending() == 0 {
+		t.Fatalf("cross-partition messages should stay queued")
+	}
+	net.Heal()
+	net.Quiesce()
+	if len(*logs[2]) != 1 || len(*logs[3]) != 1 {
+		t.Fatalf("healed messages not delivered")
+	}
+}
+
+func TestSimStats(t *testing.T) {
+	net := NewSim(SimOptions{N: 3, Seed: 0})
+	collect(net, 3)
+	net.Broadcast(0, []byte("abcd"))
+	net.Quiesce()
+	s := net.Stats()
+	if s.Broadcasts != 1 || s.Sends != 3 || s.Delivered != 3 || s.Bytes != 12 {
+		t.Fatalf("stats wrong: %v", s)
+	}
+}
+
+func TestURBSurvivesPartialBroadcastCrash(t *testing.T) {
+	// The crash-adversary drops a random subset of the crashed
+	// process's in-flight frames. With URB, either nobody applies the
+	// update or every correct process does.
+	f := func(seed int64) bool {
+		const n = 4
+		base := NewSim(SimOptions{N: n, Seed: seed})
+		urb := NewURB(base, n)
+		logs := collect(urb, n)
+		urb.Broadcast(0, []byte("u"))
+		// Deliver a couple of frames, then crash 0 dropping half of the
+		// rest.
+		base.StepN(2)
+		base.CrashPartialBroadcast(0, 0.5)
+		base.Quiesce()
+		// All correct processes must agree on whether "u" exists.
+		count := 0
+		for i := 1; i < n; i++ {
+			if len(*logs[i]) > 0 {
+				count++
+			}
+		}
+		return count == 0 || count == n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestURBWithoutItFailsUnderPartialCrash(t *testing.T) {
+	// Sanity check that the adversary actually bites: best-effort
+	// broadcast must, for some seed, deliver to a strict non-empty
+	// subset of correct processes.
+	for seed := int64(0); seed < 100; seed++ {
+		const n = 4
+		base := NewSim(SimOptions{N: n, Seed: seed})
+		logs := collect(base, n)
+		base.Broadcast(0, []byte("u"))
+		base.StepN(1)
+		base.CrashPartialBroadcast(0, 0)
+		base.Quiesce()
+		count := 0
+		for i := 1; i < n; i++ {
+			if len(*logs[i]) > 0 {
+				count++
+			}
+		}
+		if count > 0 && count < n-1 {
+			return // divergence demonstrated
+		}
+	}
+	t.Fatalf("best-effort broadcast never diverged; adversary broken")
+}
+
+func TestURBDeduplicates(t *testing.T) {
+	const n = 3
+	base := NewSim(SimOptions{N: n, Seed: 3})
+	urb := NewURB(base, n)
+	logs := collect(urb, n)
+	for k := 0; k < 5; k++ {
+		urb.Broadcast(1, []byte(fmt.Sprintf("m%d", k)))
+	}
+	base.Quiesce()
+	for i := 0; i < n; i++ {
+		if len(*logs[i]) != 5 {
+			t.Fatalf("process %d delivered %d (dedup broken?)", i, len(*logs[i]))
+		}
+	}
+}
+
+func TestDuplicatingNetworkDuplicates(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 30 && !found; seed++ {
+		net := NewSim(SimOptions{N: 2, Seed: seed, DuplicateProb: 0.5})
+		logs := collect(net, 2)
+		for k := 0; k < 5; k++ {
+			net.Broadcast(0, []byte{byte(k)})
+		}
+		net.Quiesce()
+		if len(*logs[1]) > 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("duplicating adversary never duplicated")
+	}
+}
+
+func TestURBDeduplicatesAtLeastOnceChannel(t *testing.T) {
+	// URB over an at-least-once network restores exactly-once
+	// application delivery (the assumption Algorithm 1 states).
+	f := func(seed int64) bool {
+		const n = 3
+		base := NewSim(SimOptions{N: n, Seed: seed, DuplicateProb: 0.4})
+		urb := NewURB(base, n)
+		logs := collect(urb, n)
+		for k := 0; k < 6; k++ {
+			urb.Broadcast(k%n, []byte{byte(k)})
+		}
+		base.Quiesce()
+		for i := 0; i < n; i++ {
+			if len(*logs[i]) != 6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateProbValidation(t *testing.T) {
+	for _, opts := range []SimOptions{
+		{N: 2, FIFO: true, DuplicateProb: 0.5},
+		{N: 2, DuplicateProb: 1.0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSim(%+v) should panic", opts)
+				}
+			}()
+			NewSim(opts)
+		}()
+	}
+}
+
+func TestLiveNetworkDeliversAll(t *testing.T) {
+	const n = 4
+	net := NewLive(n)
+	defer net.Close()
+	var mu sync.Mutex
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		net.Attach(i, func(from int, payload []byte) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				net.Broadcast(id, []byte{byte(k)})
+			}
+		}(i)
+	}
+	wg.Wait()
+	net.Drain()
+	net.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	for i, c := range counts {
+		if c != n*50 {
+			t.Fatalf("process %d got %d of %d", i, c, n*50)
+		}
+	}
+}
+
+func TestLiveNetworkCrash(t *testing.T) {
+	net := NewLive(2)
+	defer net.Close()
+	var mu sync.Mutex
+	got := 0
+	net.Attach(0, func(int, []byte) {})
+	net.Attach(1, func(int, []byte) { mu.Lock(); got++; mu.Unlock() })
+	net.Crash(1)
+	net.Broadcast(0, []byte("x"))
+	net.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if got != 0 {
+		t.Fatalf("crashed process handled a message")
+	}
+}
+
+func TestLiveURB(t *testing.T) {
+	const n = 3
+	base := NewLive(n)
+	defer base.Close()
+	urb := NewURB(base, n)
+	var mu sync.Mutex
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		urb.Attach(i, func(from int, payload []byte) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		})
+	}
+	for k := 0; k < 20; k++ {
+		urb.Broadcast(k%n, []byte("m"))
+	}
+	base.Drain()
+	// Relays may still be in flight after the first drain; drain until
+	// stable.
+	for i := 0; i < 3; i++ {
+		base.Drain()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, c := range counts {
+		if c != 20 {
+			t.Fatalf("process %d delivered %d of 20", i, c)
+		}
+	}
+}
+
+// TestQuickSimAllSeedsConverge: for arbitrary seeds the simulator
+// delivers every broadcast to every correct process exactly once —
+// reliability of the substrate is what Proposition 4 builds on.
+func TestQuickSimAllSeedsConverge(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn%4) + 2
+		net := NewSim(SimOptions{N: n, Seed: seed})
+		logs := collect(net, n)
+		r := rand.New(rand.NewSource(seed))
+		msgs := 5 + r.Intn(10)
+		for k := 0; k < msgs; k++ {
+			net.Broadcast(r.Intn(n), []byte{byte(k)})
+		}
+		net.Quiesce()
+		for i := 0; i < n; i++ {
+			if len(*logs[i]) != msgs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// URB layers uniform reliable broadcast over a best-effort network:
+// when a process delivers a message for the first time it relays it to
+// everyone before handing it to the application. This guarantees that
+// if *any* correct process delivers a broadcast, *every* correct
+// process eventually delivers it — even when the original sender
+// crashed partway through its broadcast (SimNetwork.
+// CrashPartialBroadcast). Algorithm 1 assumes exactly this "reliably
+// broadcasting" primitive (§VII-B); without it, a partial crash could
+// leave correct replicas permanently disagreeing on the update set.
+//
+// The cost is the classic one: every process retransmits every message
+// once, so an application-level broadcast costs up to n² point-to-point
+// sends on the underlying network. §VII-C's "a unique message is
+// broadcast for each update" counts application-level broadcasts; the
+// experiment harness reports both levels.
+type URB struct {
+	inner Network
+	n     int
+	nodes []*urbNode
+}
+
+type urbNode struct {
+	mu      sync.Mutex
+	id      int
+	seen    map[urbKey]bool
+	deliver Handler
+	nextSeq uint64
+	urb     *URB
+}
+
+type urbKey struct {
+	origin int
+	seq    uint64
+}
+
+// NewURB wraps a best-effort network carrying n processes.
+func NewURB(inner Network, n int) *URB {
+	u := &URB{inner: inner, n: n, nodes: make([]*urbNode, n)}
+	for i := range u.nodes {
+		u.nodes[i] = &urbNode{id: i, seen: map[urbKey]bool{}, urb: u}
+	}
+	return u
+}
+
+// Attach implements Network: h receives application payloads exactly
+// once per application broadcast, attributed to the originating
+// process.
+func (u *URB) Attach(id int, h Handler) {
+	node := u.nodes[id]
+	node.mu.Lock()
+	node.deliver = h
+	node.mu.Unlock()
+	u.inner.Attach(id, node.onRaw)
+}
+
+// Broadcast implements Network.
+func (u *URB) Broadcast(from int, payload []byte) {
+	node := u.nodes[from]
+	node.mu.Lock()
+	node.nextSeq++
+	seq := node.nextSeq
+	node.mu.Unlock()
+	u.inner.Broadcast(from, encodeURB(from, seq, payload))
+}
+
+// onRaw handles a frame from the underlying network: deduplicate,
+// relay, deliver.
+func (nd *urbNode) onRaw(_ int, frame []byte) {
+	origin, seq, payload, err := decodeURB(frame)
+	if err != nil {
+		panic(fmt.Sprintf("transport: corrupted URB frame: %v", err))
+	}
+	key := urbKey{origin: origin, seq: seq}
+	nd.mu.Lock()
+	if nd.seen[key] {
+		nd.mu.Unlock()
+		return
+	}
+	nd.seen[key] = true
+	deliver := nd.deliver
+	nd.mu.Unlock()
+	// Relay before delivering: once anyone applies the update, the
+	// frame is already on its way to everyone else.
+	if origin != nd.id {
+		nd.urb.inner.Broadcast(nd.id, frame)
+	}
+	if deliver != nil {
+		deliver(origin, payload)
+	}
+}
+
+func encodeURB(origin int, seq uint64, payload []byte) []byte {
+	var buf [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(origin))
+	n += binary.PutUvarint(buf[n:], seq)
+	frame := make([]byte, 0, n+len(payload))
+	frame = append(frame, buf[:n]...)
+	return append(frame, payload...)
+}
+
+func decodeURB(frame []byte) (origin int, seq uint64, payload []byte, err error) {
+	o, n := binary.Uvarint(frame)
+	if n <= 0 {
+		return 0, 0, nil, fmt.Errorf("bad origin")
+	}
+	s, m := binary.Uvarint(frame[n:])
+	if m <= 0 {
+		return 0, 0, nil, fmt.Errorf("bad seq")
+	}
+	return int(o), s, frame[n+m:], nil
+}
+
+var _ Network = (*URB)(nil)

@@ -1,0 +1,328 @@
+package updatec
+
+import (
+	"updatec/internal/check"
+	"updatec/internal/core"
+	"updatec/internal/history"
+	"updatec/internal/spec"
+	"updatec/internal/transport"
+)
+
+// Set is an update consistent replicated set: after convergence, every
+// replica holds the state reached by one total order of all insertions
+// and deletions (Example 1's S_Val under Algorithm 1).
+type Set struct{ inner *core.Set }
+
+// Insert adds v to the set. Wait-free.
+func (s *Set) Insert(v string) { s.inner.Insert(v) }
+
+// Delete removes v from the set. Wait-free.
+func (s *Set) Delete(v string) { s.inner.Delete(v) }
+
+// Elements returns this replica's current view, sorted.
+func (s *Set) Elements() []string { return s.inner.Elements() }
+
+// Contains reports membership in this replica's current view.
+func (s *Set) Contains(v string) bool { return s.inner.Contains(v) }
+
+// NewSetCluster builds n replicas of an update consistent set.
+func NewSetCluster(n int, opts ...Option) (*Cluster, []*Set, error) {
+	cl, reps, err := newCluster(n, spec.Set(), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sets := make([]*Set, n)
+	for i, r := range reps {
+		sets[i] = &Set{inner: core.NewSet(r)}
+	}
+	cl.omega = func(p int) { reps[p].QueryOmega(spec.Read{}) }
+	return cl, sets, nil
+}
+
+// Counter is an update consistent replicated counter (also a CRDT,
+// since its updates commute).
+type Counter struct{ inner *core.Counter }
+
+// Add adds n (negative values subtract). Wait-free.
+func (c *Counter) Add(n int64) { c.inner.Add(n) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.inner.Inc() }
+
+// Dec subtracts one.
+func (c *Counter) Dec() { c.inner.Dec() }
+
+// Value returns this replica's current count.
+func (c *Counter) Value() int64 { return c.inner.Value() }
+
+// NewCounterCluster builds n replicas of an update consistent counter.
+func NewCounterCluster(n int, opts ...Option) (*Cluster, []*Counter, error) {
+	cl, reps, err := newCluster(n, spec.Counter(), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctrs := make([]*Counter, n)
+	for i, r := range reps {
+		ctrs[i] = &Counter{inner: core.NewCounter(r)}
+	}
+	cl.omega = func(p int) { reps[p].QueryOmega(spec.Read{}) }
+	return cl, ctrs, nil
+}
+
+// Register is an update consistent last-writer register.
+type Register struct{ inner *core.Register }
+
+// Write stores v. Wait-free.
+func (r *Register) Write(v string) { r.inner.Write(v) }
+
+// Read returns this replica's current value.
+func (r *Register) Read() string { return r.inner.Read() }
+
+// NewRegisterCluster builds n replicas of an update consistent
+// register with initial value v0.
+func NewRegisterCluster(n int, v0 string, opts ...Option) (*Cluster, []*Register, error) {
+	cl, reps, err := newCluster(n, spec.Register(v0), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	regs := make([]*Register, n)
+	for i, r := range reps {
+		regs[i] = &Register{inner: core.NewRegister(r)}
+	}
+	cl.omega = func(p int) { reps[p].QueryOmega(spec.Read{}) }
+	return cl, regs, nil
+}
+
+// TextLog is an update consistent append-only document: all replicas
+// converge to the same line order — the convergence collaborative
+// editors need. Appends do not commute, so no plain CRDT provides
+// this; the update linearization does.
+type TextLog struct{ inner *core.TextLog }
+
+// Append adds a line at the end of the document. Wait-free.
+func (l *TextLog) Append(line string) { l.inner.Append(line) }
+
+// Lines returns this replica's current document.
+func (l *TextLog) Lines() []string { return l.inner.Lines() }
+
+// NewTextLogCluster builds n replicas of an update consistent
+// append-only document.
+func NewTextLogCluster(n int, opts ...Option) (*Cluster, []*TextLog, error) {
+	cl, reps, err := newCluster(n, spec.Log(), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	logs := make([]*TextLog, n)
+	for i, r := range reps {
+		logs[i] = &TextLog{inner: core.NewTextLog(r)}
+	}
+	cl.omega = func(p int) { reps[p].QueryOmega(spec.ReadLog{}) }
+	return cl, logs, nil
+}
+
+// Graph is an update consistent directed graph: every replica's view
+// always satisfies referential integrity (edges only between present
+// vertices), because all replicas execute the same update
+// linearization of the sequential graph semantics.
+type Graph struct{ inner *core.Graph }
+
+// AddVertex adds vertex v. Wait-free.
+func (g *Graph) AddVertex(v string) { g.inner.AddVertex(v) }
+
+// RemoveVertex removes v and its incident edges. Wait-free.
+func (g *Graph) RemoveVertex(v string) { g.inner.RemoveVertex(v) }
+
+// AddEdge adds edge u→v (dropped if an endpoint is absent at its
+// linearization point). Wait-free.
+func (g *Graph) AddEdge(u, v string) { g.inner.AddEdge(u, v) }
+
+// RemoveEdge removes edge u→v. Wait-free.
+func (g *Graph) RemoveEdge(u, v string) { g.inner.RemoveEdge(u, v) }
+
+// Vertices returns this replica's current vertices, sorted.
+func (g *Graph) Vertices() []string { return g.inner.Snapshot().Vertices }
+
+// Edges returns this replica's current edges, sorted.
+func (g *Graph) Edges() [][2]string { return g.inner.Snapshot().Edges }
+
+// NewGraphCluster builds n replicas of an update consistent graph.
+func NewGraphCluster(n int, opts ...Option) (*Cluster, []*Graph, error) {
+	cl, reps, err := newCluster(n, spec.Graph(), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	graphs := make([]*Graph, n)
+	for i, r := range reps {
+		graphs[i] = &Graph{inner: core.NewGraph(r)}
+	}
+	cl.omega = func(p int) { reps[p].QueryOmega(spec.ReadGraph{}) }
+	return cl, graphs, nil
+}
+
+// Sequence is an update consistent positional sequence: a shared
+// ordered document with insert-at-position and delete-at-position,
+// converging to one element order on every replica.
+type Sequence struct{ inner *core.Sequence }
+
+// InsertAt inserts v at position pos. Wait-free.
+func (s *Sequence) InsertAt(pos int, v string) { s.inner.InsertAt(pos, v) }
+
+// DeleteAt deletes the element at position pos. Wait-free.
+func (s *Sequence) DeleteAt(pos int) { s.inner.DeleteAt(pos) }
+
+// Items returns this replica's current document.
+func (s *Sequence) Items() []string { return s.inner.Items() }
+
+// NewSequenceCluster builds n replicas of an update consistent
+// positional sequence.
+func NewSequenceCluster(n int, opts ...Option) (*Cluster, []*Sequence, error) {
+	cl, reps, err := newCluster(n, spec.Sequence(), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	seqs := make([]*Sequence, n)
+	for i, r := range reps {
+		seqs[i] = &Sequence{inner: core.NewSequence(r)}
+	}
+	cl.omega = func(p int) { reps[p].QueryOmega(spec.ReadSeq{}) }
+	return cl, seqs, nil
+}
+
+// KV is an update consistent key-value store built on the *generic*
+// construction (Algorithm 1 over the register-map type). Prefer
+// NewMemoryCluster (Algorithm 2) in applications: it implements the
+// same semantics with O(1) reads and bounded memory; KV exists mainly
+// for the paper's complexity comparison.
+type KV struct{ inner *core.KV }
+
+// Put writes v to register k. Wait-free.
+func (kv *KV) Put(k, v string) { kv.inner.Put(k, v) }
+
+// Get reads register k from this replica.
+func (kv *KV) Get(k string) string { return kv.inner.Get(k) }
+
+// NewKVCluster builds n replicas of the generic key-value store.
+func NewKVCluster(n int, opts ...Option) (*Cluster, []*KV, error) {
+	cl, reps, err := newCluster(n, spec.Memory(""), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	kvs := make([]*KV, n)
+	for i, r := range reps {
+		kvs[i] = &KV{inner: core.NewKV(r)}
+	}
+	cl.omega = func(p int) { reps[p].QueryOmega(spec.ReadKey{K: ""}) }
+	return cl, kvs, nil
+}
+
+// Memory is the shared memory of Algorithm 2: per-register
+// last-writer-wins cells ordered by the same timestamps as the generic
+// construction, giving update consistency with O(1) reads and writes
+// and memory bounded by the number of registers.
+type Memory struct{ inner *core.Memory }
+
+// Write stores v in register x. Wait-free, O(1).
+func (m *Memory) Write(x, v string) { m.inner.Write(x, v) }
+
+// Read returns register x at this replica. O(1).
+func (m *Memory) Read(x string) string { return m.inner.Read(x) }
+
+// NewMemoryCluster builds n replicas of the Algorithm 2 shared memory
+// with initial register value v0. Memory clusters do not support
+// WithEngine/WithGC (Algorithm 2 needs neither: it keeps no log).
+func NewMemoryCluster(n int, v0 string, opts ...Option) (*Cluster, []*Memory, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cl := &Cluster{n: n}
+	if cfg.simulated {
+		cl.sim = transport.NewSim(transport.SimOptions{N: n, Seed: cfg.seed, FIFO: cfg.fifo})
+	} else {
+		cl.live = transport.NewLive(n)
+	}
+	if cfg.record {
+		cl.rec = history.NewRecorder(spec.Memory(v0), n)
+	}
+	mems := make([]*Memory, n)
+	cl.memories = make([]*core.Memory, n)
+	for i := 0; i < n; i++ {
+		var m *core.Memory
+		if cl.sim != nil {
+			m = core.NewMemory(core.MemoryConfig{ID: i, Init: v0, Net: cl.sim, Recorder: cl.rec})
+		} else {
+			m = core.NewMemory(core.MemoryConfig{ID: i, Init: v0, Net: cl.live, Recorder: cl.rec})
+		}
+		cl.memories[i] = m
+		mems[i] = &Memory{inner: m}
+	}
+	cl.omega = func(p int) {
+		for _, k := range cl.memories[p].Keys() {
+			cl.memories[p].ReadOmega(k)
+			break // one ω read suffices for the classification
+		}
+	}
+	return cl, mems, nil
+}
+
+// SetSession is a client session over a set cluster providing
+// read-your-writes and monotonic reads across replica failover, while
+// staying wait-free: a read against a replica that has not yet caught
+// up with the session's observations reports ok = false instead of
+// blocking. (Update consistency is a convergence guarantee; sessions
+// add the per-client ordering guarantees on the way to convergence.)
+type SetSession struct {
+	cl   *Cluster
+	sess *core.Session
+}
+
+// NewSetSession opens a session against replica p of a set cluster
+// built by NewSetCluster.
+func (c *Cluster) NewSetSession(p int) *SetSession {
+	if _, ok := c.replicas[p].ADT().(spec.SetSpec); !ok {
+		panic("updatec: NewSetSession requires a set cluster")
+	}
+	return &SetSession{cl: c, sess: core.NewSession(c.replicas[p])}
+}
+
+// Switch fails the session over to replica p.
+func (s *SetSession) Switch(p int) { s.sess.Switch(s.cl.replicas[p]) }
+
+// Insert adds v through the session's replica.
+func (s *SetSession) Insert(v string) { s.sess.Update(spec.Ins{V: v}) }
+
+// Delete removes v through the session's replica.
+func (s *SetSession) Delete(v string) { s.sess.Update(spec.Del{V: v}) }
+
+// TryElements returns the replica's view if it covers everything this
+// session has observed; ok = false means the replica is stale for this
+// session (retry later or Switch).
+func (s *SetSession) TryElements() (elems []string, ok bool) {
+	out, ok := s.sess.TryQuery(spec.Read{})
+	if !ok {
+		return nil, false
+	}
+	return out.(spec.Elems), true
+}
+
+// ClassifyHistory parses a history in the paper's notation (see
+// cmd/uccheck for the grammar) and classifies it under the five
+// criteria.
+func ClassifyHistory(text string) (Classification, error) {
+	h, err := history.Parse(text)
+	if err != nil {
+		return Classification{}, err
+	}
+	return classify(h), nil
+}
+
+func classify(h *history.History) Classification {
+	c := check.Classify(h)
+	return Classification{
+		EventuallyConsistent:       c.EC,
+		StrongEventuallyConsistent: c.SEC,
+		UpdateConsistent:           c.UC,
+		StrongUpdateConsistent:     c.SUC,
+		PipelinedConsistent:        c.PC,
+	}
+}

@@ -1,0 +1,280 @@
+// Package updatec is a Go implementation of update consistency — the
+// consistency criterion of Perrin, Mostéfaoui and Jard, "Update
+// Consistency for Wait-free Concurrent Objects" (IPDPS 2015) — together
+// with the paper's universal construction for arbitrary update-query
+// data types (Algorithm 1), its optimized shared memory (Algorithm 2),
+// the CRDT baselines it compares against, and machine-checked deciders
+// for the paper's consistency criteria.
+//
+// The package offers replicated objects (Set, Counter, Register,
+// TextLog, KV, Memory) whose replicas converge, after all updates have
+// been delivered, to the state reached by a single total order of all
+// updates — a guarantee strictly stronger than eventual consistency:
+// the converged state is always explainable by a sequential execution
+// of the object's specification. Every operation is wait-free: it
+// completes using only local state, whatever the network does and
+// however many replicas crash.
+//
+// # Quick start
+//
+//	cluster, sets, _ := updatec.NewSetCluster(3)
+//	defer cluster.Close()
+//	sets[0].Insert("x")
+//	sets[1].Delete("x") // concurrent conflicting update
+//	cluster.Settle()    // deliver everything in flight
+//	// All replicas now agree, and the common state is the result of
+//	// SOME total order of the two updates.
+//
+// By default a cluster runs on a live goroutine transport. WithSeed
+// switches to a deterministic simulated network whose adversarial
+// delivery order is reproducible, which the experiment harness and
+// tests use. WithRecording records the run as a distributed history
+// that can be classified under the paper's criteria.
+package updatec
+
+import (
+	"fmt"
+
+	"updatec/internal/core"
+	"updatec/internal/history"
+	"updatec/internal/spec"
+	"updatec/internal/transport"
+)
+
+// EngineKind selects the query engine of the generic construction
+// (§VII-C): Replay is the paper's literal algorithm, Checkpoint keeps
+// periodic snapshots, Undo splices late updates with inverse patches.
+type EngineKind int
+
+// Available query engines.
+const (
+	Replay EngineKind = iota
+	Checkpoint
+	Undo
+)
+
+type config struct {
+	seed      int64
+	simulated bool
+	fifo      bool
+	gc        bool
+	engine    EngineKind
+	record    bool
+}
+
+// Option configures a cluster.
+type Option func(*config)
+
+// WithSeed runs the cluster on the deterministic simulated network
+// driven by the given adversary seed. Deliveries happen only through
+// Cluster.Deliver and Cluster.Settle, making runs fully reproducible.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.simulated = true; c.seed = seed }
+}
+
+// WithFIFO restricts the simulated network to per-link FIFO delivery
+// (required by WithGC; implied on the live transport).
+func WithFIFO() Option { return func(c *config) { c.fifo = true } }
+
+// WithGC enables stability-based log compaction (§VII-C garbage
+// collection). It requires FIFO delivery.
+func WithGC() Option { return func(c *config) { c.gc = true } }
+
+// WithEngine selects the query engine.
+func WithEngine(k EngineKind) Option { return func(c *config) { c.engine = k } }
+
+// WithRecording records every operation into a distributed history
+// available from Cluster.History and Cluster.Classify.
+func WithRecording() Option { return func(c *config) { c.record = true } }
+
+// Cluster owns the transport and replicas of one replicated object.
+type Cluster struct {
+	n        int
+	sim      *transport.SimNetwork
+	live     *transport.LiveNetwork
+	replicas []*core.Replica
+	memories []*core.Memory
+	rec      *history.Recorder
+	omega    func(p int)
+	crashed  map[int]bool
+	closed   bool
+}
+
+// NetworkStats summarizes transport traffic.
+type NetworkStats struct {
+	// Broadcasts counts application-level broadcasts (one per update).
+	Broadcasts uint64
+	// Sends and Bytes count point-to-point transmissions and payload
+	// bytes.
+	Sends, Bytes uint64
+}
+
+// newCluster assembles the transport and generic replicas for a spec.
+func newCluster(n int, adt spec.UQADT, opts []Option) (*Cluster, []*core.Replica, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("updatec: cluster size must be positive, got %d", n)
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.gc && cfg.simulated && !cfg.fifo {
+		return nil, nil, fmt.Errorf("updatec: WithGC on a simulated network requires WithFIFO")
+	}
+	cl := &Cluster{n: n}
+	var net transport.Network
+	if cfg.simulated {
+		cl.sim = transport.NewSim(transport.SimOptions{N: n, Seed: cfg.seed, FIFO: cfg.fifo})
+		net = cl.sim
+	} else {
+		cl.live = transport.NewLive(n)
+		net = cl.live
+	}
+	if cfg.record {
+		cl.rec = history.NewRecorder(adt, n)
+	}
+	var mkEngine func() core.Engine
+	switch cfg.engine {
+	case Checkpoint:
+		mkEngine = func() core.Engine { return core.NewCheckpointEngine(64) }
+	case Undo:
+		mkEngine = func() core.Engine { return core.NewUndoEngine() }
+	}
+	cl.replicas = core.Cluster(n, adt, net, core.ClusterOptions{
+		NewEngine: mkEngine, GC: cfg.gc, Recorder: cl.rec,
+	})
+	return cl, cl.replicas, nil
+}
+
+// Deliver delivers one in-flight message on a simulated cluster,
+// reporting whether anything was deliverable. It panics on a live
+// cluster (delivery is autonomous there).
+func (c *Cluster) Deliver() bool {
+	if c.sim == nil {
+		panic("updatec: Deliver is only meaningful with WithSeed (simulated transport)")
+	}
+	return c.sim.Step()
+}
+
+// Settle delivers every in-flight message: on a simulated cluster it
+// runs the adversary to quiescence; on a live cluster it waits for all
+// mailboxes to drain. After Settle (and absent new updates) all
+// replicas have applied the same update set and therefore agree.
+func (c *Cluster) Settle() {
+	if c.sim != nil {
+		c.sim.Quiesce()
+		return
+	}
+	c.live.Drain()
+}
+
+// Crash halts a replica: it stops receiving and its broadcasts are
+// suppressed. Survivors keep operating — wait-freedom. Crashed
+// replicas are excluded from Converged and from recorded ω queries.
+func (c *Cluster) Crash(p int) {
+	if c.crashed == nil {
+		c.crashed = map[int]bool{}
+	}
+	c.crashed[p] = true
+	if c.sim != nil {
+		c.sim.Crash(p)
+		return
+	}
+	c.live.Crash(p)
+}
+
+// Close releases transport resources (a no-op for simulated clusters).
+func (c *Cluster) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.live != nil {
+		c.live.Close()
+	}
+}
+
+// Stats returns transport traffic counters.
+func (c *Cluster) Stats() NetworkStats {
+	var s transport.Stats
+	if c.sim != nil {
+		s = c.sim.Stats()
+	} else {
+		s = c.live.Stats()
+	}
+	return NetworkStats{Broadcasts: s.Broadcasts, Sends: s.Sends, Bytes: s.Bytes}
+}
+
+// Converged reports whether all surviving (non-crashed) replicas
+// currently have identical states (call Settle first for a meaningful
+// answer).
+func (c *Cluster) Converged() bool {
+	key := func(p int) string {
+		if len(c.memories) > 0 {
+			return c.memories[p].StateKey()
+		}
+		return c.replicas[p].StateKey()
+	}
+	want, first := "", true
+	for p := 0; p < c.n; p++ {
+		if c.crashed[p] {
+			continue
+		}
+		if first {
+			want, first = key(p), false
+			continue
+		}
+		if key(p) != want {
+			return false
+		}
+	}
+	return true
+}
+
+// History finalizes the recorded history: it settles the cluster,
+// records one converged (ω) query per replica, and returns the history
+// in the paper's notation. Requires WithRecording.
+func (c *Cluster) History() (string, error) {
+	h, err := c.recorded()
+	if err != nil {
+		return "", err
+	}
+	return history.Format(h), nil
+}
+
+// Classification reports which of the paper's criteria a history
+// satisfies.
+type Classification struct {
+	EventuallyConsistent       bool
+	StrongEventuallyConsistent bool
+	UpdateConsistent           bool
+	StrongUpdateConsistent     bool
+	PipelinedConsistent        bool
+}
+
+// Classify finalizes the recorded history and classifies it under the
+// five criteria. Keep recorded runs small: the deciders solve
+// NP-complete search problems. Requires WithRecording.
+func (c *Cluster) Classify() (Classification, error) {
+	h, err := c.recorded()
+	if err != nil {
+		return Classification{}, err
+	}
+	return classify(h), nil
+}
+
+func (c *Cluster) recorded() (*history.History, error) {
+	if c.rec == nil {
+		return nil, fmt.Errorf("updatec: cluster was built without WithRecording")
+	}
+	c.Settle()
+	if c.omega != nil {
+		for p := 0; p < c.n; p++ {
+			if !c.crashed[p] {
+				c.omega(p)
+			}
+		}
+		c.omega = nil // record ω queries only once
+	}
+	return c.rec.History()
+}

@@ -1,0 +1,357 @@
+package updatec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSetClusterLive(t *testing.T) {
+	cluster, sets, err := NewSetCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	var wg sync.WaitGroup
+	for i, s := range sets {
+		wg.Add(1)
+		go func(i int, s *Set) {
+			defer wg.Done()
+			s.Insert(fmt.Sprint(i))
+			if i%2 == 0 {
+				s.Delete(fmt.Sprint(i + 1))
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	cluster.Settle()
+	if !cluster.Converged() {
+		t.Fatalf("live set cluster did not converge")
+	}
+}
+
+func TestSetClusterSimulatedDeterminism(t *testing.T) {
+	run := func() []string {
+		cluster, sets, err := NewSetCluster(2, WithSeed(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		sets[0].Insert("a")
+		sets[1].Delete("a")
+		sets[1].Insert("b")
+		cluster.Settle()
+		return sets[0].Elements()
+	}
+	a, b := run(), run()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("simulated runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestDeliverStepwise(t *testing.T) {
+	cluster, sets, err := NewSetCluster(2, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets[0].Insert("x")
+	if sets[1].Contains("x") {
+		t.Fatalf("update visible before delivery")
+	}
+	if !cluster.Deliver() {
+		t.Fatalf("one message should be deliverable")
+	}
+	if !sets[1].Contains("x") {
+		t.Fatalf("update not visible after delivery")
+	}
+	if cluster.Deliver() {
+		t.Fatalf("nothing should remain in flight")
+	}
+}
+
+func TestCounterCluster(t *testing.T) {
+	cluster, ctrs, err := NewCounterCluster(3, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrs[0].Inc()
+	ctrs[1].Add(41)
+	ctrs[2].Dec()
+	cluster.Settle()
+	for i, c := range ctrs {
+		if got := c.Value(); got != 41 {
+			t.Fatalf("counter %d = %d, want 41", i, got)
+		}
+	}
+}
+
+func TestRegisterCluster(t *testing.T) {
+	cluster, regs, err := NewRegisterCluster(2, "v0", WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs[0].Read() != "v0" {
+		t.Fatalf("initial value lost")
+	}
+	regs[0].Write("a")
+	regs[1].Write("b")
+	cluster.Settle()
+	if regs[0].Read() != regs[1].Read() {
+		t.Fatalf("registers diverged")
+	}
+}
+
+func TestTextLogCluster(t *testing.T) {
+	cluster, logs, err := NewTextLogCluster(2, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs[0].Append("one")
+	logs[1].Append("two")
+	cluster.Settle()
+	a, b := logs[0].Lines(), logs[1].Lines()
+	if len(a) != 2 || len(b) != 2 || a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("documents diverged: %v vs %v", a, b)
+	}
+}
+
+func TestKVAndMemoryClusters(t *testing.T) {
+	clusterKV, kvs, err := NewKVCluster(2, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs[0].Put("k", "v1")
+	kvs[1].Put("k", "v2")
+	clusterKV.Settle()
+	if kvs[0].Get("k") != kvs[1].Get("k") {
+		t.Fatalf("kv diverged")
+	}
+
+	clusterMem, mems, err := NewMemoryCluster(2, "0", WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mems[0].Write("k", "v1")
+	mems[1].Write("k", "v2")
+	clusterMem.Settle()
+	if mems[0].Read("k") != mems[1].Read("k") {
+		t.Fatalf("memory diverged")
+	}
+	if !clusterMem.Converged() {
+		t.Fatalf("memory cluster should report convergence")
+	}
+	// Algorithm 1 and Algorithm 2 resolve the identical conflict the
+	// same way: both order the writes by (clock, pid).
+	if kvs[0].Get("k") != mems[0].Read("k") {
+		t.Fatalf("Algorithm 1 and Algorithm 2 disagree: %q vs %q",
+			kvs[0].Get("k"), mems[0].Read("k"))
+	}
+}
+
+func TestCrashSurvivors(t *testing.T) {
+	cluster, sets, err := NewSetCluster(3, WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets[0].Insert("a")
+	cluster.Settle()
+	cluster.Crash(2)
+	sets[1].Insert("b")
+	cluster.Settle()
+	if got := strings.Join(sets[0].Elements(), ","); got != "a,b" {
+		t.Fatalf("survivor 0: %s", got)
+	}
+	if got := strings.Join(sets[1].Elements(), ","); got != "a,b" {
+		t.Fatalf("survivor 1: %s", got)
+	}
+}
+
+func TestRecordingAndClassification(t *testing.T) {
+	cluster, sets, err := NewSetCluster(2, WithSeed(17), WithRecording())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets[0].Insert("1")
+	sets[1].Insert("2")
+	text, err := cluster.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "I(1)") || !strings.Contains(text, "ω") {
+		t.Fatalf("history rendering unexpected:\n%s", text)
+	}
+	c, err := cluster.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.StrongUpdateConsistent || !c.UpdateConsistent || !c.EventuallyConsistent {
+		t.Fatalf("Algorithm 1 run must be SUC/UC/EC: %+v", c)
+	}
+}
+
+func TestClassifyHistoryText(t *testing.T) {
+	c, err := ClassifyHistory(`
+		set
+		p0: I(1) D(2) R/{1,2}ω
+		p1: I(2) D(1) R/{1,2}ω
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1(b): SEC but not UC.
+	if !c.StrongEventuallyConsistent || c.UpdateConsistent {
+		t.Fatalf("Fig1b classification wrong: %+v", c)
+	}
+	if _, err := ClassifyHistory("garbage"); err == nil {
+		t.Fatalf("expected parse error")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, _, err := NewSetCluster(0); err == nil {
+		t.Fatalf("zero-size cluster must be rejected")
+	}
+	if _, _, err := NewSetCluster(2, WithSeed(1), WithGC()); err == nil {
+		t.Fatalf("GC without FIFO must be rejected on simulated transport")
+	}
+	if _, _, err := NewSetCluster(2, WithSeed(1), WithGC(), WithFIFO()); err != nil {
+		t.Fatalf("GC with FIFO should work: %v", err)
+	}
+}
+
+func TestEngineOptions(t *testing.T) {
+	for _, k := range []EngineKind{Replay, Checkpoint, Undo} {
+		cluster, sets, err := NewSetCluster(2, WithSeed(19), WithEngine(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets[0].Insert("x")
+		sets[1].Delete("x")
+		cluster.Settle()
+		if !cluster.Converged() {
+			t.Fatalf("engine %v: cluster diverged", k)
+		}
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	cluster, sets, err := NewSetCluster(2, WithSeed(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets[0].Insert("x")
+	cluster.Settle()
+	st := cluster.Stats()
+	if st.Broadcasts != 1 || st.Bytes == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestGraphCluster(t *testing.T) {
+	cluster, graphs, err := NewGraphCluster(2, WithSeed(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs[0].AddVertex("a")
+	graphs[0].AddVertex("b")
+	graphs[0].AddEdge("a", "b")
+	graphs[1].RemoveVertex("b") // concurrent with everything
+	cluster.Settle()
+	if !cluster.Converged() {
+		t.Fatalf("graph cluster diverged")
+	}
+	// Referential integrity at every replica, whatever the order.
+	for i, g := range graphs {
+		present := map[string]bool{}
+		for _, v := range g.Vertices() {
+			present[v] = true
+		}
+		for _, e := range g.Edges() {
+			if !present[e[0]] || !present[e[1]] {
+				t.Fatalf("replica %d exposes dangling edge %v", i, e)
+			}
+		}
+	}
+}
+
+func TestSequenceCluster(t *testing.T) {
+	cluster, seqs, err := NewSequenceCluster(2, WithSeed(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs[0].InsertAt(0, "a")
+	seqs[1].InsertAt(0, "b")
+	cluster.Settle()
+	a, b := seqs[0].Items(), seqs[1].Items()
+	if len(a) != 2 || len(b) != 2 || a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("sequences diverged: %v vs %v", a, b)
+	}
+	seqs[0].DeleteAt(0)
+	cluster.Settle()
+	if len(seqs[1].Items()) != 1 {
+		t.Fatalf("delete not propagated: %v", seqs[1].Items())
+	}
+}
+
+func TestLiveSoakAllObjects(t *testing.T) {
+	// A longer mixed workload on the live transport; run under -race
+	// in CI. One cluster per object kind, concurrent writers.
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	clusterS, sets, err := NewSetCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clusterS.Close()
+	clusterC, ctrs, err := NewCounterCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clusterC.Close()
+	clusterQ, seqs, err := NewSequenceCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clusterQ.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				sets[i].Insert(fmt.Sprint(k % 7))
+				if k%3 == 0 {
+					sets[i].Delete(fmt.Sprint((k + 1) % 7))
+				}
+				ctrs[i].Add(int64(k%5 - 2))
+				seqs[i].InsertAt(k%4, fmt.Sprint(i))
+				if k%5 == 0 {
+					seqs[i].DeleteAt(0)
+					_ = sets[i].Elements()
+					_ = ctrs[i].Value()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	clusterS.Settle()
+	clusterC.Settle()
+	clusterQ.Settle()
+	if !clusterS.Converged() || !clusterC.Converged() || !clusterQ.Converged() {
+		t.Fatalf("soak clusters diverged: set=%v counter=%v sequence=%v",
+			clusterS.Converged(), clusterC.Converged(), clusterQ.Converged())
+	}
+}
+
+func TestHistoryWithoutRecordingErrs(t *testing.T) {
+	cluster, _, err := NewSetCluster(2, WithSeed(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.History(); err == nil {
+		t.Fatalf("History without WithRecording must fail")
+	}
+}

@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test vet fmt verify bench bench-quick bench-json
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails when any file needs gofmt.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "$$out"; exit 1; fi
+
+# verify is the tier-1 gate: one command for CI and reviewers.
+verify: build vet fmt test
+
+# bench runs the full -benchmem suite.
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# bench-quick prints the hot-path table in seconds, without updating
+# the recorded trajectory.
+bench-quick:
+	$(GO) run ./cmd/ucbench -exp hotpath -quick
+
+# bench-json refreshes the recorded perf trajectory.
+bench-json:
+	$(GO) run ./cmd/ucbench -exp hotpath -json BENCH_ucbench.json

@@ -431,6 +431,162 @@ func BenchmarkStateTransfer(b *testing.B) {
 	}
 }
 
+// BenchmarkLogInsertInOrder measures the log's hot path: every entry
+// arrives in timestamp order (the FIFO common case), so each insert
+// lands at the tail in O(1) with no per-op allocation. The log is
+// recycled in windows (off the clock) so the benchmark measures the
+// insert, not GC pressure from an ever-growing history.
+func BenchmarkLogInsertInOrder(b *testing.B) {
+	const window = 8192
+	adt := spec.Set()
+	var u spec.Update = spec.Ins{V: "x"}
+	log := core.NewLog(adt)
+	log.Reserve(window)
+	next := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if log.Len() == window {
+			b.StopTimer()
+			log = core.NewLog(adt)
+			log.Reserve(window)
+			b.StartTimer()
+		}
+		log.Insert(core.Entry{TS: clock.Timestamp{Clock: next, Proc: 0}, U: u})
+		next++
+	}
+}
+
+// BenchmarkLogInsertLate measures the slow path: every insert lands
+// before a standing tail suffix, paying the binary search plus the
+// suffix shift.
+func BenchmarkLogInsertLate(b *testing.B) {
+	const window = 8192
+	const suffix = 256
+	adt := spec.Set()
+	var u spec.Update = spec.Ins{V: "x"}
+	mkLog := func() *core.Log {
+		log := core.NewLog(adt)
+		log.Reserve(window + suffix)
+		for i := 0; i < suffix; i++ {
+			// A far-future suffix every late entry must displace.
+			log.Insert(core.Entry{TS: clock.Timestamp{Clock: uint64(1 << 40), Proc: i}, U: u})
+		}
+		return log
+	}
+	log := mkLog()
+	next := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if log.Len() == window+suffix {
+			b.StopTimer()
+			log = mkLog()
+			b.StartTimer()
+		}
+		log.Insert(core.Entry{TS: clock.Timestamp{Clock: next, Proc: 0}, U: u})
+		next++
+	}
+}
+
+// BenchmarkLogCompact measures steady-state compaction: entries stream
+// in at the tail and the stable prefix is folded away in chunks.
+func BenchmarkLogCompact(b *testing.B) {
+	adt := spec.Set()
+	log := core.NewLog(adt)
+	var u spec.Update = spec.Ins{V: "x"}
+	const chunk = 64
+	next := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < chunk; k++ {
+			log.Insert(core.Entry{TS: clock.Timestamp{Clock: next, Proc: 0}, U: u})
+			next++
+		}
+		log.CompactBelow(next - 1)
+	}
+}
+
+// BenchmarkSimBroadcast measures the transport-only cost of one
+// broadcast (n-1 envelopes enqueued) plus its full delivery.
+func BenchmarkSimBroadcast(b *testing.B) {
+	const n = 8
+	net := transport.NewSim(transport.SimOptions{N: n, Seed: 1})
+	for i := 0; i < n; i++ {
+		net.Attach(i, func(int, []byte) {})
+	}
+	payload := []byte("0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Broadcast(i%n, payload)
+		net.StepN(n - 1)
+	}
+}
+
+// BenchmarkSimStepBacklog measures one delivery step against a
+// standing backlog of in-flight messages (the candidate-scan plus
+// removal cost).
+func BenchmarkSimStepBacklog(b *testing.B) {
+	const n = 8
+	net := transport.NewSim(transport.SimOptions{N: n, Seed: 1})
+	for i := 0; i < n; i++ {
+		net.Attach(i, func(int, []byte) {})
+	}
+	payload := []byte("0123456789abcdef")
+	for i := 0; i < 128; i++ {
+		net.Broadcast(i%n, payload)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Broadcast(i%n, payload)
+		net.StepN(n - 1)
+	}
+}
+
+// BenchmarkConverged measures the cluster convergence predicate on a
+// settled 4-replica cluster — the polling loop of every experiment.
+func BenchmarkConverged(b *testing.B) {
+	cluster, sets, err := NewSetCluster(4, WithSeed(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < 512; k++ {
+		sets[k%4].Insert(fmt.Sprint(k % 50))
+	}
+	cluster.Settle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !cluster.Converged() {
+			b.Fatal("settled cluster must converge")
+		}
+	}
+}
+
+// BenchmarkConcurrentQuery measures query throughput with many reader
+// goroutines on one settled replica (live transport, undo engine).
+func BenchmarkConcurrentQuery(b *testing.B) {
+	net := transport.NewLive(2)
+	defer net.Close()
+	reps := core.Cluster(2, spec.Set(), net, core.ClusterOptions{
+		NewEngine: func() core.Engine { return core.NewUndoEngine() },
+	})
+	for k := 0; k < 256; k++ {
+		reps[0].Update(spec.Ins{V: fmt.Sprint(k % 40)})
+	}
+	net.Drain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			reps[0].Query(spec.Read{})
+		}
+	})
+}
+
 // BenchmarkDeciders measures each consistency decider on the Figure 2
 // history (the hardest of the paper's examples).
 func BenchmarkDeciders(b *testing.B) {

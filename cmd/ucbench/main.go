@@ -4,27 +4,48 @@
 //
 // Usage:
 //
-//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory] [-quick] [-runs n]
+//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath]
+//	        [-quick] [-runs n] [-json path]
+//
+// With -json, the machine-readable results of the experiments that
+// produce them (hotpath, complexity, memory) are written to the given
+// path; BENCH_ucbench.json in the repository root records the tracked
+// perf trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"updatec/internal/bench"
 )
 
+// report is the machine-readable result envelope emitted by -json.
+type report struct {
+	Experiment string                  `json:"experiment"`
+	Quick      bool                    `json:"quick"`
+	GoVersion  string                  `json:"go_version"`
+	HotPath    *bench.PerfResult       `json:"hotpath,omitempty"`
+	Complexity *bench.ComplexityResult `json:"complexity,omitempty"`
+	Memory     *bench.MemoryResult     `json:"memory,omitempty"`
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join")
+	exp := flag.String("exp", "all", "experiment to run: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	runs := flag.Int("runs", 400, "randomized-history runs for prop2/prop3")
+	jsonPath := flag.String("json", "", "write machine-readable results to this path")
 	flag.Parse()
 
 	w := os.Stdout
+	rep := report{Experiment: *exp, Quick: *quick, GoVersion: runtime.Version()}
 	switch *exp {
 	case "all":
-		bench.All(w, *quick)
+		res := bench.All(w, *quick)
+		rep.Complexity, rep.Memory, rep.HotPath = &res.Complexity, &res.Memory, &res.HotPath
 	case "fig1", "fig2":
 		if res := bench.Figures(w); res.Mismatches != 0 {
 			fmt.Fprintf(os.Stderr, "ucbench: %d classification mismatches\n", res.Mismatches)
@@ -50,18 +71,37 @@ func main() {
 	case "sets":
 		bench.SetCaseStudy(w)
 	case "complexity":
-		bench.Complexity(w, *quick)
+		res := bench.Complexity(w, *quick)
+		rep.Complexity = &res
 	case "memory":
-		bench.MemoryExperiment(w, *quick)
+		res := bench.MemoryExperiment(w, *quick)
+		rep.Memory = &res
 	case "partition":
 		bench.PartitionHeal(w)
 	case "latency":
 		bench.ConvergenceLatency(w)
 	case "join":
 		bench.StateTransfer(w)
+	case "hotpath":
+		res := bench.HotPath(w, *quick)
+		rep.HotPath = &res
 	default:
 		fmt.Fprintf(os.Stderr, "ucbench: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ucbench: encoding JSON report: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ucbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "\nwrote JSON results to %s\n", *jsonPath)
 	}
 }

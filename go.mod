@@ -1,0 +1,3 @@
+module updatec
+
+go 1.24

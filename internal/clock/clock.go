@@ -7,6 +7,7 @@ package clock
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // Timestamp is the pair (cl, j) attached to every update in
@@ -93,6 +94,30 @@ func (l *Lamport) Tick() uint64 {
 func (l *Lamport) Observe(remote uint64) {
 	if remote > l.now {
 		l.now = remote
+	}
+}
+
+// AtomicLamport is a Lamport clock safe for concurrent use without
+// external locking. Replicas use it so that queries running under a
+// shared (read) lock can still stamp their logical time (line 13 of
+// Algorithm 1) concurrently with each other.
+type AtomicLamport struct {
+	now atomic.Uint64
+}
+
+// Now returns the current clock value without advancing it.
+func (l *AtomicLamport) Now() uint64 { return l.now.Load() }
+
+// Tick advances the clock for a local event and returns the new value.
+func (l *AtomicLamport) Tick() uint64 { return l.now.Add(1) }
+
+// Observe merges a remote clock value (clock <- max(clock, remote)).
+func (l *AtomicLamport) Observe(remote uint64) {
+	for {
+		cur := l.now.Load()
+		if remote <= cur || l.now.CompareAndSwap(cur, remote) {
+			return
+		}
 	}
 }
 

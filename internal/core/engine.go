@@ -16,8 +16,10 @@ import (
 // states — the ablation benchmarks (experiment E8) measure only their
 // cost.
 //
-// Engines are driven by their replica under its lock; they are not
-// safe for standalone concurrent use.
+// Engines are driven by their replica under its lock; State and the
+// mutating notifications (Bind, Inserted) require the exclusive lock,
+// while StateConcurrent may run under a shared lock concurrently with
+// other StateConcurrent calls.
 type Engine interface {
 	// Name identifies the engine in benchmark tables.
 	Name() string
@@ -32,6 +34,13 @@ type Engine interface {
 	// log's base). The caller treats it as read-only and does not
 	// retain it across mutations.
 	State() spec.State
+	// StateConcurrent returns the same state as State when it can do so
+	// without mutating any engine-internal structure — i.e. when the
+	// call is safe under a shared lock concurrently with other readers.
+	// ok=false means the caller must fall back to State under an
+	// exclusive lock (e.g. a checkpoint engine that would have to
+	// record a new snapshot).
+	StateConcurrent() (s spec.State, ok bool)
 }
 
 // ReplayEngine is line 14–17 of Algorithm 1 verbatim: every query
@@ -57,15 +66,31 @@ func (*ReplayEngine) Inserted(int) {}
 // State implements Engine.
 func (e *ReplayEngine) State() spec.State { return e.log.Replay() }
 
+// StateConcurrent implements Engine: a replay builds a fresh state
+// from the (reader-locked) log and touches no engine state, so it is
+// always safe to run concurrently.
+func (e *ReplayEngine) StateConcurrent() (spec.State, bool) { return e.log.Replay(), true }
+
+// DefaultMaxMarks bounds the number of retained checkpoints when
+// NewCheckpointEngine is used; NewCheckpointEngineCapped overrides it.
+const DefaultMaxMarks = 64
+
 // CheckpointEngine keeps a snapshot of the state every interval
 // entries. A query replays only from the last snapshot; a late
 // insertion invalidates the snapshots after its position (the
 // "intermediate states are re-computed only if very late messages
 // arrive" optimization of §VII-C). O(interval + staleness) per query.
+//
+// The number of retained snapshots is capped: when the cap is reached
+// the oldest mark is dropped and its slot reused, so the engine's
+// clone-retention cost is bounded by maxMarks regardless of log
+// growth. A very late insert landing before the oldest retained mark
+// then rebuilds from the log base — the price of the bound.
 type CheckpointEngine struct {
 	adt      spec.UQADT
 	log      *Log
 	interval int
+	maxMarks int
 	// marks[i] is the snapshot after applying the first marks[i].n live
 	// entries on top of the base.
 	marks []checkpoint
@@ -77,12 +102,22 @@ type checkpoint struct {
 }
 
 // NewCheckpointEngine returns a snapshotting engine; interval must be
-// positive (a typical value is 64).
+// positive (a typical value is 64). At most DefaultMaxMarks snapshots
+// are retained.
 func NewCheckpointEngine(interval int) *CheckpointEngine {
+	return NewCheckpointEngineCapped(interval, DefaultMaxMarks)
+}
+
+// NewCheckpointEngineCapped returns a snapshotting engine retaining at
+// most maxMarks snapshots; interval and maxMarks must be positive.
+func NewCheckpointEngineCapped(interval, maxMarks int) *CheckpointEngine {
 	if interval <= 0 {
 		panic("core: checkpoint interval must be positive")
 	}
-	return &CheckpointEngine{interval: interval}
+	if maxMarks <= 0 {
+		panic("core: checkpoint mark cap must be positive")
+	}
+	return &CheckpointEngine{interval: interval, maxMarks: maxMarks}
 }
 
 // Name implements Engine.
@@ -90,10 +125,11 @@ func (e *CheckpointEngine) Name() string {
 	return fmt.Sprintf("checkpoint(%d)", e.interval)
 }
 
-// Bind implements Engine.
+// Bind implements Engine. The mark slice's storage is reused across
+// rebinds (compaction rebinds after every fold).
 func (e *CheckpointEngine) Bind(adt spec.UQADT, log *Log) {
 	e.adt, e.log = adt, log
-	e.marks = nil
+	e.marks = e.marks[:0]
 }
 
 // Inserted implements Engine: snapshots at or after the insertion
@@ -106,14 +142,44 @@ func (e *CheckpointEngine) Inserted(at int) {
 	e.marks = e.marks[:keep]
 }
 
-// State implements Engine.
-func (e *CheckpointEngine) State() spec.State {
+// record appends a snapshot, dropping the oldest mark when the cap is
+// reached (the slot storage is reused in place).
+func (e *CheckpointEngine) record(c checkpoint) {
+	if len(e.marks) == e.maxMarks {
+		copy(e.marks, e.marks[1:])
+		e.marks[len(e.marks)-1] = c
+		return
+	}
+	e.marks = append(e.marks, c)
+}
+
+// marksDue reports whether replaying the tail past the last mark
+// would record a new snapshot — i.e. some multiple of interval lies
+// past the last mark within the live entries. It is the single
+// predicate deciding whether replay(true) mutates the engine.
+func (e *CheckpointEngine) marksDue() bool {
+	start := 0
+	if len(e.marks) > 0 {
+		start = e.marks[len(e.marks)-1].n
+	}
+	return (len(e.log.Entries())/e.interval)*e.interval > start
+}
+
+// replay builds the current state from the last mark (or the base).
+// With record set it snapshots along the way; without it the call is
+// read-only, and a fully caught-up engine shares the last mark's
+// state directly instead of cloning (callers treat states as
+// read-only, so sharing is safe — the undo engine does the same).
+func (e *CheckpointEngine) replay(record bool) spec.State {
 	entries := e.log.Entries()
 	start := 0
 	var s spec.State
 	if len(e.marks) > 0 {
 		last := e.marks[len(e.marks)-1]
 		start = last.n
+		if !record && start == len(entries) {
+			return last.state
+		}
 		s = e.adt.Clone(last.state)
 	} else {
 		s = e.log.BaseState()
@@ -121,11 +187,23 @@ func (e *CheckpointEngine) State() spec.State {
 	for i := start; i < len(entries); i++ {
 		s = e.adt.Apply(s, entries[i].U)
 		applied := i + 1
-		if applied%e.interval == 0 && (len(e.marks) == 0 || e.marks[len(e.marks)-1].n < applied) {
-			e.marks = append(e.marks, checkpoint{n: applied, state: e.adt.Clone(s)})
+		if record && applied%e.interval == 0 && (len(e.marks) == 0 || e.marks[len(e.marks)-1].n < applied) {
+			e.record(checkpoint{n: applied, state: e.adt.Clone(s)})
 		}
 	}
 	return s
+}
+
+// State implements Engine.
+func (e *CheckpointEngine) State() spec.State { return e.replay(true) }
+
+// StateConcurrent implements Engine: safe only when the replay would
+// not record a new snapshot, because recording mutates the engine.
+func (e *CheckpointEngine) StateConcurrent() (spec.State, bool) {
+	if e.marksDue() {
+		return nil, false
+	}
+	return e.replay(false), true
 }
 
 // UndoEngine maintains the current state plus an undo closure per live
@@ -185,6 +263,11 @@ func (e *UndoEngine) Inserted(at int) {
 
 // State implements Engine.
 func (e *UndoEngine) State() spec.State { return e.state }
+
+// StateConcurrent implements Engine: the undo engine's state is
+// maintained incrementally by Inserted, so reading it never mutates
+// anything.
+func (e *UndoEngine) StateConcurrent() (spec.State, bool) { return e.state, true }
 
 var (
 	_ Engine = (*ReplayEngine)(nil)

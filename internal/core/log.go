@@ -26,6 +26,12 @@ type Entry struct {
 // optional compacted stable prefix: entries whose timestamps are below
 // the stability horizon are folded into a base snapshot and dropped
 // (§VII-C: "after some time old messages can be garbage collected").
+//
+// The live suffix is stored as buf[head:]. Compaction advances head
+// instead of reallocating the suffix, so folding k stable entries is
+// O(k) state application plus O(1) bookkeeping; the dead prefix is
+// reclaimed in bulk once it dominates the buffer, keeping the
+// amortized cost per compacted entry constant.
 type Log struct {
 	adt spec.UQADT
 	// base is the state reached by the compacted prefix; nil means the
@@ -35,8 +41,16 @@ type Log struct {
 	baseLen int
 	// baseTS is the largest timestamp folded into base.
 	baseTS clock.Timestamp
-	// entries is the live suffix, sorted by timestamp.
-	entries []Entry
+	// buf is the backing array; buf[head:] is the live suffix, sorted
+	// by timestamp. buf[:head] holds zeroed, already-compacted slots.
+	buf  []Entry
+	head int
+	// version increments on every mutation (insert, compaction,
+	// restore). The state after base+suffix is a pure function of the
+	// log, so version doubles as an incremental state fingerprint:
+	// cached derivations (Replica.StateKey) are valid while it is
+	// unchanged.
+	version uint64
 }
 
 // NewLog returns an empty log for the given data type.
@@ -45,14 +59,19 @@ func NewLog(adt spec.UQADT) *Log {
 }
 
 // Len returns the number of live (non-compacted) entries.
-func (l *Log) Len() int { return len(l.entries) }
+func (l *Log) Len() int { return len(l.buf) - l.head }
 
 // TotalLen returns the number of updates ever inserted, including
 // compacted ones.
-func (l *Log) TotalLen() int { return l.baseLen + len(l.entries) }
+func (l *Log) TotalLen() int { return l.baseLen + l.Len() }
 
 // Entries exposes the live suffix; callers must not mutate it.
-func (l *Log) Entries() []Entry { return l.entries }
+func (l *Log) Entries() []Entry { return l.buf[l.head:] }
+
+// Version returns the log's mutation counter. Two calls returning the
+// same value bracket a window in which the log — and therefore every
+// state derived from it — did not change.
+func (l *Log) Version() uint64 { return l.version }
 
 // Base returns the compacted-prefix snapshot (nil when empty) and the
 // timestamp up to which the log was compacted.
@@ -67,26 +86,51 @@ func (l *Log) BaseState() spec.State {
 	return l.adt.Clone(l.base)
 }
 
+// Reserve grows the backing buffer so that at least n further in-order
+// inserts proceed without reallocation.
+func (l *Log) Reserve(n int) {
+	live := l.Len()
+	if cap(l.buf)-len(l.buf) >= n {
+		return
+	}
+	nb := make([]Entry, live, live+n)
+	copy(nb, l.buf[l.head:])
+	l.buf, l.head = nb, 0
+}
+
 // Insert adds a timestamped update, keeping the list sorted, and
-// returns the index at which it landed. Inserting an entry at or below
-// the compaction horizon is an invariant violation (it would mean the
-// stability tracker declared stability too early — e.g. GC enabled on
-// a non-FIFO transport) and panics rather than silently corrupting the
-// convergence order.
+// returns the index at which it landed. An arrival in timestamp order —
+// the common case on FIFO links, where each sender's stamps increase
+// and interleavings are near-sorted — takes the O(1) append fast path;
+// only genuinely late entries pay the binary search and suffix shift.
+// Inserting an entry at or below the compaction horizon is an invariant
+// violation (it would mean the stability tracker declared stability too
+// early — e.g. GC enabled on a non-FIFO transport) and panics rather
+// than silently corrupting the convergence order.
 func (l *Log) Insert(e Entry) int {
 	if l.baseLen > 0 && !l.baseTS.Less(e.TS) {
 		panic(fmt.Sprintf("core: update %s arrived below compaction horizon %s — stability was not honored (is the transport FIFO?)",
 			e.TS, l.baseTS))
 	}
-	at := sort.Search(len(l.entries), func(i int) bool {
-		return e.TS.Less(l.entries[i].TS)
+	live := l.buf[l.head:]
+	n := len(live)
+	if n == 0 || live[n-1].TS.Less(e.TS) {
+		// Fast tail path: strictly above the current maximum.
+		l.buf = append(l.buf, e)
+		l.version++
+		return n
+	}
+	at := sort.Search(n, func(i int) bool {
+		return e.TS.Less(live[i].TS)
 	})
-	if at > 0 && l.entries[at-1].TS == e.TS {
+	if at > 0 && live[at-1].TS == e.TS {
 		panic(fmt.Sprintf("core: duplicate timestamp %s — broadcast delivered twice?", e.TS))
 	}
-	l.entries = append(l.entries, Entry{})
-	copy(l.entries[at+1:], l.entries[at:])
-	l.entries[at] = e
+	l.buf = append(l.buf, Entry{})
+	live = l.buf[l.head:]
+	copy(live[at+1:], live[at:])
+	live[at] = e
+	l.version++
 	return at
 }
 
@@ -95,21 +139,37 @@ func (l *Log) Insert(e Entry) int {
 // caller (the replica) must guarantee, via the stability tracker, that
 // no future insert can sort at or below the horizon.
 func (l *Log) CompactBelow(horizon uint64) int {
+	live := l.buf[l.head:]
 	cut := 0
-	for cut < len(l.entries) && l.entries[cut].TS.Clock <= horizon {
+	for cut < len(live) && live[cut].TS.Clock <= horizon {
 		cut++
 	}
 	if cut == 0 {
 		return 0
 	}
 	s := l.BaseState()
-	for _, e := range l.entries[:cut] {
-		s = l.adt.Apply(s, e.U)
+	for i := range live[:cut] {
+		s = l.adt.Apply(s, live[i].U)
 	}
 	l.base = s
-	l.baseTS = l.entries[cut-1].TS
+	l.baseTS = live[cut-1].TS
 	l.baseLen += cut
-	l.entries = append([]Entry(nil), l.entries[cut:]...)
+	// Advance the head offset instead of reallocating the suffix; zero
+	// the dead slots so the folded updates become collectable.
+	for i := 0; i < cut; i++ {
+		live[i] = Entry{}
+	}
+	l.head += cut
+	// Reclaim the dead prefix in bulk once it dominates the buffer.
+	if l.head > len(l.buf)-l.head {
+		kept := copy(l.buf, l.buf[l.head:])
+		tail := l.buf[kept:]
+		for i := range tail {
+			tail[i] = Entry{}
+		}
+		l.buf, l.head = l.buf[:kept], 0
+	}
+	l.version++
 	return cut
 }
 
@@ -117,8 +177,9 @@ func (l *Log) CompactBelow(horizon uint64) int {
 // result is freshly built and owned by the caller.
 func (l *Log) Replay() spec.State {
 	s := l.BaseState()
-	for _, e := range l.entries {
-		s = l.adt.Apply(s, e.U)
+	live := l.buf[l.head:]
+	for i := range live {
+		s = l.adt.Apply(s, live[i].U)
 	}
 	return s
 }

@@ -23,17 +23,20 @@ import (
 // waits for the network — so the implementation is wait-free and
 // tolerates any number of crashes (Proposition 4).
 //
-// A Replica is safe for concurrent use; one mutex serializes its
-// operation and delivery steps, which models the paper's sequential
-// process while allowing the live goroutine transport to deliver
-// concurrently with application calls.
+// A Replica is safe for concurrent use. Mutating steps (update
+// issuance, delivery, compaction) hold the write half of an RW mutex,
+// modeling the paper's sequential process; queries that can be served
+// without touching engine-internal caches (Engine.StateConcurrent) run
+// under the read half, concurrently with each other. The logical clock
+// is atomic so those readers can still stamp their query events.
 type Replica struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	id      int
 	n       int
 	adt     spec.UQADT
 	codec   spec.Codec
-	clk     clock.Lamport
+	acodec  spec.AppendCodec // non-nil when codec supports append encoding
+	clk     clock.AtomicLamport
 	log     *Log
 	engine  Engine
 	net     transport.Network
@@ -51,6 +54,15 @@ type Replica struct {
 	// work.
 	lateInserts uint64
 	compacted   uint64
+	// enc is the reusable encode scratch buffer (guarded by mu); the
+	// outgoing payload is the only allocation an Update performs.
+	enc []byte
+	// fpKey caches adt.KeyState of the current state; it is valid while
+	// fpVer matches the log's version (the log fingerprints the state:
+	// the state is a pure function of base + live entries).
+	fpKey string
+	fpVer uint64
+	fpOK  bool
 }
 
 // Config assembles a Replica.
@@ -107,6 +119,7 @@ func NewReplica(cfg Config) *Replica {
 		rec:       cfg.Recorder,
 		originMax: clock.NewVector(cfg.N),
 	}
+	r.acodec, _ = codec.(spec.AppendCodec)
 	if cfg.GC {
 		r.stab = clock.NewStability(cfg.N, cfg.ID)
 	}
@@ -126,23 +139,28 @@ func (r *Replica) ADT() spec.UQADT { return r.adt }
 // the broadcast's self-delivery, which the transports perform inline,
 // so the update is locally visible when Update returns.
 func (r *Replica) Update(u spec.Update) {
-	r.mu.Lock()
-	cl := r.clk.Tick()
-	if r.stab != nil {
-		r.stab.ObserveSelf(cl)
-	}
-	payload := r.encode(clock.Timestamp{Clock: cl, Proc: r.id}, u)
-	if r.rec != nil {
-		r.rec.Update(r.id, u)
-	}
-	r.mu.Unlock()
-	// Broadcast outside the lock: self-delivery re-enters handle.
-	r.net.Broadcast(r.id, payload)
+	r.UpdateTimestamped(u)
 }
 
 // Query implements lines 12–19 of Algorithm 1: advance the clock and
 // evaluate the query on the state derived from the sorted update list.
+//
+// When neither recording nor GC bookkeeping needs exclusive access and
+// the engine can produce its state without mutating internal caches,
+// the query runs under the shared lock, concurrently with other
+// queries; the paper's wait-free claim then comes with read
+// parallelism on the hot path.
 func (r *Replica) Query(in spec.QueryInput) spec.QueryOutput {
+	if r.rec == nil && r.stab == nil {
+		r.mu.RLock()
+		if s, ok := r.engine.StateConcurrent(); ok {
+			r.clk.Tick()
+			out := r.adt.Query(s, in)
+			r.mu.RUnlock()
+			return out
+		}
+		r.mu.RUnlock()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	cl := r.clk.Tick()
@@ -254,8 +272,8 @@ type Stats struct {
 
 // Stats returns a snapshot of the replica counters.
 func (r *Replica) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return Stats{
 		LogLen:      r.log.Len(),
 		TotalOps:    r.log.TotalLen(),
@@ -267,11 +285,47 @@ func (r *Replica) Stats() Stats {
 
 // StateKey returns the canonical key of the replica's current state —
 // the convergence predicate of the experiments compares these across
-// replicas.
+// replicas. The key is memoized against the log's version (the state
+// is a pure function of the log), so polling convergence on a settled
+// cluster costs one version compare per call instead of a full state
+// serialization.
 func (r *Replica) StateKey() string {
+	r.mu.RLock()
+	if r.fpOK && r.fpVer == r.log.Version() {
+		k := r.fpKey
+		r.mu.RUnlock()
+		return k
+	}
+	r.mu.RUnlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.adt.KeyState(r.engine.State())
+	ver := r.log.Version()
+	if r.fpOK && r.fpVer == ver {
+		return r.fpKey
+	}
+	r.fpKey = r.adt.KeyState(r.engine.State())
+	r.fpVer = ver
+	r.fpOK = true
+	return r.fpKey
+}
+
+// UpdateTimestamped is Update returning the timestamp assigned to the
+// update; sessions use it to record their own writes.
+func (r *Replica) UpdateTimestamped(u spec.Update) clock.Timestamp {
+	r.mu.Lock()
+	cl := r.clk.Tick()
+	if r.stab != nil {
+		r.stab.ObserveSelf(cl)
+	}
+	ts := clock.Timestamp{Clock: cl, Proc: r.id}
+	payload := r.encode(ts, u)
+	if r.rec != nil {
+		r.rec.Update(r.id, u)
+	}
+	r.mu.Unlock()
+	// Broadcast outside the lock: self-delivery re-enters handle.
+	r.net.Broadcast(r.id, payload)
+	return ts
 }
 
 // encode serializes an update message: timestamp, then the op bytes.
@@ -279,13 +333,29 @@ func (r *Replica) StateKey() string {
 // identify the update and a timestamp composed of two integer values,
 // that only grow logarithmically with the number of processes and the
 // number of operations" (§VII-C), measured by BenchmarkMessageOverhead.
+//
+// The encoding is staged in a scratch buffer reused across calls
+// (caller holds the lock); only the final payload — which the
+// transport retains until delivery — is allocated.
 func (r *Replica) encode(ts clock.Timestamp, u spec.Update) []byte {
-	op, err := r.codec.EncodeUpdate(u)
-	if err != nil {
-		panic(fmt.Sprintf("core: cannot encode update: %v", err))
+	scratch := ts.Encode(r.enc[:0])
+	if r.acodec != nil {
+		var err error
+		scratch, err = r.acodec.AppendUpdate(scratch, u)
+		if err != nil {
+			panic(fmt.Sprintf("core: cannot encode update: %v", err))
+		}
+	} else {
+		op, err := r.codec.EncodeUpdate(u)
+		if err != nil {
+			panic(fmt.Sprintf("core: cannot encode update: %v", err))
+		}
+		scratch = append(scratch, op...)
 	}
-	buf := ts.Encode(nil)
-	return append(buf, op...)
+	r.enc = scratch[:0]
+	payload := make([]byte, len(scratch))
+	copy(payload, scratch)
+	return payload
 }
 
 // decode parses an update message.

@@ -69,30 +69,12 @@ func (s *Session) observe(ts clock.Timestamp) {
 	}
 }
 
-// UpdateTimestamped is Update returning the timestamp assigned to the
-// update; sessions use it to record their own writes.
-func (r *Replica) UpdateTimestamped(u spec.Update) clock.Timestamp {
-	r.mu.Lock()
-	cl := r.clk.Tick()
-	if r.stab != nil {
-		r.stab.ObserveSelf(cl)
-	}
-	ts := clock.Timestamp{Clock: cl, Proc: r.id}
-	payload := r.encode(ts, u)
-	if r.rec != nil {
-		r.rec.Update(r.id, u)
-	}
-	r.mu.Unlock()
-	r.net.Broadcast(r.id, payload)
-	return ts
-}
-
 // Coverage returns the replica's per-origin coverage vector: for each
 // process j, a clock c such that the replica holds every update of j
 // with clock ≤ c.
 func (r *Replica) Coverage() clock.Vector {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	_, baseTS := r.log.Base()
 	cov := r.originMax.Clone()
 	for j := range cov {
@@ -110,8 +92,8 @@ func (r *Replica) Coverage() clock.Vector {
 // coverage per origin is max(originMax[j], horizon). It returns the
 // replica's own coverage vector for the session to absorb.
 func (r *Replica) covers(v clock.Vector) (clock.Vector, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	_, baseTS := r.log.Base()
 	cov := r.originMax.Clone()
 	for j := range cov {

@@ -154,4 +154,5 @@ func (l *Log) RestoreBase(base spec.State, baseTS clock.Timestamp, baseLen int) 
 	l.base = base
 	l.baseTS = baseTS
 	l.baseLen = baseLen
+	l.version++
 }

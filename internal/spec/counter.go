@@ -105,14 +105,19 @@ func (CounterSpec) ExplainState(obs []Observation) (State, bool) {
 func (CounterSpec) CommutativeUpdates() bool { return true }
 
 // EncodeUpdate implements Codec: a zig-zag varint.
-func (CounterSpec) EncodeUpdate(u Update) ([]byte, error) {
+func (sp CounterSpec) EncodeUpdate(u Update) ([]byte, error) {
+	return sp.AppendUpdate(nil, u)
+}
+
+// AppendUpdate implements AppendCodec.
+func (CounterSpec) AppendUpdate(dst []byte, u Update) ([]byte, error) {
 	a, ok := u.(Add)
 	if !ok {
 		return nil, fmt.Errorf("spec: counter does not recognize update %T", u)
 	}
-	buf := make([]byte, binary.MaxVarintLen64)
-	n := binary.PutVarint(buf, a.N)
-	return buf[:n], nil
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], a.N)
+	return append(dst, buf[:n]...), nil
 }
 
 // DecodeUpdate implements Codec.

@@ -257,16 +257,27 @@ func (sp GraphSpec) ExplainState(obs []Observation) (State, bool) {
 
 // EncodeUpdate implements Codec. Wire format: tag byte, then the
 // NUL-separated operands.
-func (GraphSpec) EncodeUpdate(u Update) ([]byte, error) {
+func (sp GraphSpec) EncodeUpdate(u Update) ([]byte, error) {
+	return sp.AppendUpdate(nil, u)
+}
+
+// AppendUpdate implements AppendCodec.
+func (GraphSpec) AppendUpdate(dst []byte, u Update) ([]byte, error) {
+	appendEdge := func(dst []byte, tag byte, from, to string) []byte {
+		dst = append(dst, tag)
+		dst = append(dst, from...)
+		dst = append(dst, 0)
+		return append(dst, to...)
+	}
 	switch op := u.(type) {
 	case AddV:
-		return append([]byte{'v'}, op.V...), nil
+		return append(append(dst, 'v'), op.V...), nil
 	case RemV:
-		return append([]byte{'V'}, op.V...), nil
+		return append(append(dst, 'V'), op.V...), nil
 	case AddE:
-		return append([]byte{'e'}, op.U+"\x00"+op.V...), nil
+		return appendEdge(dst, 'e', op.U, op.V), nil
 	case RemE:
-		return append([]byte{'E'}, op.U+"\x00"+op.V...), nil
+		return appendEdge(dst, 'E', op.U, op.V), nil
 	default:
 		return nil, fmt.Errorf("spec: graph does not recognize update %T", u)
 	}

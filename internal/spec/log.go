@@ -120,12 +120,17 @@ func (LogSpec) ExplainState(obs []Observation) (State, bool) {
 }
 
 // EncodeUpdate implements Codec.
-func (LogSpec) EncodeUpdate(u Update) ([]byte, error) {
+func (sp LogSpec) EncodeUpdate(u Update) ([]byte, error) {
+	return sp.AppendUpdate(nil, u)
+}
+
+// AppendUpdate implements AppendCodec.
+func (LogSpec) AppendUpdate(dst []byte, u Update) ([]byte, error) {
 	a, ok := u.(Append)
 	if !ok {
 		return nil, fmt.Errorf("spec: log does not recognize update %T", u)
 	}
-	return []byte(a.V), nil
+	return append(dst, a.V...), nil
 }
 
 // DecodeUpdate implements Codec.

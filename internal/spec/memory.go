@@ -1,7 +1,6 @@
 package spec
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -154,18 +153,21 @@ func (sp MemorySpec) ExplainState(obs []Observation) (State, bool) {
 
 // EncodeUpdate implements Codec. Wire format: uvarint key length, key
 // bytes, value bytes.
-func (MemorySpec) EncodeUpdate(u Update) ([]byte, error) {
+func (sp MemorySpec) EncodeUpdate(u Update) ([]byte, error) {
+	return sp.AppendUpdate(nil, u)
+}
+
+// AppendUpdate implements AppendCodec.
+func (MemorySpec) AppendUpdate(dst []byte, u Update) ([]byte, error) {
 	w, ok := u.(WriteKey)
 	if !ok {
 		return nil, fmt.Errorf("spec: memory does not recognize update %T", u)
 	}
-	var buf bytes.Buffer
 	var lenb [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(lenb[:], uint64(len(w.K)))
-	buf.Write(lenb[:n])
-	buf.WriteString(w.K)
-	buf.WriteString(w.V)
-	return buf.Bytes(), nil
+	dst = append(dst, lenb[:n]...)
+	dst = append(dst, w.K...)
+	return append(dst, w.V...), nil
 }
 
 // DecodeUpdate implements Codec.

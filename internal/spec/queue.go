@@ -129,12 +129,17 @@ func (sp QueueSpec) ApplyUndo(s State, u Update) (State, Undo) {
 
 // EncodeUpdate implements Codec: 'e'+value for enqueue, 'd' for
 // delete-front.
-func (QueueSpec) EncodeUpdate(u Update) ([]byte, error) {
+func (sp QueueSpec) EncodeUpdate(u Update) ([]byte, error) {
+	return sp.AppendUpdate(nil, u)
+}
+
+// AppendUpdate implements AppendCodec.
+func (QueueSpec) AppendUpdate(dst []byte, u Update) ([]byte, error) {
 	switch op := u.(type) {
 	case Enq:
-		return append([]byte{'e'}, op.V...), nil
+		return append(append(dst, 'e'), op.V...), nil
 	case DeqFront:
-		return []byte{'d'}, nil
+		return append(dst, 'd'), nil
 	default:
 		return nil, fmt.Errorf("spec: queue does not recognize update %T", u)
 	}
@@ -285,12 +290,17 @@ func (sp StackSpec) ApplyUndo(s State, u Update) (State, Undo) {
 }
 
 // EncodeUpdate implements Codec: 'p'+value for push, 'o' for pop-top.
-func (StackSpec) EncodeUpdate(u Update) ([]byte, error) {
+func (sp StackSpec) EncodeUpdate(u Update) ([]byte, error) {
+	return sp.AppendUpdate(nil, u)
+}
+
+// AppendUpdate implements AppendCodec.
+func (StackSpec) AppendUpdate(dst []byte, u Update) ([]byte, error) {
 	switch op := u.(type) {
 	case Push:
-		return append([]byte{'p'}, op.V...), nil
+		return append(append(dst, 'p'), op.V...), nil
 	case PopTop:
-		return []byte{'o'}, nil
+		return append(dst, 'o'), nil
 	default:
 		return nil, fmt.Errorf("spec: stack does not recognize update %T", u)
 	}

@@ -94,12 +94,17 @@ func (RegisterSpec) ExplainState(obs []Observation) (State, bool) {
 }
 
 // EncodeUpdate implements Codec.
-func (RegisterSpec) EncodeUpdate(u Update) ([]byte, error) {
+func (sp RegisterSpec) EncodeUpdate(u Update) ([]byte, error) {
+	return sp.AppendUpdate(nil, u)
+}
+
+// AppendUpdate implements AppendCodec.
+func (RegisterSpec) AppendUpdate(dst []byte, u Update) ([]byte, error) {
 	w, ok := u.(Write)
 	if !ok {
 		return nil, fmt.Errorf("spec: register does not recognize update %T", u)
 	}
-	return []byte(w.V), nil
+	return append(dst, w.V...), nil
 }
 
 // DecodeUpdate implements Codec.

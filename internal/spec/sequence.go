@@ -2,6 +2,7 @@ package spec
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -152,12 +153,21 @@ func (SequenceSpec) ExplainState(obs []Observation) (State, bool) {
 
 // EncodeUpdate implements Codec. Wire format: tag byte, decimal
 // position, NUL, value.
-func (SequenceSpec) EncodeUpdate(u Update) ([]byte, error) {
+func (sp SequenceSpec) EncodeUpdate(u Update) ([]byte, error) {
+	return sp.AppendUpdate(nil, u)
+}
+
+// AppendUpdate implements AppendCodec.
+func (SequenceSpec) AppendUpdate(dst []byte, u Update) ([]byte, error) {
 	switch op := u.(type) {
 	case InsAt:
-		return []byte(fmt.Sprintf("i%d\x00%s", op.Pos, op.V)), nil
+		dst = append(dst, 'i')
+		dst = strconv.AppendInt(dst, int64(op.Pos), 10)
+		dst = append(dst, 0)
+		return append(dst, op.V...), nil
 	case DelAt:
-		return []byte(fmt.Sprintf("d%d", op.Pos)), nil
+		dst = append(dst, 'd')
+		return strconv.AppendInt(dst, int64(op.Pos), 10), nil
 	default:
 		return nil, fmt.Errorf("spec: sequence does not recognize update %T", u)
 	}

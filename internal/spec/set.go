@@ -145,12 +145,17 @@ func (SetSpec) ExplainState(obs []Observation) (State, bool) {
 
 // EncodeUpdate implements Codec. Wire format: one tag byte ('I' or 'D')
 // followed by the element bytes.
-func (SetSpec) EncodeUpdate(u Update) ([]byte, error) {
+func (sp SetSpec) EncodeUpdate(u Update) ([]byte, error) {
+	return sp.AppendUpdate(nil, u)
+}
+
+// AppendUpdate implements AppendCodec.
+func (SetSpec) AppendUpdate(dst []byte, u Update) ([]byte, error) {
 	switch op := u.(type) {
 	case Ins:
-		return append([]byte{'I'}, op.V...), nil
+		return append(append(dst, 'I'), op.V...), nil
 	case Del:
-		return append([]byte{'D'}, op.V...), nil
+		return append(append(dst, 'D'), op.V...), nil
 	default:
 		return nil, fmt.Errorf("spec: set does not recognize update %T", u)
 	}

@@ -112,6 +112,17 @@ type Codec interface {
 	DecodeUpdate(b []byte) (Update, error)
 }
 
+// AppendCodec is an optional extension of Codec for allocation-free
+// encoding on the update hot path: AppendUpdate appends the wire
+// encoding of u to dst (growing it as needed) instead of returning a
+// freshly allocated slice. Replicas stage outgoing messages in a
+// reused scratch buffer through it, so issuing an update allocates
+// only the payload handed to the transport.
+type AppendCodec interface {
+	Codec
+	AppendUpdate(dst []byte, u Update) ([]byte, error)
+}
+
 // Commutative is implemented by specifications all of whose updates
 // commute (T(T(s,u),u') = T(T(s,u'),u) for all s, u, u'). For such
 // types every update linearization yields the same state, so the naive

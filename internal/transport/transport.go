@@ -51,7 +51,9 @@ type Stats struct {
 	Bytes      uint64
 }
 
-// envelope is one in-flight point-to-point message.
+// envelope is one in-flight point-to-point message. The payload slice
+// is immutable and shared by every envelope of one broadcast — the
+// transport never copies message bytes per recipient.
 type envelope struct {
 	from, to int
 	payload  []byte
@@ -87,11 +89,19 @@ type SimNetwork struct {
 	handlers []Handler
 	crashed  []bool
 	group    []int // partition group per process
-	pending  []*envelope
-	linkSeq  map[[2]int]uint64
-	nextSeq  map[[2]int]uint64
-	nextID   uint64
-	stats    Stats
+	// pending holds in-flight envelopes in no particular order;
+	// removal is an O(1) swap with the last element (delivery order is
+	// the adversary's choice anyway, so pending needs no structure).
+	pending []envelope
+	// linkSeq and nextSeq are dense per-link sequence tables indexed by
+	// from*N+to: the last sequence number issued on the link and the
+	// last one delivered (for FIFO eligibility).
+	linkSeq []uint64
+	nextSeq []uint64
+	nextID  uint64
+	// cand is the reusable eligible-candidate scratch for Step.
+	cand  []int
+	stats Stats
 }
 
 // NewSim returns a deterministic network for opts.N processes.
@@ -111,10 +121,13 @@ func NewSim(opts SimOptions) *SimNetwork {
 		handlers: make([]Handler, opts.N),
 		crashed:  make([]bool, opts.N),
 		group:    make([]int, opts.N),
-		linkSeq:  map[[2]int]uint64{},
-		nextSeq:  map[[2]int]uint64{},
+		linkSeq:  make([]uint64, opts.N*opts.N),
+		nextSeq:  make([]uint64, opts.N*opts.N),
 	}
 }
+
+// link indexes the dense per-link tables.
+func (n *SimNetwork) link(from, to int) int { return from*n.opts.N + to }
 
 // Attach implements Network.
 func (n *SimNetwork) Attach(id int, h Handler) { n.handlers[id] = h }
@@ -137,9 +150,10 @@ func (n *SimNetwork) Broadcast(from int, payload []byte) {
 		if to == from {
 			continue
 		}
-		link := [2]int{from, to}
+		link := n.link(from, to)
 		n.linkSeq[link]++
-		n.pending = append(n.pending, &envelope{
+		// The payload slice is shared, never copied per recipient.
+		n.pending = append(n.pending, envelope{
 			from: from, to: to, payload: payload,
 			seq: n.linkSeq[link], id: n.nextID,
 		})
@@ -158,8 +172,7 @@ func (n *SimNetwork) eligible(e *envelope) bool {
 		return false
 	}
 	if n.opts.FIFO {
-		link := [2]int{e.from, e.to}
-		return e.seq == n.nextSeq[link]+1
+		return e.seq == n.nextSeq[n.link(e.from, e.to)]+1
 	}
 	return true
 }
@@ -168,26 +181,31 @@ func (n *SimNetwork) eligible(e *envelope) bool {
 // returning false when nothing can be delivered (quiescence, or all
 // remaining messages are blocked by partitions).
 func (n *SimNetwork) Step() bool {
-	var candidates []int
-	for i, e := range n.pending {
-		if n.eligible(e) {
+	candidates := n.cand[:0]
+	for i := range n.pending {
+		if n.eligible(&n.pending[i]) {
 			candidates = append(candidates, i)
 		}
 	}
+	n.cand = candidates[:0]
 	if len(candidates) == 0 {
 		return false
 	}
 	idx := candidates[n.rng.Intn(len(candidates))]
 	e := n.pending[idx]
-	n.pending = append(n.pending[:idx], n.pending[idx+1:]...)
+	// O(1) swap-remove: pending carries no ordering.
+	last := len(n.pending) - 1
+	n.pending[idx] = n.pending[last]
+	n.pending[last] = envelope{}
+	n.pending = n.pending[:last]
 	if n.opts.FIFO {
-		n.nextSeq[[2]int{e.from, e.to}] = e.seq
+		n.nextSeq[n.link(e.from, e.to)] = e.seq
 	}
 	if n.opts.DuplicateProb > 0 && n.rng.Float64() < n.opts.DuplicateProb {
-		dup := *e
+		dup := e
 		dup.id = n.nextID
 		n.nextID++
-		n.pending = append(n.pending, &dup)
+		n.pending = append(n.pending, dup)
 		n.stats.Sends++
 		n.stats.Bytes += uint64(len(e.payload))
 	}
@@ -223,7 +241,7 @@ func (n *SimNetwork) Pending() int { return len(n.pending) }
 // flight (they were handed to the network).
 func (n *SimNetwork) Crash(id int) {
 	n.crashed[id] = true
-	var keep []*envelope
+	keep := n.pending[:0]
 	for _, e := range n.pending {
 		if e.to == id {
 			n.stats.Dropped++
@@ -231,7 +249,16 @@ func (n *SimNetwork) Crash(id int) {
 		}
 		keep = append(keep, e)
 	}
+	clearTail(n.pending, len(keep))
 	n.pending = keep
+}
+
+// clearTail zeroes the slots past length so dropped payloads become
+// collectable.
+func clearTail(s []envelope, length int) {
+	for i := length; i < len(s); i++ {
+		s[i] = envelope{}
+	}
 }
 
 // CrashPartialBroadcast models the adversarial crash of §VII's fault
@@ -241,7 +268,7 @@ func (n *SimNetwork) Crash(id int) {
 // disagreeing about the crashed process's updates; the URB wrapper
 // exists to repair exactly this.
 func (n *SimNetwork) CrashPartialBroadcast(id int, keepProb float64) {
-	var keep []*envelope
+	keep := n.pending[:0]
 	for _, e := range n.pending {
 		if e.from == id && n.rng.Float64() >= keepProb {
 			n.stats.Dropped++
@@ -249,6 +276,7 @@ func (n *SimNetwork) CrashPartialBroadcast(id int, keepProb float64) {
 		}
 		keep = append(keep, e)
 	}
+	clearTail(n.pending, len(keep))
 	n.pending = keep
 	n.Crash(id)
 }
@@ -363,10 +391,12 @@ func (ln *LiveNetwork) Broadcast(from int, payload []byte) {
 	if crashed {
 		return
 	}
+	// One batched stats update per broadcast, not one lock round-trip
+	// per recipient.
 	ln.mu.Lock()
 	ln.stats.Broadcasts++
 	ln.stats.Sends += uint64(ln.n)
-	ln.stats.Delivered++ // self
+	ln.stats.Delivered += uint64(ln.n) // self + n-1 mailboxes
 	ln.stats.Bytes += uint64(len(payload) * ln.n)
 	ln.mu.Unlock()
 	if h != nil {
@@ -379,15 +409,13 @@ func (ln *LiveNetwork) Broadcast(from int, payload []byte) {
 		nd := ln.nodes[to]
 		nd.mu.Lock()
 		if !nd.closed {
+			// The payload slice is shared with every other mailbox.
 			nd.queue = append(nd.queue, envelope{from: from, to: to, payload: payload})
 			// Broadcast, not Signal: the condition variable is shared
 			// between the dispatcher and Drain waiters.
 			nd.cond.Broadcast()
 		}
 		nd.mu.Unlock()
-		ln.mu.Lock()
-		ln.stats.Delivered++
-		ln.mu.Unlock()
 	}
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt verify bench bench-quick bench-json
+.PHONY: build test vet fmt verify bench bench-quick bench-json bench-shards
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,10 @@ bench:
 bench-quick:
 	$(GO) run ./cmd/ucbench -exp hotpath -quick
 
-# bench-json refreshes the recorded perf trajectory.
+# bench-shards prints the E14 shard-scaling table (1/2/4/8 shards).
+bench-shards:
+	$(GO) run ./cmd/ucbench -exp shards
+
+# bench-json refreshes the recorded perf trajectory (hot path + E14).
 bench-json:
-	$(GO) run ./cmd/ucbench -exp hotpath -json BENCH_ucbench.json
+	$(GO) run ./cmd/ucbench -exp hotpath,shards -json BENCH_ucbench.json

@@ -4,13 +4,19 @@
 //
 // Usage:
 //
-//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath]
-//	        [-quick] [-runs n] [-json path]
+//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath|shards]
+//	        [-quick] [-runs n] [-shards list] [-json path]
 //
+// -exp accepts a comma-separated list (e.g. -exp hotpath,shards) so one
+// invocation can refresh several machine-readable sections at once.
 // With -json, the machine-readable results of the experiments that
-// produce them (hotpath, complexity, memory) are written to the given
-// path; BENCH_ucbench.json in the repository root records the tracked
-// perf trajectory.
+// produce them (hotpath, complexity, memory, shards) are written to the
+// given path; BENCH_ucbench.json in the repository root records the
+// tracked perf trajectory.
+//
+// -shards sets the shard counts swept by the E14 shard-scaling
+// experiment (default 1,2,4,8); the first count is the speedup
+// baseline.
 package main
 
 import (
@@ -19,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"updatec/internal/bench"
 )
@@ -31,64 +39,112 @@ type report struct {
 	HotPath    *bench.PerfResult       `json:"hotpath,omitempty"`
 	Complexity *bench.ComplexityResult `json:"complexity,omitempty"`
 	Memory     *bench.MemoryResult     `json:"memory,omitempty"`
+	Shards     *bench.ShardResult      `json:"shards,omitempty"`
+}
+
+// parseShardCounts parses the -shards flag value.
+func parseShardCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath")
+	exp := flag.String("exp", "all", "comma-separated experiments: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath, shards")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	runs := flag.Int("runs", 400, "randomized-history runs for prop2/prop3")
+	shardsFlag := flag.String("shards", "1,2,4,8", "shard counts for the E14 shard-scaling experiment")
 	jsonPath := flag.String("json", "", "write machine-readable results to this path")
 	flag.Parse()
 
+	shardCounts, err := parseShardCounts(*shardsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ucbench: -shards: %v\n", err)
+		os.Exit(2)
+	}
+
 	w := os.Stdout
 	rep := report{Experiment: *exp, Quick: *quick, GoVersion: runtime.Version()}
-	switch *exp {
-	case "all":
-		res := bench.All(w, *quick)
-		rep.Complexity, rep.Memory, rep.HotPath = &res.Complexity, &res.Memory, &res.HotPath
-	case "fig1", "fig2":
-		if res := bench.Figures(w); res.Mismatches != 0 {
-			fmt.Fprintf(os.Stderr, "ucbench: %d classification mismatches\n", res.Mismatches)
-			os.Exit(1)
+	experiments := strings.Split(*exp, ",")
+	for _, name := range experiments {
+		// "all" already includes every experiment, so it subsumes the
+		// rest of the list.
+		if strings.TrimSpace(name) == "all" {
+			experiments = []string{"all"}
+			break
 		}
-	case "prop1":
-		bench.Proposition1(w)
-	case "prop2":
-		if res := bench.Proposition2(w, *runs); res.Violations != 0 {
-			fmt.Fprintf(os.Stderr, "ucbench: %d hierarchy violations\n", res.Violations)
-			os.Exit(1)
+	}
+	for _, name := range experiments {
+		switch strings.TrimSpace(name) {
+		// The result-carrying experiments are deduplicated against the
+		// report, so lists like "shards,shards" do not run a sweep
+		// twice.
+		case "all":
+			res := bench.All(w, *quick)
+			rep.Complexity, rep.Memory, rep.HotPath = &res.Complexity, &res.Memory, &res.HotPath
+			shards := bench.ShardScaling(w, *quick, shardCounts)
+			rep.Shards = &shards
+		case "fig1", "fig2":
+			if res := bench.Figures(w); res.Mismatches != 0 {
+				fmt.Fprintf(os.Stderr, "ucbench: %d classification mismatches\n", res.Mismatches)
+				os.Exit(1)
+			}
+		case "prop1":
+			bench.Proposition1(w)
+		case "prop2":
+			if res := bench.Proposition2(w, *runs); res.Violations != 0 {
+				fmt.Fprintf(os.Stderr, "ucbench: %d hierarchy violations\n", res.Violations)
+				os.Exit(1)
+			}
+		case "prop3":
+			if res := bench.Proposition3(w, *runs); res.InsertWinsFailures != 0 {
+				fmt.Fprintf(os.Stderr, "ucbench: %d Insert-wins failures\n", res.InsertWinsFailures)
+				os.Exit(1)
+			}
+		case "prop4":
+			if res := bench.Proposition4(w); !res.AllConverged() {
+				fmt.Fprintln(os.Stderr, "ucbench: convergence failures")
+				os.Exit(1)
+			}
+		case "sets":
+			bench.SetCaseStudy(w)
+		case "complexity":
+			if rep.Complexity == nil {
+				res := bench.Complexity(w, *quick)
+				rep.Complexity = &res
+			}
+		case "memory":
+			if rep.Memory == nil {
+				res := bench.MemoryExperiment(w, *quick)
+				rep.Memory = &res
+			}
+		case "partition":
+			bench.PartitionHeal(w)
+		case "latency":
+			bench.ConvergenceLatency(w)
+		case "join":
+			bench.StateTransfer(w)
+		case "hotpath":
+			if rep.HotPath == nil {
+				res := bench.HotPath(w, *quick)
+				rep.HotPath = &res
+			}
+		case "shards":
+			if rep.Shards == nil {
+				res := bench.ShardScaling(w, *quick, shardCounts)
+				rep.Shards = &res
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "ucbench: unknown experiment %q\n", name)
+			flag.Usage()
+			os.Exit(2)
 		}
-	case "prop3":
-		if res := bench.Proposition3(w, *runs); res.InsertWinsFailures != 0 {
-			fmt.Fprintf(os.Stderr, "ucbench: %d Insert-wins failures\n", res.InsertWinsFailures)
-			os.Exit(1)
-		}
-	case "prop4":
-		if res := bench.Proposition4(w); !res.AllConverged() {
-			fmt.Fprintln(os.Stderr, "ucbench: convergence failures")
-			os.Exit(1)
-		}
-	case "sets":
-		bench.SetCaseStudy(w)
-	case "complexity":
-		res := bench.Complexity(w, *quick)
-		rep.Complexity = &res
-	case "memory":
-		res := bench.MemoryExperiment(w, *quick)
-		rep.Memory = &res
-	case "partition":
-		bench.PartitionHeal(w)
-	case "latency":
-		bench.ConvergenceLatency(w)
-	case "join":
-		bench.StateTransfer(w)
-	case "hotpath":
-		res := bench.HotPath(w, *quick)
-		rep.HotPath = &res
-	default:
-		fmt.Fprintf(os.Stderr, "ucbench: unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
 	}
 
 	if *jsonPath != "" {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	ucsim [-impl uc-set|or-set|...] [-n 3] [-ops 12] [-seed 1] [-crash p]
-//	      [-classify] [-fig2]
+//	      [-shards s] [-classify] [-fig2]
 package main
 
 import (
@@ -27,13 +27,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	crash := flag.Int("crash", -1, "crash this process halfway through")
 	fifo := flag.Bool("fifo", false, "per-link FIFO delivery")
+	shards := flag.Int("shards", 1, "key shards per replica (uc-set kinds only)")
 	classify := flag.Bool("classify", false, "record the history and classify it (keep ops small)")
 	fig2 := flag.Bool("fig2", false, "run the Figure 2 workload under a full partition")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
 	sc := sim.Scenario{
-		Kind: sim.SetKind(*impl), N: *n, Seed: *seed, FIFO: *fifo,
+		Kind: sim.SetKind(*impl), N: *n, Shards: *shards, Seed: *seed, FIFO: *fifo,
 		Script: sim.RandomScript(rng, *n, *ops, []string{"1", "2", "3"}, 4),
 		Record: *classify,
 	}

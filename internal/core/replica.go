@@ -174,6 +174,25 @@ func (r *Replica) Query(in spec.QueryInput) spec.QueryOutput {
 	return out
 }
 
+// ReadState invokes f with the replica's current state under the
+// replica's lock (shared when the engine can serve readers
+// concurrently, exclusive otherwise). The state is read-only and valid
+// only for the duration of the call — f must copy whatever it needs.
+// ShardedReplica uses it to fold per-shard states into a merged query
+// state without racing concurrent deliveries.
+func (r *Replica) ReadState(f func(spec.State)) {
+	r.mu.RLock()
+	if s, ok := r.engine.StateConcurrent(); ok {
+		f(s)
+		r.mu.RUnlock()
+		return
+	}
+	r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f(r.engine.State())
+}
+
 // QueryOmega evaluates a query and records it as the replica's
 // converged (ω) observation. The simulation harness calls it once per
 // replica after quiescence.

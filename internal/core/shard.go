@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"updatec/internal/spec"
+	"updatec/internal/transport"
+)
+
+// ShardedReplica is the key-sharded variant of the universal
+// construction: one process's instance of S independent copies of
+// Algorithm 1, one per shard of the key space. Each shard owns its own
+// Log, Lamport clock and query engine, and broadcasts on its own
+// transport channel (transport.ShardedNetwork), so deliveries and
+// updates touching different shards never contend — one replica's
+// update path scales across cores, and a late-arriving update displaces
+// only its own shard's log suffix instead of the whole log.
+//
+// The construction is sound for spec.Partitionable data types: updates
+// to different keys are independent, so running Algorithm 1 per shard
+// gives every shard the state of a total order of its own updates, and
+// any interleaving of those per-shard orders is a single sequential
+// execution producing the merged state. Per shard the guarantees of the
+// paper are untouched — wait-freedom (Proposition 4) and strong update
+// consistency — and the merged object remains update consistent: after
+// convergence, every replica's merged state is explainable by one total
+// order of all updates.
+//
+// Non-partitionable data types degrade gracefully: every update and
+// query is routed to shard 0 and the object behaves exactly like a
+// plain Replica (the remaining shards stay empty).
+//
+// A ShardedReplica is safe for concurrent use; concurrency control
+// lives in the per-shard Replicas.
+type ShardedReplica struct {
+	id     int
+	adt    spec.UQADT
+	part   spec.Partitionable // nil → everything routes to shard 0
+	shards []*Replica
+}
+
+// ShardedConfig assembles a ShardedReplica.
+type ShardedConfig struct {
+	// ID is the process id (0 ≤ ID < N); N is the number of processes.
+	ID int
+	N  int
+	// Shards is the number of key shards (≥ 1). More shards than cores
+	// is harmless; one shard reproduces the unsharded construction.
+	Shards int
+	// ADT is the sequential specification. It should implement
+	// spec.Partitionable to benefit from sharding; otherwise all
+	// traffic falls back to shard 0.
+	ADT spec.UQADT
+	// Net is the broadcast transport shared by the cluster. It must
+	// implement transport.ShardedNetwork when Shards > 1 (both SimNetwork
+	// and LiveNetwork do).
+	Net transport.Network
+	// NewEngine builds each shard's query engine (nil → ReplayEngine).
+	NewEngine func() Engine
+	// GC enables per-shard stability-based log compaction; it requires
+	// a FIFO transport, exactly as for a plain Replica. GCEvery is the
+	// compaction period in deliveries (default 32).
+	GC      bool
+	GCEvery int
+}
+
+// NewShardedReplica builds the per-shard replicas and attaches each to
+// its shard channel of the transport.
+func NewShardedReplica(cfg ShardedConfig) *ShardedReplica {
+	if cfg.Shards <= 0 {
+		panic("core: ShardedConfig.Shards must be positive")
+	}
+	snet, ok := cfg.Net.(transport.ShardedNetwork)
+	if !ok && cfg.Shards > 1 {
+		panic(fmt.Sprintf("core: %T does not implement transport.ShardedNetwork; use one shard", cfg.Net))
+	}
+	part, _ := cfg.ADT.(spec.Partitionable)
+	r := &ShardedReplica{
+		id:     cfg.ID,
+		adt:    cfg.ADT,
+		part:   part,
+		shards: make([]*Replica, cfg.Shards),
+	}
+	for s := range r.shards {
+		var net transport.Network = cfg.Net
+		if snet != nil {
+			net = shardChannel{net: snet, shard: s}
+		}
+		var eng Engine
+		if cfg.NewEngine != nil {
+			eng = cfg.NewEngine()
+		}
+		r.shards[s] = NewReplica(Config{
+			ID: cfg.ID, N: cfg.N, ADT: cfg.ADT, Net: net,
+			Engine: eng, GC: cfg.GC, GCEvery: cfg.GCEvery,
+		})
+	}
+	return r
+}
+
+// shardChannel restricts a ShardedNetwork to one shard's channel, so a
+// per-shard Replica can be attached unchanged: its Attach and Broadcast
+// calls become the tagged AttachShard/BroadcastShard of the parent.
+type shardChannel struct {
+	net   transport.ShardedNetwork
+	shard int
+}
+
+// Attach implements transport.Network.
+func (c shardChannel) Attach(id int, h transport.Handler) {
+	c.net.AttachShard(id, c.shard, h)
+}
+
+// Broadcast implements transport.Network.
+func (c shardChannel) Broadcast(from int, payload []byte) {
+	c.net.BroadcastShard(from, c.shard, payload)
+}
+
+// ID returns the process id.
+func (r *ShardedReplica) ID() int { return r.id }
+
+// ADT returns the replica's sequential specification.
+func (r *ShardedReplica) ADT() spec.UQADT { return r.adt }
+
+// NumShards returns the shard count.
+func (r *ShardedReplica) NumShards() int { return len(r.shards) }
+
+// Shard exposes the per-shard Replica (tests and the state-transfer
+// harness use it); mutate it only through the ShardedReplica.
+func (r *ShardedReplica) Shard(s int) *Replica { return r.shards[s] }
+
+// ShardOf returns the shard that owns the given key.
+func (r *ShardedReplica) ShardOf(key string) int {
+	return int(fnv1a(key) % uint64(len(r.shards)))
+}
+
+// fnv1a is the 64-bit FNV-1a hash, the shard router's key hash: stable
+// across processes (every replica routes a key to the same shard, which
+// the disjointness of per-shard states relies on) and cheap enough for
+// the update hot path.
+func fnv1a(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// shardOfUpdate routes an update to its owning shard.
+func (r *ShardedReplica) shardOfUpdate(u spec.Update) int {
+	if r.part == nil || len(r.shards) == 1 {
+		return 0
+	}
+	return r.ShardOf(r.part.UpdateKey(u))
+}
+
+// Update issues u on the shard owning its key (lines 4–7 of
+// Algorithm 1 on that shard's clock and log). Like Replica.Update it is
+// wait-free and locally visible when it returns.
+func (r *ShardedReplica) Update(u spec.Update) {
+	r.shards[r.shardOfUpdate(u)].Update(u)
+}
+
+// Query evaluates a query input. A keyed query (spec.Partitionable's
+// QueryKey reports ok) is served entirely by the owning shard — it
+// costs exactly one shard's Replica.Query, regardless of the shard
+// count. A whole-state query folds every shard's state into a fresh
+// merged state (in shard order, under each shard's lock in turn) and
+// evaluates the query on it.
+//
+// The merged result is deterministic across replicas after
+// convergence: per-shard states are key-disjoint, so the union is
+// independent of merge order, and each shard's state is the converged
+// state of that shard's update total order.
+func (r *ShardedReplica) Query(in spec.QueryInput) spec.QueryOutput {
+	if r.part == nil || len(r.shards) == 1 {
+		return r.shards[0].Query(in)
+	}
+	if key, ok := r.part.QueryKey(in); ok {
+		return r.shards[r.ShardOf(key)].Query(in)
+	}
+	return r.adt.Query(r.mergedState(), in)
+}
+
+// mergedState builds a fresh state holding every shard's key
+// components. The fold runs under one shard lock at a time: the merge
+// target is freshly allocated and MergeInto treats sources as
+// read-only, so no shard state escapes its lock.
+func (r *ShardedReplica) mergedState() spec.State {
+	merged := r.adt.Initial()
+	for _, sh := range r.shards {
+		sh.ReadState(func(s spec.State) {
+			merged = r.part.MergeInto(merged, s)
+		})
+	}
+	return merged
+}
+
+// StateKey returns the canonical key of the replica's merged state —
+// the convergence predicate compares these across replicas, exactly as
+// with Replica.StateKey. It is assembled from the per-shard state keys
+// (each memoized against its shard's log version), so polling a settled
+// cluster stays cheap: S version compares, no state serialization.
+func (r *ShardedReplica) StateKey() string {
+	if len(r.shards) == 1 {
+		return r.shards[0].StateKey()
+	}
+	var b strings.Builder
+	for s, sh := range r.shards {
+		if s > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(sh.StateKey())
+	}
+	return b.String()
+}
+
+// Stats aggregates the per-shard replica counters: lengths and counts
+// sum, the clock reports the maximum across shards.
+func (r *ShardedReplica) Stats() Stats {
+	var agg Stats
+	for _, sh := range r.shards {
+		st := sh.Stats()
+		agg.LogLen += st.LogLen
+		agg.TotalOps += st.TotalOps
+		agg.Compacted += st.Compacted
+		agg.LateInserts += st.LateInserts
+		if st.Clock > agg.Clock {
+			agg.Clock = st.Clock
+		}
+	}
+	return agg
+}
+
+// ForceCompact runs a compaction immediately on every shard (GC mode
+// only).
+func (r *ShardedReplica) ForceCompact() {
+	for _, sh := range r.shards {
+		sh.ForceCompact()
+	}
+}
+
+// RetireProcess tells every shard's stability tracker that a process
+// crashed and will never issue updates again (see
+// Replica.RetireProcess).
+func (r *ShardedReplica) RetireProcess(j int) {
+	for _, sh := range r.shards {
+		sh.RetireProcess(j)
+	}
+}
+
+// ShardedCluster builds n sharded replicas sharing one transport, all
+// with the same shard count and options. ClusterOptions.Recorder is
+// ignored: replica-level recording assumes one clock per process, which
+// sharding deliberately gives up — record at the harness level instead
+// (as internal/sim does).
+func ShardedCluster(n, shards int, adt spec.UQADT, net transport.Network, opt ClusterOptions) []*ShardedReplica {
+	reps := make([]*ShardedReplica, n)
+	for i := 0; i < n; i++ {
+		reps[i] = NewShardedReplica(ShardedConfig{
+			ID: i, N: n, Shards: shards, ADT: adt, Net: net,
+			NewEngine: opt.NewEngine, GC: opt.GC, GCEvery: opt.GCEvery,
+		})
+	}
+	return reps
+}

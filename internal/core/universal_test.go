@@ -36,6 +36,8 @@ func randomUpdateFor(adt spec.UQADT, rng *rand.Rand) spec.Update {
 		return spec.Write{V: v}
 	case spec.CounterSpec:
 		return spec.Add{N: int64(rng.Intn(7) - 3)}
+	case spec.CounterMapSpec:
+		return spec.AddKey{K: v, N: int64(rng.Intn(7) - 3)}
 	case spec.MemorySpec:
 		return spec.WriteKey{K: v, V: w}
 	case spec.QueueSpec:

@@ -214,3 +214,26 @@ func TestValidateCatchesCorruption(t *testing.T) {
 		t.Fatalf("expected validation error")
 	}
 }
+
+func TestParseCounterMap(t *testing.T) {
+	h, err := Parse(`
+		countermap
+		p0: Inc(views,3) R(views)/3 R*/{stock=-2,views=3}ω
+		p1: Dec(stock,2) Inc(a,b,1) R(stock)/-2ω
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The key of Inc(a,b,1) splits at the LAST comma: key "a,b".
+	text := Format(h)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse(format): %v\n%s", err, text)
+	}
+	if back.String() != h.String() {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", back.String(), h.String())
+	}
+}

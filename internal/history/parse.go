@@ -175,6 +175,47 @@ func parseOp(adtName, tok string) (any, spec.QueryOutput, bool, error) {
 			}
 			return spec.Read{}, spec.CtrVal(n), true, nil
 		}
+	case "countermap":
+		sign := int64(1)
+		kv, ok := arg("Inc")
+		if !ok {
+			kv, ok = arg("Dec")
+			sign = -1
+		}
+		if ok {
+			// Split at the LAST comma: the delta is always an integer,
+			// while the key may itself contain commas.
+			cut := strings.LastIndex(kv, ",")
+			if cut < 0 {
+				return nil, nil, false, fmt.Errorf("history: bad countermap update %q", tok)
+			}
+			n, err := strconv.ParseInt(kv[cut+1:], 10, 64)
+			if err != nil {
+				return nil, nil, false, fmt.Errorf("history: bad countermap delta %q", tok)
+			}
+			return spec.AddKey{K: kv[:cut], N: sign * n}, nil, false, nil
+		}
+		if rest, ok := strings.CutPrefix(tok, "R*/"); ok {
+			elems, err := parseElems(rest)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			return spec.ReadAllCtrs{}, elems, true, nil
+		}
+		if strings.HasPrefix(tok, "R(") {
+			rest := tok[2:]
+			// Split at the LAST ")/": the value is an integer, the key
+			// may contain ")/" itself.
+			close := strings.LastIndex(rest, ")/")
+			if close < 0 {
+				return nil, nil, false, fmt.Errorf("history: bad countermap read %q", tok)
+			}
+			n, err := strconv.ParseInt(rest[close+2:], 10, 64)
+			if err != nil {
+				return nil, nil, false, fmt.Errorf("history: bad countermap read value %q", tok)
+			}
+			return spec.ReadCtr{K: rest[:close]}, spec.CtrVal(n), true, nil
+		}
 	case "register":
 		if v, ok := arg("W"); ok {
 			return spec.Write{V: v}, nil, false, nil

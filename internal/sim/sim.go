@@ -68,8 +68,28 @@ func (n ucNode) Elements() []string   { return n.set.Elements() }
 func (n ucNode) StateKey() string     { return n.set.Replica().StateKey() }
 func (n ucNode) SupportsDelete() bool { return true }
 
-// newSetCluster builds n replicas of the given kind on the network.
-func newSetCluster(kind SetKind, n int, net transport.Network) []node {
+// shardedNode adapts a key-sharded replica over the set spec: elements
+// hash to shards, reads merge the per-shard states.
+type shardedNode struct {
+	rep  *core.ShardedReplica
+	kind SetKind
+}
+
+func (n shardedNode) Name() string {
+	return fmt.Sprintf("%s/%d-shards", n.kind, n.rep.NumShards())
+}
+func (n shardedNode) Insert(v string) { n.rep.Update(spec.Ins{V: v}) }
+func (n shardedNode) Delete(v string) { n.rep.Update(spec.Del{V: v}) }
+func (n shardedNode) Elements() []string {
+	return n.rep.Query(spec.Read{}).(spec.Elems)
+}
+func (n shardedNode) StateKey() string     { return n.rep.StateKey() }
+func (n shardedNode) SupportsDelete() bool { return true }
+
+// newSetCluster builds n replicas of the given kind on the network;
+// shards > 1 selects the key-sharded construction for the uc-set kinds
+// (the network then delivers each update to the owning shard).
+func newSetCluster(kind SetKind, n, shards int, net transport.Network) []node {
 	nodes := make([]node, n)
 	switch kind {
 	case UCSet, UCSetCheckpoint, UCSetUndo:
@@ -79,6 +99,13 @@ func newSetCluster(kind SetKind, n int, net transport.Network) []node {
 			mk = func() core.Engine { return core.NewCheckpointEngine(64) }
 		case UCSetUndo:
 			mk = func() core.Engine { return core.NewUndoEngine() }
+		}
+		if shards > 1 {
+			reps := core.ShardedCluster(n, shards, spec.Set(), net, core.ClusterOptions{NewEngine: mk})
+			for i, r := range reps {
+				nodes[i] = shardedNode{rep: r, kind: kind}
+			}
+			break
 		}
 		reps := core.Cluster(n, spec.Set(), net, core.ClusterOptions{NewEngine: mk})
 		for i, r := range reps {
@@ -152,6 +179,11 @@ type Scenario struct {
 	// Kind selects the implementation; N the cluster size.
 	Kind SetKind
 	N    int
+	// Shards, when above 1, runs the uc-set kinds as key-sharded
+	// replicas (core.ShardedReplica): one log and clock per shard, the
+	// simulated network delivering each update to the owning shard.
+	// Non-uc kinds ignore it.
+	Shards int
 	// Seed drives both the adversarial network and the interleaving.
 	Seed int64
 	// FIFO requests per-link FIFO delivery.
@@ -194,7 +226,7 @@ func Run(sc Scenario) Outcome {
 		deliverMax = 3
 	}
 	net := transport.NewSim(transport.SimOptions{N: sc.N, Seed: sc.Seed, FIFO: sc.FIFO})
-	nodes := newSetCluster(sc.Kind, sc.N, net)
+	nodes := newSetCluster(sc.Kind, sc.N, sc.Shards, net)
 	var rec *history.Recorder
 	if sc.Record {
 		rec = history.NewRecorder(spec.Set(), sc.N)

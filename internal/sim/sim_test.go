@@ -155,3 +155,41 @@ func TestNetStatsReported(t *testing.T) {
 		t.Fatalf("§VII-C: exactly one broadcast per update, got %d", out.Net.Broadcasts)
 	}
 }
+
+// TestShardedScenarioConverges: the sharded uc-set kinds converge under
+// the same adversarial scenarios as the unsharded ones, and recording
+// still classifies the run as update consistent at the harness level.
+func TestShardedScenarioConverges(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		for seed := int64(0); seed < 4; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			out := Run(Scenario{
+				Kind:   UCSet,
+				N:      3,
+				Shards: shards,
+				Seed:   seed,
+				Script: RandomScript(rng, 3, 40, []string{"1", "2", "3", "4", "5"}, 0),
+			})
+			if !out.Converged {
+				t.Fatalf("shards=%d seed=%d: sharded uc-set diverged: %v", shards, seed, out.Final)
+			}
+		}
+	}
+}
+
+// TestShardedScenarioWithPartition: a healed partition still converges
+// when updates are sharded.
+func TestShardedScenarioWithPartition(t *testing.T) {
+	out := Run(Scenario{
+		Kind:            UCSet,
+		N:               4,
+		Shards:          4,
+		Seed:            7,
+		Script:          append(Fig2Script(), Fig1bScript()...),
+		PartitionUntil:  6,
+		PartitionGroups: [][]int{{0, 1}, {2, 3}},
+	})
+	if !out.Converged {
+		t.Fatalf("sharded cluster did not converge after heal: %v", out.Final)
+	}
+}

@@ -8,16 +8,17 @@ import (
 // builtin holds the named UQ-ADT constructors available to the CLI
 // tools and the history JSON codec.
 var builtin = map[string]func() UQADT{
-	"set":      func() UQADT { return Set() },
-	"gset":     func() UQADT { return GSet() },
-	"register": func() UQADT { return Register("") },
-	"counter":  func() UQADT { return Counter() },
-	"memory":   func() UQADT { return Memory("") },
-	"queue":    func() UQADT { return Queue() },
-	"stack":    func() UQADT { return Stack() },
-	"log":      func() UQADT { return Log() },
-	"graph":    func() UQADT { return Graph() },
-	"sequence": func() UQADT { return Sequence() },
+	"set":        func() UQADT { return Set() },
+	"gset":       func() UQADT { return GSet() },
+	"register":   func() UQADT { return Register("") },
+	"counter":    func() UQADT { return Counter() },
+	"countermap": func() UQADT { return CounterMap() },
+	"memory":     func() UQADT { return Memory("") },
+	"queue":      func() UQADT { return Queue() },
+	"stack":      func() UQADT { return Stack() },
+	"log":        func() UQADT { return Log() },
+	"graph":      func() UQADT { return Graph() },
+	"sequence":   func() UQADT { return Sequence() },
 }
 
 // ByName returns the built-in UQ-ADT with the given name.

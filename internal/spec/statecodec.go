@@ -94,6 +94,42 @@ func (CounterSpec) DecodeState(b []byte) (State, error) {
 	return n, nil
 }
 
+// EncodeState implements StateCodec for the counter map: sorted
+// key/value pairs, values rendered in decimal.
+func (CounterMapSpec) EncodeState(s State) ([]byte, error) {
+	m := s.(map[string]int64)
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	flat := make([]string, 0, 2*len(keys))
+	for _, k := range keys {
+		flat = append(flat, k, strconv.FormatInt(m[k], 10))
+	}
+	return encodeStrings(flat), nil
+}
+
+// DecodeState implements StateCodec for the counter map.
+func (CounterMapSpec) DecodeState(b []byte) (State, error) {
+	flat, _, err := decodeStrings(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(flat)%2 != 0 {
+		return nil, fmt.Errorf("spec: odd countermap state list")
+	}
+	m := make(map[string]int64, len(flat)/2)
+	for i := 0; i < len(flat); i += 2 {
+		n, err := strconv.ParseInt(flat[i+1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("spec: bad countermap value: %w", err)
+		}
+		m[flat[i]] = n
+	}
+	return m, nil
+}
+
 // EncodeState implements StateCodec for the memory: sorted key/value
 // pairs.
 func (MemorySpec) EncodeState(s State) ([]byte, error) {

@@ -17,12 +17,20 @@
 // invoked inline, as in the paper's proof of Proposition 4, "messages
 // are received instantaneously by the sender") and to every other
 // process asynchronously.
+//
+// Both also implement ShardedNetwork: envelopes carry a shard tag and
+// each (process, shard) pair attaches its own handler, which is what
+// the key-sharded construction (core.ShardedReplica) runs on. FIFO
+// ordering, when enabled, is enforced per link across all shards —
+// each shard's messages are a subsequence of the link, so every shard
+// individually observes FIFO delivery too.
 package transport
 
 import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 )
 
 // Handler consumes a message delivered to a process. Handlers are
@@ -37,6 +45,29 @@ type Network interface {
 	// Broadcast sends payload from process `from` to every process.
 	// Self-delivery is synchronous; remote delivery is asynchronous.
 	Broadcast(from int, payload []byte)
+}
+
+// ShardedNetwork extends Network with per-shard channels: every
+// envelope carries a shard tag, and each (process, shard) pair has its
+// own handler. A key-sharded replica (core.ShardedReplica) runs one
+// instance of Algorithm 1 per shard; tagging at the transport layer
+// means the network delivers each message directly to the owning
+// shard — no demultiplexing inside the replica, and (on LiveNetwork)
+// an independent mailbox and dispatcher per shard, so deliveries to
+// different shards of one process proceed in parallel.
+//
+// Attach and Broadcast are equivalent to AttachShard and BroadcastShard
+// with shard 0, so unsharded replicas compose transparently.
+type ShardedNetwork interface {
+	Network
+	// AttachShard registers the handler for shard `shard` of process
+	// id. It must be called before any BroadcastShard involving that
+	// pair.
+	AttachShard(id, shard int, h Handler)
+	// BroadcastShard sends payload from shard `shard` of process
+	// `from` to the same shard of every process. Self-delivery is
+	// synchronous; remote delivery is asynchronous.
+	BroadcastShard(from, shard int, payload []byte)
 }
 
 // Stats counts network traffic. Broadcasts is the number of broadcast
@@ -56,6 +87,7 @@ type Stats struct {
 // transport never copies message bytes per recipient.
 type envelope struct {
 	from, to int
+	shard    int // destination shard of a ShardedNetwork broadcast
 	payload  []byte
 	seq      uint64 // per-(from,to) link sequence, for FIFO
 	id       uint64 // global tie-break id
@@ -84,9 +116,12 @@ type SimOptions struct {
 // network steps in one goroutine, which is exactly what makes runs
 // reproducible.
 type SimNetwork struct {
-	opts     SimOptions
-	rng      *rand.Rand
-	handlers []Handler
+	opts SimOptions
+	rng  *rand.Rand
+	// handlers[id][shard] is the delivery target for shard `shard` of
+	// process id; the inner slices grow on AttachShard. Plain Attach
+	// and Broadcast use shard 0.
+	handlers [][]Handler
 	crashed  []bool
 	group    []int // partition group per process
 	// pending holds in-flight envelopes in no particular order;
@@ -118,7 +153,7 @@ func NewSim(opts SimOptions) *SimNetwork {
 	return &SimNetwork{
 		opts:     opts,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
-		handlers: make([]Handler, opts.N),
+		handlers: make([][]Handler, opts.N),
 		crashed:  make([]bool, opts.N),
 		group:    make([]int, opts.N),
 		linkSeq:  make([]uint64, opts.N*opts.N),
@@ -130,12 +165,27 @@ func NewSim(opts SimOptions) *SimNetwork {
 func (n *SimNetwork) link(from, to int) int { return from*n.opts.N + to }
 
 // Attach implements Network.
-func (n *SimNetwork) Attach(id int, h Handler) { n.handlers[id] = h }
+func (n *SimNetwork) Attach(id int, h Handler) { n.AttachShard(id, 0, h) }
+
+// AttachShard implements ShardedNetwork.
+func (n *SimNetwork) AttachShard(id, shard int, h Handler) {
+	for len(n.handlers[id]) <= shard {
+		n.handlers[id] = append(n.handlers[id], nil)
+	}
+	n.handlers[id][shard] = h
+}
 
 // Broadcast implements Network. The sender's own copy is delivered
 // inline; copies to other live processes are queued for adversarial
 // delivery. A crashed sender cannot broadcast.
 func (n *SimNetwork) Broadcast(from int, payload []byte) {
+	n.BroadcastShard(from, 0, payload)
+}
+
+// BroadcastShard implements ShardedNetwork: each queued envelope is
+// tagged with the shard, and delivery invokes the handler attached for
+// (to, shard).
+func (n *SimNetwork) BroadcastShard(from, shard int, payload []byte) {
 	if n.crashed[from] {
 		return
 	}
@@ -145,7 +195,7 @@ func (n *SimNetwork) Broadcast(from int, payload []byte) {
 	n.stats.Sends++
 	n.stats.Delivered++
 	n.stats.Bytes += uint64(len(payload))
-	n.handlers[from](from, payload)
+	n.handlers[from][shard](from, payload)
 	for to := 0; to < n.opts.N; to++ {
 		if to == from {
 			continue
@@ -154,7 +204,7 @@ func (n *SimNetwork) Broadcast(from int, payload []byte) {
 		n.linkSeq[link]++
 		// The payload slice is shared, never copied per recipient.
 		n.pending = append(n.pending, envelope{
-			from: from, to: to, payload: payload,
+			from: from, to: to, shard: shard, payload: payload,
 			seq: n.linkSeq[link], id: n.nextID,
 		})
 		n.nextID++
@@ -210,7 +260,7 @@ func (n *SimNetwork) Step() bool {
 		n.stats.Bytes += uint64(len(e.payload))
 	}
 	n.stats.Delivered++
-	n.handlers[e.to](e.from, e.payload)
+	n.handlers[e.to][e.shard](e.from, e.payload)
 	return true
 }
 
@@ -308,14 +358,23 @@ func (n *SimNetwork) Heal() {
 // Stats returns a copy of the traffic counters.
 func (n *SimNetwork) Stats() Stats { return n.stats }
 
-var _ Network = (*SimNetwork)(nil)
+var (
+	_ Network        = (*SimNetwork)(nil)
+	_ ShardedNetwork = (*SimNetwork)(nil)
+)
 
 // LiveNetwork delivers messages with one dispatcher goroutine and an
-// unbounded mailbox per process, so Broadcast never blocks — the
-// wait-freedom requirement. It is safe for concurrent use.
+// unbounded mailbox per (process, shard) pair, so Broadcast never
+// blocks — the wait-freedom requirement. Unsharded use (NewLive) has a
+// single shard per process; NewLiveSharded gives every shard its own
+// mailbox and dispatcher, so deliveries to different shards of the
+// same process run in parallel. It is safe for concurrent use.
 type LiveNetwork struct {
 	n      int
-	nodes  []*liveNode
+	shards int
+	// nodes[id][shard] is the mailbox + dispatcher for one shard of one
+	// process.
+	nodes  [][]*liveNode
 	mu     sync.Mutex
 	stats  Stats
 	closed bool
@@ -326,27 +385,47 @@ type liveNode struct {
 	cond    *sync.Cond
 	queue   []envelope
 	handler Handler
-	crashed bool
+	// crashed is atomic, not mutex-guarded: the dispatcher re-checks it
+	// per message while working through a swapped-out batch, so a crash
+	// takes effect mid-backlog without reintroducing a lock round-trip
+	// per envelope.
+	crashed atomic.Bool
 	closed  bool
 	busy    bool // dispatcher is executing a handler
 	done    chan struct{}
 }
 
-// NewLive returns a live network for n processes. Close must be called
-// to stop the dispatcher goroutines.
-func NewLive(n int) *LiveNetwork {
-	ln := &LiveNetwork{n: n, nodes: make([]*liveNode, n)}
+// NewLive returns a live network for n processes with a single shard
+// per process. Close must be called to stop the dispatcher goroutines.
+func NewLive(n int) *LiveNetwork { return NewLiveSharded(n, 1) }
+
+// NewLiveSharded returns a live network for n processes with the given
+// number of shards per process, one mailbox and dispatcher goroutine
+// each. Close must be called to stop the dispatchers.
+func NewLiveSharded(n, shards int) *LiveNetwork {
+	if shards <= 0 {
+		panic("transport: NewLiveSharded needs at least one shard")
+	}
+	ln := &LiveNetwork{n: n, shards: shards, nodes: make([][]*liveNode, n)}
 	for i := range ln.nodes {
-		node := &liveNode{done: make(chan struct{})}
-		node.cond = sync.NewCond(&node.mu)
-		ln.nodes[i] = node
-		go node.run()
+		ln.nodes[i] = make([]*liveNode, shards)
+		for s := range ln.nodes[i] {
+			node := &liveNode{done: make(chan struct{})}
+			node.cond = sync.NewCond(&node.mu)
+			ln.nodes[i][s] = node
+			go node.run()
+		}
 	}
 	return ln
 }
 
 func (nd *liveNode) run() {
 	defer close(nd.done)
+	// batch and the mailbox slice ping-pong: one lock round-trip swaps
+	// the whole queue out, instead of popping one envelope per
+	// acquisition — under heavy fan-in the dispatcher takes the lock
+	// once per backlog, not once per message.
+	var batch []envelope
 	for {
 		nd.mu.Lock()
 		for len(nd.queue) == 0 && !nd.closed {
@@ -356,14 +435,22 @@ func (nd *liveNode) run() {
 			nd.mu.Unlock()
 			return
 		}
-		e := nd.queue[0]
-		nd.queue = nd.queue[1:]
+		batch, nd.queue = nd.queue, batch[:0]
 		h := nd.handler
-		crashed := nd.crashed
 		nd.busy = true
 		nd.mu.Unlock()
-		if h != nil && !crashed {
-			h(e.from, e.payload)
+		if h != nil {
+			for i := range batch {
+				if nd.crashed.Load() {
+					break // a crash mid-batch drops the rest
+				}
+				h(batch[i].from, batch[i].payload)
+			}
+		}
+		// Zero the handled slots so the shared payloads become
+		// collectable while the buffer waits for reuse.
+		for i := range batch {
+			batch[i] = envelope{}
 		}
 		nd.mu.Lock()
 		nd.busy = false
@@ -373,8 +460,11 @@ func (nd *liveNode) run() {
 }
 
 // Attach implements Network.
-func (ln *LiveNetwork) Attach(id int, h Handler) {
-	nd := ln.nodes[id]
+func (ln *LiveNetwork) Attach(id int, h Handler) { ln.AttachShard(id, 0, h) }
+
+// AttachShard implements ShardedNetwork.
+func (ln *LiveNetwork) AttachShard(id, shard int, h Handler) {
+	nd := ln.nodes[id][shard]
 	nd.mu.Lock()
 	nd.handler = h
 	nd.mu.Unlock()
@@ -383,12 +473,17 @@ func (ln *LiveNetwork) Attach(id int, h Handler) {
 // Broadcast implements Network. Self-delivery is synchronous (invoked
 // on the caller's goroutine); remote deliveries are enqueued.
 func (ln *LiveNetwork) Broadcast(from int, payload []byte) {
-	self := ln.nodes[from]
+	ln.BroadcastShard(from, 0, payload)
+}
+
+// BroadcastShard implements ShardedNetwork: the message goes to the
+// mailbox of shard `shard` at every other process.
+func (ln *LiveNetwork) BroadcastShard(from, shard int, payload []byte) {
+	self := ln.nodes[from][shard]
 	self.mu.Lock()
-	crashed := self.crashed
 	h := self.handler
 	self.mu.Unlock()
-	if crashed {
+	if self.crashed.Load() {
 		return
 	}
 	// One batched stats update per broadcast, not one lock round-trip
@@ -406,11 +501,11 @@ func (ln *LiveNetwork) Broadcast(from int, payload []byte) {
 		if to == from {
 			continue
 		}
-		nd := ln.nodes[to]
+		nd := ln.nodes[to][shard]
 		nd.mu.Lock()
 		if !nd.closed {
 			// The payload slice is shared with every other mailbox.
-			nd.queue = append(nd.queue, envelope{from: from, to: to, payload: payload})
+			nd.queue = append(nd.queue, envelope{from: from, to: to, shard: shard, payload: payload})
 			// Broadcast, not Signal: the condition variable is shared
 			// between the dispatcher and Drain waiters.
 			nd.cond.Broadcast()
@@ -419,13 +514,13 @@ func (ln *LiveNetwork) Broadcast(from int, payload []byte) {
 	}
 }
 
-// Crash halts a process: it stops handling queued and future messages
-// and its broadcasts are suppressed.
+// Crash halts a process: every shard stops handling queued and future
+// messages (including a batch the dispatcher already swapped out of the
+// mailbox) and the process's broadcasts are suppressed.
 func (ln *LiveNetwork) Crash(id int) {
-	nd := ln.nodes[id]
-	nd.mu.Lock()
-	nd.crashed = true
-	nd.mu.Unlock()
+	for _, nd := range ln.nodes[id] {
+		nd.crashed.Store(true)
+	}
 }
 
 // Close stops all dispatchers after draining their queues and waits for
@@ -438,14 +533,18 @@ func (ln *LiveNetwork) Close() {
 	}
 	ln.closed = true
 	ln.mu.Unlock()
-	for _, nd := range ln.nodes {
-		nd.mu.Lock()
-		nd.closed = true
-		nd.cond.Broadcast()
-		nd.mu.Unlock()
+	for _, row := range ln.nodes {
+		for _, nd := range row {
+			nd.mu.Lock()
+			nd.closed = true
+			nd.cond.Broadcast()
+			nd.mu.Unlock()
+		}
 	}
-	for _, nd := range ln.nodes {
-		<-nd.done
+	for _, row := range ln.nodes {
+		for _, nd := range row {
+			<-nd.done
+		}
 	}
 }
 
@@ -458,13 +557,15 @@ func (ln *LiveNetwork) Close() {
 func (ln *LiveNetwork) Drain() {
 	for {
 		stable := true
-		for _, nd := range ln.nodes {
-			nd.mu.Lock()
-			for (len(nd.queue) > 0 || nd.busy) && !nd.closed {
-				stable = false
-				nd.cond.Wait()
+		for _, row := range ln.nodes {
+			for _, nd := range row {
+				nd.mu.Lock()
+				for (len(nd.queue) > 0 || nd.busy) && !nd.closed {
+					stable = false
+					nd.cond.Wait()
+				}
+				nd.mu.Unlock()
 			}
-			nd.mu.Unlock()
 		}
 		if stable {
 			return
@@ -479,7 +580,10 @@ func (ln *LiveNetwork) Stats() Stats {
 	return ln.stats
 }
 
-var _ Network = (*LiveNetwork)(nil)
+var (
+	_ Network        = (*LiveNetwork)(nil)
+	_ ShardedNetwork = (*LiveNetwork)(nil)
+)
 
 // String renders traffic counters for experiment tables.
 func (s Stats) String() string {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt verify bench bench-quick bench-json bench-shards
+.PHONY: build test vet fmt verify bench bench-quick bench-json bench-shards bench-read
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,15 @@ bench-quick:
 bench-shards:
 	$(GO) run ./cmd/ucbench -exp shards
 
-# bench-json refreshes the recorded perf trajectory (hot path + E14).
+# bench-read prints the E15 read-mostly cache and E16 backlog-step
+# tables.
+bench-read:
+	$(GO) run ./cmd/ucbench -exp readmostly,stepbacklog
+
+# bench-json refreshes the recorded perf trajectory (hot paths, shard
+# scaling, read caches, adversary step). Set LABEL to this PR's entry;
+# the matching entry in the trajectory's runs array is replaced, the
+# rest are preserved.
+LABEL ?= dev
 bench-json:
-	$(GO) run ./cmd/ucbench -exp hotpath,shards -json BENCH_ucbench.json
+	$(GO) run ./cmd/ucbench -exp hotpath,shards,readmostly,stepbacklog -json BENCH_ucbench.json -label $(LABEL)

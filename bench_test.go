@@ -546,6 +546,35 @@ func BenchmarkSimStepBacklog(b *testing.B) {
 	}
 }
 
+// BenchmarkSimStepBacklogSizes (E16) proves the eligible index makes
+// one delivery step independent of the backlog: the standing backlog
+// grows 64x across sub-benchmarks while ns/step stays flat, in both
+// the unrestricted regime (O(1) pick) and FIFO (O(log pending)
+// order-statistics pick).
+func BenchmarkSimStepBacklogSizes(b *testing.B) {
+	const n = 8
+	for _, fifo := range []bool{false, true} {
+		for _, backlog := range []int{128, 1024, 8192} {
+			b.Run(fmt.Sprintf("fifo=%v/backlog=%d", fifo, backlog), func(b *testing.B) {
+				net := transport.NewSim(transport.SimOptions{N: n, Seed: 1, FIFO: fifo})
+				for i := 0; i < n; i++ {
+					net.Attach(i, func(int, []byte) {})
+				}
+				payload := []byte("0123456789abcdef")
+				for net.Pending() < backlog {
+					net.Broadcast(net.Pending()%n, payload)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					net.Broadcast(i%n, payload)
+					net.StepN(n - 1)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkConverged measures the cluster convergence predicate on a
 // settled 4-replica cluster — the polling loop of every experiment.
 func BenchmarkConverged(b *testing.B) {
@@ -583,6 +612,106 @@ func BenchmarkConcurrentQuery(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			reps[0].Query(spec.Read{})
+		}
+	})
+}
+
+// BenchmarkQueryCached (E15) measures the read-mostly query path on a
+// settled replica: "hit" repeats one query against an unchanged log
+// (served from the version-keyed output cache), "miss" forces a log
+// mutation between queries so every read rebuilds, and "parallel" has
+// many reader goroutines sharing the cached output.
+func BenchmarkQueryCached(b *testing.B) {
+	mkSettled := func() *core.Replica {
+		net := transport.NewSim(transport.SimOptions{N: 2, Seed: 6})
+		reps := core.Cluster(2, spec.Set(), net, core.ClusterOptions{
+			NewEngine: func() core.Engine { return core.NewUndoEngine() },
+		})
+		for k := 0; k < 256; k++ {
+			reps[0].Update(spec.Ins{V: fmt.Sprint(k % 40)})
+		}
+		net.Quiesce()
+		return reps[0]
+	}
+	b.Run("hit", func(b *testing.B) {
+		rep := mkSettled()
+		rep.Query(spec.Read{}) // warm the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep.Query(spec.Read{})
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		rep := mkSettled()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep.Update(spec.Ins{V: fmt.Sprint(i % 40)})
+			rep.Query(spec.Read{})
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		rep := mkSettled()
+		rep.Query(spec.Read{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				rep.Query(spec.Read{})
+			}
+		})
+	})
+}
+
+// BenchmarkShardedMergedQuery (E15) measures the whole-state query on a
+// key-sharded replica: "settled" repeats the merged read against
+// unchanged shards, "one-shard-dirty" updates a single key between
+// reads (re-folding only the owning shard), and "all-shards-dirty"
+// touches every shard between reads (the full S-fold cost).
+func BenchmarkShardedMergedQuery(b *testing.B) {
+	const shards = 4
+	keys := make([]string, 32)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%02d", i)
+	}
+	mkSettled := func() *core.ShardedReplica {
+		net := transport.NewSim(transport.SimOptions{N: 2, Seed: 8})
+		reps := core.ShardedCluster(2, shards, spec.CounterMap(), net, core.ClusterOptions{
+			NewEngine: func() core.Engine { return core.NewUndoEngine() },
+		})
+		for k := 0; k < 2048; k++ {
+			reps[0].Update(spec.AddKey{K: keys[k%len(keys)], N: 1})
+		}
+		net.Quiesce()
+		return reps[0]
+	}
+	b.Run("settled", func(b *testing.B) {
+		rep := mkSettled()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep.Query(spec.ReadAllCtrs{})
+		}
+	})
+	b.Run("one-shard-dirty", func(b *testing.B) {
+		rep := mkSettled()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep.Update(spec.AddKey{K: keys[0], N: 1})
+			rep.Query(spec.ReadAllCtrs{})
+		}
+	})
+	b.Run("all-shards-dirty", func(b *testing.B) {
+		rep := mkSettled()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < len(keys); s++ {
+				rep.Update(spec.AddKey{K: keys[s], N: 1})
+			}
+			rep.Query(spec.ReadAllCtrs{})
 		}
 	})
 }

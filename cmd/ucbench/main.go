@@ -4,15 +4,19 @@
 //
 // Usage:
 //
-//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath|shards]
-//	        [-quick] [-runs n] [-shards list] [-json path]
+//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath|shards|readmostly|stepbacklog]
+//	        [-quick] [-runs n] [-shards list] [-json path] [-label name]
 //
 // -exp accepts a comma-separated list (e.g. -exp hotpath,shards) so one
 // invocation can refresh several machine-readable sections at once.
-// With -json, the machine-readable results of the experiments that
-// produce them (hotpath, complexity, memory, shards) are written to the
-// given path; BENCH_ucbench.json in the repository root records the
-// tracked perf trajectory.
+//
+// With -json, every experiment that ran emits its machine-readable
+// results into the given path, which holds a per-PR time series: a
+// "runs" array of labeled entries. The entry whose label matches
+// -label (default "dev") is replaced in place; other entries are
+// preserved, so each PR's recorded run accumulates into the
+// trajectory. BENCH_ucbench.json in the repository root is the
+// tracked file.
 //
 // -shards sets the shard counts swept by the E14 shard-scaling
 // experiment (default 1,2,4,8); the first count is the speedup
@@ -31,15 +35,72 @@ import (
 	"updatec/internal/bench"
 )
 
-// report is the machine-readable result envelope emitted by -json.
+// report is one labeled entry of the trajectory file: the
+// machine-readable results of every experiment the invocation ran.
 type report struct {
-	Experiment string                  `json:"experiment"`
-	Quick      bool                    `json:"quick"`
-	GoVersion  string                  `json:"go_version"`
-	HotPath    *bench.PerfResult       `json:"hotpath,omitempty"`
-	Complexity *bench.ComplexityResult `json:"complexity,omitempty"`
-	Memory     *bench.MemoryResult     `json:"memory,omitempty"`
-	Shards     *bench.ShardResult      `json:"shards,omitempty"`
+	Label       string                   `json:"label,omitempty"`
+	Experiment  string                   `json:"experiment"`
+	Quick       bool                     `json:"quick"`
+	GoVersion   string                   `json:"go_version"`
+	Figures     *bench.FiguresResult     `json:"figures,omitempty"`
+	Prop1       *bench.Prop1Result       `json:"prop1,omitempty"`
+	Prop2       *bench.Prop2Result       `json:"prop2,omitempty"`
+	Prop3       *bench.Prop3Result       `json:"prop3,omitempty"`
+	Prop4       *bench.Prop4Result       `json:"prop4,omitempty"`
+	Sets        []bench.SetsResult       `json:"sets,omitempty"`
+	Complexity  *bench.ComplexityResult  `json:"complexity,omitempty"`
+	Memory      *bench.MemoryResult      `json:"memory,omitempty"`
+	Partition   *bench.PartitionResult   `json:"partition,omitempty"`
+	Latency     *bench.LatencyResult     `json:"latency,omitempty"`
+	Join        *bench.JoinResult        `json:"join,omitempty"`
+	HotPath     *bench.PerfResult        `json:"hotpath,omitempty"`
+	Shards      *bench.ShardResult       `json:"shards,omitempty"`
+	ReadMostly  *bench.ReadMostlyResult  `json:"readmostly,omitempty"`
+	StepBacklog *bench.StepBacklogResult `json:"stepbacklog,omitempty"`
+}
+
+// trajectory is the BENCH_ucbench.json shape: one entry per recorded
+// run, labeled per PR.
+type trajectory struct {
+	Runs []report `json:"runs"`
+}
+
+// loadTrajectory reads an existing trajectory file; a legacy
+// single-report file (PR 1/2 wrote one unlabeled report) is wrapped
+// as the first run so the history is preserved. A file that exists
+// but cannot be parsed is an error — rewriting it would silently wipe
+// every recorded run.
+func loadTrajectory(path string) (trajectory, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return trajectory{}, nil
+	}
+	if err != nil {
+		return trajectory{}, err
+	}
+	var tr trajectory
+	if err := json.Unmarshal(data, &tr); err == nil && len(tr.Runs) > 0 {
+		return tr, nil
+	}
+	var legacy report
+	if err := json.Unmarshal(data, &legacy); err == nil && legacy.Experiment != "" {
+		if legacy.Label == "" {
+			legacy.Label = "pr2"
+		}
+		return trajectory{Runs: []report{legacy}}, nil
+	}
+	return trajectory{}, fmt.Errorf("%s is neither a trajectory nor a legacy report; refusing to overwrite it", path)
+}
+
+// upsert replaces the run with rep's label, or appends it.
+func (tr *trajectory) upsert(rep report) {
+	for i := range tr.Runs {
+		if tr.Runs[i].Label == rep.Label {
+			tr.Runs[i] = rep
+			return
+		}
+	}
+	tr.Runs = append(tr.Runs, rep)
 }
 
 // parseShardCounts parses the -shards flag value.
@@ -56,11 +117,12 @@ func parseShardCounts(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath, shards")
+	exp := flag.String("exp", "all", "comma-separated experiments: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath, shards, readmostly, stepbacklog")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	runs := flag.Int("runs", 400, "randomized-history runs for prop2/prop3")
 	shardsFlag := flag.String("shards", "1,2,4,8", "shard counts for the E14 shard-scaling experiment")
-	jsonPath := flag.String("json", "", "write machine-readable results to this path")
+	jsonPath := flag.String("json", "", "merge machine-readable results into this trajectory file")
+	label := flag.String("label", "dev", "trajectory entry to write (one per PR, e.g. pr3)")
 	flag.Parse()
 
 	shardCounts, err := parseShardCounts(*shardsFlag)
@@ -70,7 +132,7 @@ func main() {
 	}
 
 	w := os.Stdout
-	rep := report{Experiment: *exp, Quick: *quick, GoVersion: runtime.Version()}
+	rep := report{Label: *label, Experiment: *exp, Quick: *quick, GoVersion: runtime.Version()}
 	experiments := strings.Split(*exp, ",")
 	for _, name := range experiments {
 		// "all" already includes every experiment, so it subsumes the
@@ -87,33 +149,58 @@ func main() {
 		// twice.
 		case "all":
 			res := bench.All(w, *quick)
+			rep.Figures, rep.Prop1, rep.Prop2 = &res.Figures, &res.Prop1, &res.Prop2
+			rep.Prop3, rep.Prop4, rep.Sets = &res.Prop3, &res.Prop4, res.Sets
 			rep.Complexity, rep.Memory, rep.HotPath = &res.Complexity, &res.Memory, &res.HotPath
+			rep.Partition, rep.Latency, rep.Join = &res.Partition, &res.Latency, &res.Join
+			rep.ReadMostly, rep.StepBacklog = &res.ReadMostly, &res.StepBacklog
 			shards := bench.ShardScaling(w, *quick, shardCounts)
 			rep.Shards = &shards
 		case "fig1", "fig2":
-			if res := bench.Figures(w); res.Mismatches != 0 {
-				fmt.Fprintf(os.Stderr, "ucbench: %d classification mismatches\n", res.Mismatches)
-				os.Exit(1)
+			if rep.Figures == nil {
+				res := bench.Figures(w)
+				rep.Figures = &res
+				if res.Mismatches != 0 {
+					fmt.Fprintf(os.Stderr, "ucbench: %d classification mismatches\n", res.Mismatches)
+					os.Exit(1)
+				}
 			}
 		case "prop1":
-			bench.Proposition1(w)
+			if rep.Prop1 == nil {
+				res := bench.Proposition1(w)
+				rep.Prop1 = &res
+			}
 		case "prop2":
-			if res := bench.Proposition2(w, *runs); res.Violations != 0 {
-				fmt.Fprintf(os.Stderr, "ucbench: %d hierarchy violations\n", res.Violations)
-				os.Exit(1)
+			if rep.Prop2 == nil {
+				res := bench.Proposition2(w, *runs)
+				rep.Prop2 = &res
+				if res.Violations != 0 {
+					fmt.Fprintf(os.Stderr, "ucbench: %d hierarchy violations\n", res.Violations)
+					os.Exit(1)
+				}
 			}
 		case "prop3":
-			if res := bench.Proposition3(w, *runs); res.InsertWinsFailures != 0 {
-				fmt.Fprintf(os.Stderr, "ucbench: %d Insert-wins failures\n", res.InsertWinsFailures)
-				os.Exit(1)
+			if rep.Prop3 == nil {
+				res := bench.Proposition3(w, *runs)
+				rep.Prop3 = &res
+				if res.InsertWinsFailures != 0 {
+					fmt.Fprintf(os.Stderr, "ucbench: %d Insert-wins failures\n", res.InsertWinsFailures)
+					os.Exit(1)
+				}
 			}
 		case "prop4":
-			if res := bench.Proposition4(w); !res.AllConverged() {
-				fmt.Fprintln(os.Stderr, "ucbench: convergence failures")
-				os.Exit(1)
+			if rep.Prop4 == nil {
+				res := bench.Proposition4(w)
+				rep.Prop4 = &res
+				if !res.AllConverged() {
+					fmt.Fprintln(os.Stderr, "ucbench: convergence failures")
+					os.Exit(1)
+				}
 			}
 		case "sets":
-			bench.SetCaseStudy(w)
+			if rep.Sets == nil {
+				rep.Sets = bench.SetCaseStudy(w)
+			}
 		case "complexity":
 			if rep.Complexity == nil {
 				res := bench.Complexity(w, *quick)
@@ -125,11 +212,20 @@ func main() {
 				rep.Memory = &res
 			}
 		case "partition":
-			bench.PartitionHeal(w)
+			if rep.Partition == nil {
+				res := bench.PartitionHeal(w)
+				rep.Partition = &res
+			}
 		case "latency":
-			bench.ConvergenceLatency(w)
+			if rep.Latency == nil {
+				res := bench.ConvergenceLatency(w)
+				rep.Latency = &res
+			}
 		case "join":
-			bench.StateTransfer(w)
+			if rep.Join == nil {
+				res := bench.StateTransfer(w)
+				rep.Join = &res
+			}
 		case "hotpath":
 			if rep.HotPath == nil {
 				res := bench.HotPath(w, *quick)
@@ -140,6 +236,16 @@ func main() {
 				res := bench.ShardScaling(w, *quick, shardCounts)
 				rep.Shards = &res
 			}
+		case "readmostly":
+			if rep.ReadMostly == nil {
+				res := bench.ReadMostly(w, *quick)
+				rep.ReadMostly = &res
+			}
+		case "stepbacklog":
+			if rep.StepBacklog == nil {
+				res := bench.StepBacklog(w, *quick)
+				rep.StepBacklog = &res
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "ucbench: unknown experiment %q\n", name)
 			flag.Usage()
@@ -148,7 +254,13 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
+		tr, err := loadTrajectory(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ucbench: reading %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		tr.upsert(rep)
+		data, err := json.MarshalIndent(tr, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ucbench: encoding JSON report: %v\n", err)
 			os.Exit(1)
@@ -158,6 +270,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ucbench: writing %s: %v\n", *jsonPath, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(w, "\nwrote JSON results to %s\n", *jsonPath)
+		fmt.Fprintf(w, "\nmerged JSON results into %s (label %q)\n", *jsonPath, *label)
 	}
 }

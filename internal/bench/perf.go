@@ -410,31 +410,46 @@ func HotPath(w io.Writer, quickRun bool) PerfResult {
 	return res
 }
 
-// AllResults aggregates the machine-readable results of the
-// experiments that produce them (ucbench -json serializes it).
+// AllResults aggregates the machine-readable results of every
+// experiment (ucbench -json serializes the whole set into the
+// BENCH_ucbench.json trajectory).
 type AllResults struct {
-	Complexity ComplexityResult
-	Memory     MemoryResult
-	HotPath    PerfResult
+	Figures     FiguresResult
+	Prop1       Prop1Result
+	Prop2       Prop2Result
+	Prop3       Prop3Result
+	Prop4       Prop4Result
+	Sets        []SetsResult
+	Complexity  ComplexityResult
+	Memory      MemoryResult
+	Partition   PartitionResult
+	Latency     LatencyResult
+	Join        JoinResult
+	HotPath     PerfResult
+	ReadMostly  ReadMostlyResult
+	StepBacklog StepBacklogResult
 }
 
 // All runs every experiment in order.
 func All(w io.Writer, quickRun bool) AllResults {
-	Figures(w)
-	Proposition1(w)
+	var res AllResults
+	res.Figures = Figures(w)
+	res.Prop1 = Proposition1(w)
 	runs := 400
 	if quickRun {
 		runs = 100
 	}
-	Proposition2(w, runs)
-	Proposition3(w, runs/4)
-	Proposition4(w)
-	SetCaseStudy(w)
-	cx := Complexity(w, quickRun)
-	mem := MemoryExperiment(w, quickRun)
-	PartitionHeal(w)
-	ConvergenceLatency(w)
-	StateTransfer(w)
-	hp := HotPath(w, quickRun)
-	return AllResults{Complexity: cx, Memory: mem, HotPath: hp}
+	res.Prop2 = Proposition2(w, runs)
+	res.Prop3 = Proposition3(w, runs/4)
+	res.Prop4 = Proposition4(w)
+	res.Sets = SetCaseStudy(w)
+	res.Complexity = Complexity(w, quickRun)
+	res.Memory = MemoryExperiment(w, quickRun)
+	res.Partition = PartitionHeal(w)
+	res.Latency = ConvergenceLatency(w)
+	res.Join = StateTransfer(w)
+	res.HotPath = HotPath(w, quickRun)
+	res.ReadMostly = ReadMostly(w, quickRun)
+	res.StepBacklog = StepBacklog(w, quickRun)
+	return res
 }

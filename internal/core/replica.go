@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"updatec/internal/clock"
 	"updatec/internal/history"
@@ -63,6 +64,67 @@ type Replica struct {
 	fpKey string
 	fpVer uint64
 	fpOK  bool
+	// qkeyer is non-nil when the spec canonicalizes query inputs
+	// (spec.QueryKeyer); it enables the query-output cache below.
+	qkeyer spec.QueryKeyer
+	qc     queryCache
+}
+
+// maxQueryCacheEntries bounds the per-replica query-output cache; when
+// one log version accumulates more distinct query keys the cache is
+// wiped and refilled (the map storage is reused).
+const maxQueryCacheEntries = 64
+
+// queryCache memoizes query outputs against the log version. The
+// output of a query is a pure function of (log contents, query input);
+// the log's mutation counter fingerprints the contents and
+// spec.QueryKeyer canonicalizes the input, so a cached output is valid
+// exactly while the version is unchanged — invalidation is a version
+// compare on lookup, never an explicit flush on the write path.
+//
+// The cache has its own RW mutex so hits — the read-mostly common
+// case — proceed concurrently (lookups under the read half, counters
+// atomic); only a store takes it exclusively. ver only ever stores
+// the version current at store time (the storing reader holds the
+// replica's shared lock, so the log cannot move under it).
+type queryCache struct {
+	mu           sync.RWMutex
+	ver          uint64
+	m            map[spec.QueryCacheKey]spec.QueryOutput
+	hits, misses atomic.Uint64
+}
+
+// lookup returns the cached output for (ver, key), if present.
+func (c *queryCache) lookup(ver uint64, key spec.QueryCacheKey) (spec.QueryOutput, bool) {
+	c.mu.RLock()
+	var out spec.QueryOutput
+	ok := false
+	if c.ver == ver && c.m != nil {
+		out, ok = c.m[key]
+	}
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return out, ok
+}
+
+// store records the output computed for (ver, key). Entries from older
+// versions are wiped wholesale — they can never be read again, because
+// the log version only grows.
+func (c *queryCache) store(ver uint64, key spec.QueryCacheKey, out spec.QueryOutput) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[spec.QueryCacheKey]spec.QueryOutput, maxQueryCacheEntries)
+	}
+	if c.ver != ver || len(c.m) >= maxQueryCacheEntries {
+		clear(c.m)
+		c.ver = ver
+	}
+	c.m[key] = out
 }
 
 // Config assembles a Replica.
@@ -120,6 +182,7 @@ func NewReplica(cfg Config) *Replica {
 		originMax: clock.NewVector(cfg.N),
 	}
 	r.acodec, _ = codec.(spec.AppendCodec)
+	r.qkeyer, _ = cfg.ADT.(spec.QueryKeyer)
 	if cfg.GC {
 		r.stab = clock.NewStability(cfg.N, cfg.ID)
 	}
@@ -150,10 +213,40 @@ func (r *Replica) Update(u spec.Update) {
 // the query runs under the shared lock, concurrently with other
 // queries; the paper's wait-free claim then comes with read
 // parallelism on the hot path.
+//
+// On that path, outputs of cacheable queries (spec.QueryKeyer) are
+// memoized against the log version: a repeat read of a settled replica
+// is a version compare plus a map hit, with no state walk and no
+// allocation. Because a cached output may be returned to several
+// callers, query outputs must be treated as immutable — which the rest
+// of the system already assumes (they are canonical values, compared
+// and rendered, never edited in place).
 func (r *Replica) Query(in spec.QueryInput) spec.QueryOutput {
+	key, cacheable := spec.QueryCacheKey{}, false
+	if r.qkeyer != nil && r.rec == nil && r.stab == nil {
+		key, cacheable = r.qkeyer.QueryInputKey(in)
+	}
 	if r.rec == nil && r.stab == nil {
 		r.mu.RLock()
-		if s, ok := r.engine.StateConcurrent(); ok {
+		if cacheable {
+			// The version is pinned while the shared lock is held
+			// (mutations take the exclusive half), so the lookup, the
+			// state derivation and the store below all speak about the
+			// same log contents.
+			ver := r.log.Version()
+			if out, ok := r.qc.lookup(ver, key); ok {
+				r.clk.Tick()
+				r.mu.RUnlock()
+				return out
+			}
+			if s, ok := r.engine.StateConcurrent(); ok {
+				r.clk.Tick()
+				out := r.adt.Query(s, in)
+				r.qc.store(ver, key, out)
+				r.mu.RUnlock()
+				return out
+			}
+		} else if s, ok := r.engine.StateConcurrent(); ok {
 			r.clk.Tick()
 			out := r.adt.Query(s, in)
 			r.mu.RUnlock()
@@ -171,7 +264,16 @@ func (r *Replica) Query(in spec.QueryInput) spec.QueryOutput {
 	if r.rec != nil {
 		r.rec.Query(r.id, in, out)
 	}
+	if cacheable {
+		r.qc.store(r.log.Version(), key, out)
+	}
 	return out
+}
+
+// QueryCacheStats reports the query-output cache counters (hits,
+// misses); the read-path benchmarks and tests assert against them.
+func (r *Replica) QueryCacheStats() (hits, misses uint64) {
+	return r.qc.hits.Load(), r.qc.misses.Load()
 }
 
 // ReadState invokes f with the replica's current state under the
@@ -181,16 +283,34 @@ func (r *Replica) Query(in spec.QueryInput) spec.QueryOutput {
 // ShardedReplica uses it to fold per-shard states into a merged query
 // state without racing concurrent deliveries.
 func (r *Replica) ReadState(f func(spec.State)) {
+	r.ReadStateAt(func(s spec.State, _ uint64) { f(s) })
+}
+
+// ReadStateAt is ReadState with the log version the state derives
+// from: the version is read under the same lock as the state, so the
+// pair is consistent. The sharded merged-state cache keys each shard's
+// cached contribution on it.
+func (r *Replica) ReadStateAt(f func(s spec.State, ver uint64)) {
 	r.mu.RLock()
 	if s, ok := r.engine.StateConcurrent(); ok {
-		f(s)
+		f(s, r.log.Version())
 		r.mu.RUnlock()
 		return
 	}
 	r.mu.RUnlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	f(r.engine.State())
+	f(r.engine.State(), r.log.Version())
+}
+
+// Version returns the replica's log version — a cheap fingerprint of
+// everything query-observable (the state is a pure function of the
+// log). Two equal Version results bracket a window with no log
+// mutation.
+func (r *Replica) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.log.Version()
 }
 
 // QueryOmega evaluates a query and records it as the replica's

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"updatec/internal/spec"
 	"updatec/internal/transport"
@@ -38,6 +39,34 @@ type ShardedReplica struct {
 	adt    spec.UQADT
 	part   spec.Partitionable // nil → everything routes to shard 0
 	shards []*Replica
+	qkeyer spec.QueryKeyer // non-nil when whole-state outputs can be cached
+	mc     mergedCache
+}
+
+// mergedCache is the whole-state read cache of a ShardedReplica: the
+// merged state, the per-shard contributions it was folded from, and
+// the shard log version each contribution derives from. A whole-state
+// query compares every shard's current version against vers and
+// re-folds only the shards that moved — UnmergeFrom removes the stale
+// contribution, MergeInto splices the fresh clone — so a read against
+// S shards of which k changed costs O(k changed components) instead of
+// S full folds from zero. On a settled replica no shard moved and the
+// cached merged state is served as is (the per-shard states are
+// key-disjoint, so contributions can be replaced independently).
+//
+// outs additionally memoizes whole-state query outputs against gen,
+// which increments whenever any contribution is re-folded — the
+// sharded analogue of the per-replica queryCache.
+type mergedCache struct {
+	mu     sync.Mutex
+	vers   []uint64     // shard log version each contribution is from
+	parts  []spec.State // cloned per-shard contributions
+	merged spec.State
+	gen    uint64     // bumped on every re-fold; keys outs
+	outs   queryCache // whole-state outputs, keyed on gen
+	// folds counts shard re-folds, reads whole-state queries served;
+	// the merged-cache benchmarks assert against the ratio.
+	folds, reads uint64
 }
 
 // ShardedConfig assembles a ShardedReplica.
@@ -82,6 +111,9 @@ func NewShardedReplica(cfg ShardedConfig) *ShardedReplica {
 		part:   part,
 		shards: make([]*Replica, cfg.Shards),
 	}
+	r.qkeyer, _ = cfg.ADT.(spec.QueryKeyer)
+	r.mc.vers = make([]uint64, cfg.Shards)
+	r.mc.parts = make([]spec.State, cfg.Shards)
 	for s := range r.shards {
 		var net transport.Network = cfg.Net
 		if snet != nil {
@@ -170,9 +202,12 @@ func (r *ShardedReplica) Update(u spec.Update) {
 // Query evaluates a query input. A keyed query (spec.Partitionable's
 // QueryKey reports ok) is served entirely by the owning shard — it
 // costs exactly one shard's Replica.Query, regardless of the shard
-// count. A whole-state query folds every shard's state into a fresh
-// merged state (in shard order, under each shard's lock in turn) and
-// evaluates the query on it.
+// count (and hits that shard's query-output cache on repeat reads). A
+// whole-state query is served from the merged-state cache: per-shard
+// version compares find the shards that moved since the last read,
+// only those contributions are re-folded, and on a settled replica
+// the cached merged state — and, for cacheable inputs, the cached
+// output itself — is returned without touching any shard.
 //
 // The merged result is deterministic across replicas after
 // convergence: per-shard states are key-disjoint, so the union is
@@ -185,21 +220,94 @@ func (r *ShardedReplica) Query(in spec.QueryInput) spec.QueryOutput {
 	if key, ok := r.part.QueryKey(in); ok {
 		return r.shards[r.ShardOf(key)].Query(in)
 	}
-	return r.adt.Query(r.mergedState(), in)
+	return r.queryMerged(in)
 }
 
-// mergedState builds a fresh state holding every shard's key
-// components. The fold runs under one shard lock at a time: the merge
-// target is freshly allocated and MergeInto treats sources as
-// read-only, so no shard state escapes its lock.
-func (r *ShardedReplica) mergedState() spec.State {
-	merged := r.adt.Initial()
-	for _, sh := range r.shards {
-		sh.ReadState(func(s spec.State) {
-			merged = r.part.MergeInto(merged, s)
-		})
+// queryMerged serves a whole-state query from the merged-state cache,
+// memoizing the output against the fold generation when the input is
+// cacheable. Whole-state queries serialize on the cache mutex (they
+// shared no structure before, but each paid a full S-shard fold; now
+// the common settled read is a few version compares).
+func (r *ShardedReplica) queryMerged(in spec.QueryInput) spec.QueryOutput {
+	key, cacheable := spec.QueryCacheKey{}, false
+	if r.qkeyer != nil {
+		key, cacheable = r.qkeyer.QueryInputKey(in)
 	}
-	return merged
+	mc := &r.mc
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	r.refreshMergedLocked()
+	mc.reads++
+	if !cacheable {
+		return r.adt.Query(mc.merged, in)
+	}
+	if out, ok := mc.outs.lookup(mc.gen, key); ok {
+		return out
+	}
+	out := r.adt.Query(mc.merged, in)
+	mc.outs.store(mc.gen, key, out)
+	return out
+}
+
+// refreshMergedLocked brings the merged state up to date. Caller holds
+// mc.mu. A shard whose log version matches its cached contribution is
+// skipped without taking its lock; a moved shard's state is cloned
+// under its lock (ReadStateAt pins state and version together), then
+// spliced in: the stale contribution is unmerged, the fresh clone
+// merged — per-shard states are key-disjoint, so replacing one
+// contribution never disturbs another's keys. A version of 0 means
+// the shard has never been mutated, matching the nil contribution it
+// starts with.
+func (r *ShardedReplica) refreshMergedLocked() {
+	mc := &r.mc
+	if mc.merged == nil {
+		mc.merged = r.adt.Initial()
+	}
+	for s, sh := range r.shards {
+		if sh.Version() == mc.vers[s] {
+			continue
+		}
+		var fresh spec.State
+		var ver uint64
+		sh.ReadStateAt(func(st spec.State, v uint64) {
+			fresh = r.adt.Clone(st)
+			ver = v
+		})
+		if mc.parts[s] != nil {
+			mc.merged = r.part.UnmergeFrom(mc.merged, mc.parts[s])
+		}
+		mc.merged = r.part.MergeInto(mc.merged, fresh)
+		mc.parts[s] = fresh
+		mc.vers[s] = ver
+		mc.gen++
+		mc.folds++
+	}
+}
+
+// MergedState returns a clone of the replica's current whole state —
+// every shard's key components folded together (served through the
+// merged-state cache). Harnesses and tests use it; queries should go
+// through Query, which can avoid the clone.
+func (r *ShardedReplica) MergedState() spec.State {
+	if r.part == nil || len(r.shards) == 1 {
+		var out spec.State
+		r.shards[0].ReadState(func(s spec.State) { out = r.adt.Clone(s) })
+		return out
+	}
+	r.mc.mu.Lock()
+	defer r.mc.mu.Unlock()
+	r.refreshMergedLocked()
+	return r.adt.Clone(r.mc.merged)
+}
+
+// MergedCacheStats reports the merged-state cache counters: folds is
+// the number of per-shard contribution re-folds performed, reads the
+// number of whole-state queries served. A read-mostly workload shows
+// folds ≪ reads·S; the benchmarks and tests assert against it.
+func (r *ShardedReplica) MergedCacheStats() (folds, reads uint64) {
+	r.mc.mu.Lock()
+	defer r.mc.mu.Unlock()
+	return r.mc.folds, r.mc.reads
 }
 
 // StateKey returns the canonical key of the replica's merged state —

@@ -83,7 +83,7 @@ func TestShardedMatchesUnshardedForCommutativeSpec(t *testing.T) {
 	netB.Quiesce()
 
 	want := adt.KeyState(replState(t, plain[0]))
-	got := adt.KeyState(sharded[0].mergedState())
+	got := adt.KeyState(sharded[0].MergedState())
 	if got != want {
 		t.Fatalf("sharded converged state %s, unsharded %s", got, want)
 	}
@@ -247,7 +247,7 @@ func TestShardedLiveHammer(t *testing.T) {
 	}
 	// Every increment must be accounted for in the merged state.
 	total := int64(0)
-	state := reps[0].mergedState().(map[string]int64)
+	state := reps[0].MergedState().(map[string]int64)
 	for _, v := range state {
 		total += v
 	}

@@ -164,6 +164,15 @@ func (CounterMapSpec) MergeInto(dst, src State) State {
 	return d
 }
 
+// UnmergeFrom implements Partitionable: remove src's counters.
+func (CounterMapSpec) UnmergeFrom(dst, src State) State {
+	d := dst.(map[string]int64)
+	for k := range src.(map[string]int64) {
+		delete(d, k)
+	}
+	return d
+}
+
 // EncodeUpdate implements Codec. Wire format: uvarint key length, key
 // bytes, zig-zag varint delta.
 func (sp CounterMapSpec) EncodeUpdate(u Update) ([]byte, error) {

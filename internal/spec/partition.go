@@ -35,6 +35,12 @@ type Partitionable interface {
 	// dst. Callers guarantee dst and src hold disjoint key sets; src is
 	// read-only and must not be mutated or aliased by the result.
 	MergeInto(dst, src State) State
+	// UnmergeFrom removes src's key components from dst and returns
+	// dst — the inverse of MergeInto(dst, src). Callers guarantee src
+	// is exactly a state previously merged into dst (same key set);
+	// src is read-only. The sharded merged-state cache uses it to
+	// replace one shard's contribution without re-folding the others.
+	UnmergeFrom(dst, src State) State
 }
 
 // UpdateKey implements Partitionable: a set element is its own key.
@@ -62,6 +68,15 @@ func (SetSpec) MergeInto(dst, src State) State {
 	return d
 }
 
+// UnmergeFrom implements Partitionable: remove src's elements.
+func (SetSpec) UnmergeFrom(dst, src State) State {
+	d := dst.(map[string]bool)
+	for k := range src.(map[string]bool) {
+		delete(d, k)
+	}
+	return d
+}
+
 // UpdateKey implements Partitionable: a write addresses its register.
 func (MemorySpec) UpdateKey(u Update) string {
 	w, ok := u.(WriteKey)
@@ -85,6 +100,15 @@ func (MemorySpec) MergeInto(dst, src State) State {
 	d := dst.(map[string]string)
 	for k, v := range src.(map[string]string) {
 		d[k] = v
+	}
+	return d
+}
+
+// UnmergeFrom implements Partitionable: remove src's registers.
+func (MemorySpec) UnmergeFrom(dst, src State) State {
+	d := dst.(map[string]string)
+	for k := range src.(map[string]string) {
+		delete(d, k)
 	}
 	return d
 }

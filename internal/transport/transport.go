@@ -91,6 +91,11 @@ type envelope struct {
 	payload  []byte
 	seq      uint64 // per-(from,to) link sequence, for FIFO
 	id       uint64 // global tie-break id
+	// elig and lpos belong to SimNetwork's eligible index (simindex.go):
+	// elig mirrors eligible(), lpos is the envelope's position in its
+	// link's FIFO queue. LiveNetwork leaves both zero.
+	elig bool
+	lpos int
 }
 
 // SimOptions configures a SimNetwork.
@@ -134,9 +139,16 @@ type SimNetwork struct {
 	linkSeq []uint64
 	nextSeq []uint64
 	nextID  uint64
-	// cand is the reusable eligible-candidate scratch for Step.
-	cand  []int
-	stats Stats
+	// The eligible index (simindex.go): eligCount eligible envelopes,
+	// located through the Fenwick tree idx and, in FIFO mode, the
+	// per-link readiness queues linkQ. anyCrashed and partitioned flag
+	// the regimes in which eligibility is non-trivial.
+	eligCount   int
+	idx         fenwick
+	linkQ       []linkQueue
+	anyCrashed  bool
+	partitioned bool
+	stats       Stats
 }
 
 // NewSim returns a deterministic network for opts.N processes.
@@ -150,7 +162,7 @@ func NewSim(opts SimOptions) *SimNetwork {
 	if opts.DuplicateProb >= 1 {
 		panic("transport: DuplicateProb must be below 1 or delivery never quiesces")
 	}
-	return &SimNetwork{
+	n := &SimNetwork{
 		opts:     opts,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		handlers: make([][]Handler, opts.N),
@@ -159,6 +171,10 @@ func NewSim(opts SimOptions) *SimNetwork {
 		linkSeq:  make([]uint64, opts.N*opts.N),
 		nextSeq:  make([]uint64, opts.N*opts.N),
 	}
+	if opts.FIFO {
+		n.linkQ = make([]linkQueue, opts.N*opts.N)
+	}
+	return n
 }
 
 // link indexes the dense per-link tables.
@@ -196,6 +212,7 @@ func (n *SimNetwork) BroadcastShard(from, shard int, payload []byte) {
 	n.stats.Delivered++
 	n.stats.Bytes += uint64(len(payload))
 	n.handlers[from][shard](from, payload)
+	uni := n.uniform()
 	for to := 0; to < n.opts.N; to++ {
 		if to == from {
 			continue
@@ -203,10 +220,19 @@ func (n *SimNetwork) BroadcastShard(from, shard int, payload []byte) {
 		link := n.link(from, to)
 		n.linkSeq[link]++
 		// The payload slice is shared, never copied per recipient.
-		n.pending = append(n.pending, envelope{
+		e := envelope{
 			from: from, to: to, shard: shard, payload: payload,
 			seq: n.linkSeq[link], id: n.nextID,
-		})
+		}
+		if uni {
+			// Unrestricted regime: eligible by construction, and the
+			// tree is not consulted (see simindex.go).
+			e.elig = true
+			n.pending = append(n.pending, e)
+			n.eligCount++
+		} else {
+			n.enqueue(e)
+		}
 		n.nextID++
 		n.stats.Sends++
 		n.stats.Bytes += uint64(len(payload))
@@ -230,32 +256,28 @@ func (n *SimNetwork) eligible(e *envelope) bool {
 // Step delivers one pseudo-randomly chosen eligible in-flight message,
 // returning false when nothing can be delivered (quiescence, or all
 // remaining messages are blocked by partitions).
+//
+// The pick is uniform over the eligible envelopes in ascending
+// pending-array order — the same draw, against the same ordering, as
+// the historical full scan, so a seed fixes the identical delivery
+// schedule — but it is answered by the eligible index (simindex.go):
+// O(1) when everything is eligible, O(log pending) otherwise, never a
+// walk over the backlog.
 func (n *SimNetwork) Step() bool {
-	candidates := n.cand[:0]
-	for i := range n.pending {
-		if n.eligible(&n.pending[i]) {
-			candidates = append(candidates, i)
-		}
-	}
-	n.cand = candidates[:0]
-	if len(candidates) == 0 {
+	if n.eligCount == 0 {
 		return false
 	}
-	idx := candidates[n.rng.Intn(len(candidates))]
-	e := n.pending[idx]
-	// O(1) swap-remove: pending carries no ordering.
-	last := len(n.pending) - 1
-	n.pending[idx] = n.pending[last]
-	n.pending[last] = envelope{}
-	n.pending = n.pending[:last]
-	if n.opts.FIFO {
-		n.nextSeq[n.link(e.from, e.to)] = e.seq
+	k := n.rng.Intn(n.eligCount)
+	at := k
+	if n.eligCount != len(n.pending) {
+		at = n.idx.selectK(k)
 	}
+	e := n.remove(at)
 	if n.opts.DuplicateProb > 0 && n.rng.Float64() < n.opts.DuplicateProb {
 		dup := e
 		dup.id = n.nextID
 		n.nextID++
-		n.pending = append(n.pending, dup)
+		n.enqueue(dup)
 		n.stats.Sends++
 		n.stats.Bytes += uint64(len(e.payload))
 	}
@@ -291,6 +313,7 @@ func (n *SimNetwork) Pending() int { return len(n.pending) }
 // flight (they were handed to the network).
 func (n *SimNetwork) Crash(id int) {
 	n.crashed[id] = true
+	n.anyCrashed = true
 	keep := n.pending[:0]
 	for _, e := range n.pending {
 		if e.to == id {
@@ -301,6 +324,7 @@ func (n *SimNetwork) Crash(id int) {
 	}
 	clearTail(n.pending, len(keep))
 	n.pending = keep
+	n.rebuildIndex()
 }
 
 // clearTail zeroes the slots past length so dropped payloads become
@@ -328,7 +352,7 @@ func (n *SimNetwork) CrashPartialBroadcast(id int, keepProb float64) {
 	}
 	clearTail(n.pending, len(keep))
 	n.pending = keep
-	n.Crash(id)
+	n.Crash(id) // rebuilds the eligible index
 }
 
 // Crashed reports whether id has crashed.
@@ -341,11 +365,14 @@ func (n *SimNetwork) Partition(groups ...[]int) {
 	for i := range n.group {
 		n.group[i] = 0
 	}
+	n.partitioned = false
 	for g, members := range groups {
 		for _, id := range members {
 			n.group[id] = g + 1
+			n.partitioned = true
 		}
 	}
+	n.rebuildIndex()
 }
 
 // Heal removes all partitions.
@@ -353,6 +380,8 @@ func (n *SimNetwork) Heal() {
 	for i := range n.group {
 		n.group[i] = 0
 	}
+	n.partitioned = false
+	n.rebuildIndex()
 }
 
 // Stats returns a copy of the traffic counters.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt verify bench bench-quick bench-json bench-shards bench-read
+.PHONY: build test vet fmt verify examples bench bench-quick bench-json bench-shards bench-read
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,14 @@ fmt:
 
 # verify is the tier-1 gate: one command for CI and reviewers.
 verify: build vet fmt test
+
+# examples builds AND runs every examples/* binary, so API drift in an
+# example fails the target (and CI) instead of rotting silently.
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d >/dev/null; \
+	done
 
 # bench runs the full -benchmem suite.
 bench:

@@ -386,6 +386,38 @@ func BenchmarkSession(b *testing.B) {
 	})
 }
 
+// BenchmarkShardedSession: session reads over a 4-shard counter map —
+// a keyed read pays one lane's coverage check plus the owning shard's
+// query cache; a whole-state read checks every lane and rides the
+// merged-state cache.
+func BenchmarkShardedSession(b *testing.B) {
+	net := transport.NewSim(transport.SimOptions{N: 3, Seed: 7})
+	reps := core.ShardedCluster(3, 4, spec.CounterMap(), net, core.ClusterOptions{
+		NewEngine: func() core.Engine { return core.NewUndoEngine() },
+	})
+	for k := 0; k < 256; k++ {
+		reps[k%3].Update(spec.AddKey{K: fmt.Sprint(k % 17), N: 1})
+	}
+	net.Quiesce()
+	sess := core.NewShardedSession(reps[0])
+	sess.Update(spec.AddKey{K: "mine", N: 1})
+	net.Quiesce()
+	b.Run("keyed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := sess.TryQuery(spec.ReadCtr{K: "mine"}); !ok {
+				b.Fatalf("own replica must cover the session")
+			}
+		}
+	})
+	b.Run("whole-state", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := sess.TryQuery(spec.ReadAllCtrs{}); !ok {
+				b.Fatalf("own replica must cover the session")
+			}
+		}
+	})
+}
+
 // BenchmarkPartitionHeal (E10): a split-brain run with conflicting
 // updates on both sides, healed and converged.
 func BenchmarkPartitionHeal(b *testing.B) {

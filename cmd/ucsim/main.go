@@ -1,11 +1,22 @@
-// Command ucsim runs one replicated-set scenario on the deterministic
-// simulator and reports per-replica convergence, network traffic, and
-// (optionally) the recorded history's classification.
+// Command ucsim runs one replicated-object scenario on the
+// deterministic simulator and reports per-replica convergence, network
+// traffic, and (optionally) the recorded history's classification.
+//
+// Two modes:
+//
+//   - the set comparison harness (default): pick a set implementation
+//     (-impl uc-set, or-set, ...) and compare against the CRDT
+//     baselines of §VI;
+//   - the generic object mode (-obj): build any built-in object
+//     through the public updatec.New API — set, counter, register,
+//     log, sequence, graph, kv, memory, countermap — with an optional
+//     shard count for the partitionable ones.
 //
 // Usage:
 //
 //	ucsim [-impl uc-set|or-set|...] [-n 3] [-ops 12] [-seed 1] [-crash p]
 //	      [-shards s] [-classify] [-fig2]
+//	ucsim -obj countermap -n 3 -shards 4 -ops 100 [-seed 1] [-crash p] [-classify]
 package main
 
 import (
@@ -16,21 +27,40 @@ import (
 	"sort"
 	"strings"
 
+	"updatec"
 	"updatec/internal/check"
 	"updatec/internal/sim"
 )
 
 func main() {
-	impl := flag.String("impl", "uc-set", "implementation: "+kindList())
+	impl := flag.String("impl", "uc-set", "set implementation: "+kindList())
+	obj := flag.String("obj", "", "generic object mode: set, counter, register, log, sequence, graph, kv, memory, countermap")
 	n := flag.Int("n", 3, "number of processes")
 	ops := flag.Int("ops", 12, "number of updates in the random workload")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	crash := flag.Int("crash", -1, "crash this process halfway through")
 	fifo := flag.Bool("fifo", false, "per-link FIFO delivery")
-	shards := flag.Int("shards", 1, "key shards per replica (uc-set kinds only)")
+	shards := flag.Int("shards", 1, "key shards per replica (partitionable objects only)")
 	classify := flag.Bool("classify", false, "record the history and classify it (keep ops small)")
 	fig2 := flag.Bool("fig2", false, "run the Figure 2 workload under a full partition")
 	flag.Parse()
+
+	if *obj != "" {
+		// The generic object mode replaces the set comparison harness;
+		// reject its flags rather than silently running a different
+		// experiment than the one asked for.
+		implSet := false
+		flag.Visit(func(f *flag.Flag) { implSet = implSet || f.Name == "impl" })
+		if implSet || *fig2 {
+			fmt.Fprintf(os.Stderr, "ucsim: -obj cannot be combined with -impl or -fig2 (they select the set comparison harness)\n")
+			os.Exit(2)
+		}
+		if err := runObject(*obj, *n, *shards, *ops, *seed, *crash, *fifo, *classify); err != nil {
+			fmt.Fprintf(os.Stderr, "ucsim: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	sc := sim.Scenario{
@@ -77,6 +107,122 @@ func main() {
 	if !out.Converged {
 		os.Exit(1)
 	}
+}
+
+// runObject drives a random workload through the public generic API.
+// Each object kind supplies a mutator that issues one random update on
+// a handle; the scenario loop (crash injection, adversarial partial
+// deliveries, settle, convergence report) is shared.
+func runObject(name string, n, shards int, ops int, seed int64, crash int, fifo, classify bool) error {
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	pick := func(rng *rand.Rand) string { return keys[rng.Intn(len(keys))] }
+	switch name {
+	case "set":
+		return runGeneric(updatec.SetObject(), n, shards, ops, seed, crash, fifo, classify,
+			func(h *updatec.Set, rng *rand.Rand) {
+				if rng.Intn(3) == 0 {
+					h.Delete(pick(rng))
+				} else {
+					h.Insert(pick(rng))
+				}
+			})
+	case "counter":
+		return runGeneric(updatec.CounterObject(), n, shards, ops, seed, crash, fifo, classify,
+			func(h *updatec.Counter, rng *rand.Rand) { h.Add(int64(rng.Intn(9) - 4)) })
+	case "register":
+		return runGeneric(updatec.RegisterObject(""), n, shards, ops, seed, crash, fifo, classify,
+			func(h *updatec.Register, rng *rand.Rand) { h.Write(pick(rng)) })
+	case "log":
+		return runGeneric(updatec.TextLogObject(), n, shards, ops, seed, crash, fifo, classify,
+			func(h *updatec.TextLog, rng *rand.Rand) { h.Append(pick(rng)) })
+	case "sequence":
+		return runGeneric(updatec.SequenceObject(), n, shards, ops, seed, crash, fifo, classify,
+			func(h *updatec.Sequence, rng *rand.Rand) {
+				if rng.Intn(4) == 0 {
+					h.DeleteAt(rng.Intn(4))
+				} else {
+					h.InsertAt(rng.Intn(4), pick(rng))
+				}
+			})
+	case "graph":
+		return runGeneric(updatec.GraphObject(), n, shards, ops, seed, crash, fifo, classify,
+			func(h *updatec.Graph, rng *rand.Rand) {
+				switch rng.Intn(4) {
+				case 0:
+					h.AddEdge(pick(rng), pick(rng))
+				case 1:
+					h.RemoveVertex(pick(rng))
+				default:
+					h.AddVertex(pick(rng))
+				}
+			})
+	case "kv":
+		return runGeneric(updatec.KVObject(), n, shards, ops, seed, crash, fifo, classify,
+			func(h *updatec.KV, rng *rand.Rand) { h.Put(pick(rng), pick(rng)) })
+	case "memory":
+		return runGeneric(updatec.MemoryObject(""), n, shards, ops, seed, crash, fifo, classify,
+			func(h *updatec.Memory, rng *rand.Rand) { h.Write(pick(rng), pick(rng)) })
+	case "countermap":
+		return runGeneric(updatec.CounterMapObject(), n, shards, ops, seed, crash, fifo, classify,
+			func(h *updatec.CounterMap, rng *rand.Rand) { h.Add(pick(rng), int64(rng.Intn(5)+1)) })
+	default:
+		return fmt.Errorf("unknown object %q (known: set, counter, register, log, sequence, graph, kv, memory, countermap)", name)
+	}
+}
+
+func runGeneric[H any](obj updatec.Object[H], n, shards int, ops int, seed int64, crash int, fifo, classify bool, mutate func(H, *rand.Rand)) error {
+	opts := []updatec.Option{updatec.WithSeed(seed)}
+	if fifo {
+		opts = append(opts, updatec.WithFIFO())
+	}
+	if shards > 1 {
+		opts = append(opts, updatec.WithShards(shards))
+	}
+	if classify {
+		opts = append(opts, updatec.WithRecording())
+	}
+	cluster, handles, err := updatec.New(n, obj, opts...)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	crashed := map[int]bool{}
+	for i := 0; i < ops; i++ {
+		if crash >= 0 && i == ops/2 && !crashed[crash] {
+			cluster.Crash(crash)
+			crashed[crash] = true
+		}
+		p := rng.Intn(n)
+		if crashed[p] {
+			continue // a crashed process issues nothing
+		}
+		mutate(handles[p], rng)
+		for d := rng.Intn(4); d > 0; d-- {
+			if !cluster.Deliver() {
+				break
+			}
+		}
+	}
+	cluster.Settle()
+	fmt.Printf("object: %s   processes: %d   shards: %d   ops: %d   seed: %d\n",
+		obj.Name(), n, cluster.Shards(), ops, seed)
+	fmt.Printf("converged: %v\n", cluster.Converged())
+	st := cluster.Stats()
+	fmt.Printf("network: broadcasts=%d sends=%d bytes=%d\n", st.Broadcasts, st.Sends, st.Bytes)
+	if classify {
+		c, err := cluster.Classify()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("classification: EC=%v SEC=%v UC=%v SUC=%v PC=%v\n",
+			c.EventuallyConsistent, c.StrongEventuallyConsistent,
+			c.UpdateConsistent, c.StrongUpdateConsistent, c.PipelinedConsistent)
+	}
+	if !cluster.Converged() {
+		os.Exit(1)
+	}
+	return nil
 }
 
 func kindList() string {

@@ -1,0 +1,117 @@
+package updatec
+
+import (
+	"fmt"
+)
+
+// This file keeps the pre-generic constructors compiling. Each is a
+// thin shim over New with the corresponding Object descriptor; new
+// code should call New directly.
+
+// NewSetCluster builds n replicas of an update consistent set.
+//
+// Deprecated: use New(n, SetObject(), opts...).
+func NewSetCluster(n int, opts ...Option) (*Cluster[*Set], []*Set, error) {
+	return New(n, SetObject(), opts...)
+}
+
+// NewCounterCluster builds n replicas of an update consistent counter.
+//
+// Deprecated: use New(n, CounterObject(), opts...).
+func NewCounterCluster(n int, opts ...Option) (*Cluster[*Counter], []*Counter, error) {
+	return New(n, CounterObject(), opts...)
+}
+
+// NewRegisterCluster builds n replicas of an update consistent
+// register with initial value v0.
+//
+// Deprecated: use New(n, RegisterObject(v0), opts...).
+func NewRegisterCluster(n int, v0 string, opts ...Option) (*Cluster[*Register], []*Register, error) {
+	return New(n, RegisterObject(v0), opts...)
+}
+
+// NewTextLogCluster builds n replicas of an update consistent
+// append-only document.
+//
+// Deprecated: use New(n, TextLogObject(), opts...).
+func NewTextLogCluster(n int, opts ...Option) (*Cluster[*TextLog], []*TextLog, error) {
+	return New(n, TextLogObject(), opts...)
+}
+
+// NewGraphCluster builds n replicas of an update consistent graph.
+//
+// Deprecated: use New(n, GraphObject(), opts...).
+func NewGraphCluster(n int, opts ...Option) (*Cluster[*Graph], []*Graph, error) {
+	return New(n, GraphObject(), opts...)
+}
+
+// NewSequenceCluster builds n replicas of an update consistent
+// positional sequence.
+//
+// Deprecated: use New(n, SequenceObject(), opts...).
+func NewSequenceCluster(n int, opts ...Option) (*Cluster[*Sequence], []*Sequence, error) {
+	return New(n, SequenceObject(), opts...)
+}
+
+// NewKVCluster builds n replicas of the generic key-value store.
+//
+// Deprecated: use New(n, KVObject(), opts...).
+func NewKVCluster(n int, opts ...Option) (*Cluster[*KV], []*KV, error) {
+	return New(n, KVObject(), opts...)
+}
+
+// NewMemoryCluster builds n replicas of the Algorithm 2 shared memory
+// with initial register value v0. Unlike its pre-generic version —
+// which silently ignored them — it reports an error for WithEngine and
+// WithGC (Algorithm 2 needs neither: it keeps no log).
+//
+// Deprecated: use New(n, MemoryObject(v0), opts...).
+func NewMemoryCluster(n int, v0 string, opts ...Option) (*Cluster[*Memory], []*Memory, error) {
+	return New(n, MemoryObject(v0), opts...)
+}
+
+// SetSession is a client session over a set cluster providing
+// read-your-writes and monotonic reads across replica failover. It is
+// a thin wrapper over the generic Session[*Set], so recording,
+// sharding and failover behave identically on both paths.
+//
+// Deprecated: use Cluster.Session, which works for every object built
+// on the generic construction.
+type SetSession struct {
+	s *Session[*Set]
+}
+
+// NewSetSession opens a session against replica p of a set cluster.
+//
+// Deprecated: use Cluster.Session.
+func (c *Cluster[H]) NewSetSession(p int) *SetSession {
+	sess, err := c.Session(p)
+	if err != nil {
+		panic(fmt.Sprintf("updatec: NewSetSession: %v", err))
+	}
+	s, ok := any(sess).(*Session[*Set])
+	if !ok {
+		panic("updatec: NewSetSession requires a set cluster")
+	}
+	return &SetSession{s: s}
+}
+
+// Switch fails the session over to replica p.
+func (s *SetSession) Switch(p int) { s.s.Switch(p) }
+
+// Insert adds v through the session's replica.
+func (s *SetSession) Insert(v string) { s.s.Handle().Insert(v) }
+
+// Delete removes v through the session's replica.
+func (s *SetSession) Delete(v string) { s.s.Handle().Delete(v) }
+
+// TryElements returns the replica's view if it covers everything this
+// session has observed; ok = false means the replica is stale for this
+// session (retry later or Switch).
+func (s *SetSession) TryElements() (elems []string, ok bool) {
+	ok = s.s.TryQuery(func(h *Set) { elems = h.Elements() })
+	if !ok {
+		return nil, false
+	}
+	return elems, true
+}

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	const n = 3
-	cluster, sets, err := updatec.NewSetCluster(n, updatec.WithSeed(7))
+	cluster, sets, err := updatec.New(n, updatec.SetObject(), updatec.WithSeed(7))
 	if err != nil {
 		panic(err)
 	}

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	cluster, docs, err := updatec.NewTextLogCluster(3)
+	cluster, docs, err := updatec.New(3, updatec.TextLogObject())
 	if err != nil {
 		panic(err)
 	}

@@ -15,7 +15,7 @@ import (
 
 func main() {
 	// Part 1: positional document.
-	cluster, docs, err := updatec.NewSequenceCluster(3, updatec.WithSeed(99))
+	cluster, docs, err := updatec.New(3, updatec.SequenceObject(), updatec.WithSeed(99))
 	if err != nil {
 		panic(err)
 	}
@@ -38,7 +38,7 @@ func main() {
 	fmt.Printf("converged: %v\n\n", cluster.Converged())
 
 	// Part 2: dependency graph with referential integrity.
-	gcluster, graphs, err := updatec.NewGraphCluster(2, updatec.WithSeed(7))
+	gcluster, graphs, err := updatec.New(2, updatec.GraphObject(), updatec.WithSeed(7))
 	if err != nil {
 		panic(err)
 	}

@@ -62,7 +62,7 @@ func main() {
 	// and record the history. Algorithm 1 converges (EC holds), at the
 	// price of pipelined consistency — the trade Proposition 1 forces.
 	fmt.Println("\nrunning the Figure 2 program on an update consistent set:")
-	cluster, sets, err := updatec.NewSetCluster(2, updatec.WithSeed(42), updatec.WithRecording())
+	cluster, sets, err := updatec.New(2, updatec.SetObject(), updatec.WithSeed(42), updatec.WithRecording())
 	if err != nil {
 		panic(err)
 	}

@@ -14,7 +14,7 @@ import (
 
 func main() {
 	const n = 4
-	cluster, stores, err := updatec.NewMemoryCluster(n, "", updatec.WithSeed(2026))
+	cluster, stores, err := updatec.New(n, updatec.MemoryObject(""), updatec.WithSeed(2026))
 	if err != nil {
 		panic(err)
 	}

@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	cluster, sets, err := updatec.NewSetCluster(3)
+	cluster, sets, err := updatec.New(3, updatec.SetObject())
 	if err != nil {
 		panic(err)
 	}

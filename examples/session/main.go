@@ -3,7 +3,8 @@
 // over to another and must not observe a state missing its own write.
 // The session layer detects the stale replica without blocking
 // (wait-freedom is preserved) — the client decides whether to retry,
-// switch again, or accept staleness.
+// switch again, or accept staleness. The generic Session works for any
+// object built on the universal construction, sharded or not.
 //
 //	go run ./examples/session
 package main
@@ -15,24 +16,27 @@ import (
 )
 
 func main() {
-	cluster, sets, err := updatec.NewSetCluster(3, updatec.WithSeed(5))
+	cluster, sets, err := updatec.New(3, updatec.SetObject(), updatec.WithSeed(5))
 	if err != nil {
 		panic(err)
 	}
 	defer cluster.Close()
 
-	session := cluster.NewSetSession(0)
-	session.Insert("order-1042")
+	session, err := cluster.Session(0)
+	if err != nil {
+		panic(err)
+	}
+	session.Handle().Insert("order-1042")
 	fmt.Println("client wrote order-1042 through replica 0")
 
-	if elems, ok := session.TryElements(); ok {
-		fmt.Printf("read from replica 0 (own writes visible): %v\n", elems)
-	}
+	session.TryQuery(func(s *updatec.Set) {
+		fmt.Printf("read from replica 0 (own writes visible): %v\n", s.Elements())
+	})
 
 	// Replica 0 becomes unreachable before its broadcast was
 	// delivered; the client fails over to replica 1.
 	session.Switch(1)
-	if _, ok := session.TryElements(); !ok {
+	if !session.TryQuery(func(s *updatec.Set) { _ = s.Elements() }) {
 		fmt.Println("replica 1 is STALE for this session (it has not seen")
 		fmt.Println("order-1042 yet) — the session refuses the read instead")
 		fmt.Println("of silently losing the client's write")
@@ -44,9 +48,9 @@ func main() {
 
 	// Deliver the network traffic; the session read now succeeds.
 	cluster.Settle()
-	if elems, ok := session.TryElements(); ok {
-		fmt.Printf("after delivery, replica 1 serves the session: %v\n", elems)
-	}
+	session.TryQuery(func(s *updatec.Set) {
+		fmt.Printf("after delivery, replica 1 serves the session: %v\n", s.Elements())
+	})
 
 	fmt.Println()
 	fmt.Println("session guarantees (read-your-writes, monotonic reads) compose")

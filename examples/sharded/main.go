@@ -1,12 +1,12 @@
-// Sharded demonstrates the key-sharded universal construction
-// (core.ShardedReplica): a 3-replica counter-map cluster on a live
-// goroutine transport with 4 shards per replica, hammered by concurrent
-// writers on different keys. Each shard runs its own copy of
-// Algorithm 1 — own log, own Lamport clock, own engine, own mailbox —
-// so updates to different keys never contend, while every per-key
-// guarantee of the paper (wait-freedom, strong update consistency)
-// holds per shard and the merged read is explainable by one total
-// order of all updates.
+// Sharded demonstrates the key-sharded universal construction through
+// the public generic API: a 3-replica counter-map cluster on a live
+// goroutine transport with 4 shards per replica, hammered by
+// concurrent writers on different keys. Each shard runs its own copy
+// of Algorithm 1 — own log, own Lamport clock, own engine, own
+// mailbox — so updates to different keys never contend, while every
+// per-key guarantee of the paper (wait-freedom, strong update
+// consistency) holds per shard and the merged read is explainable by
+// one total order of all updates.
 //
 //	go run ./examples/sharded
 package main
@@ -15,9 +15,7 @@ import (
 	"fmt"
 	"sync"
 
-	"updatec/internal/core"
-	"updatec/internal/spec"
-	"updatec/internal/transport"
+	"updatec"
 )
 
 func main() {
@@ -30,16 +28,17 @@ func main() {
 	keys := []string{"page:home", "page:docs", "page:blog", "api:list",
 		"api:get", "api:put", "cart:add", "cart:drop"}
 
-	net := transport.NewLiveSharded(n, shards)
-	defer net.Close()
-	reps := core.ShardedCluster(n, shards, spec.CounterMap(), net, core.ClusterOptions{
-		NewEngine: func() core.Engine { return core.NewUndoEngine() },
-	})
+	cluster, maps, err := updatec.New(n, updatec.CounterMapObject(),
+		updatec.WithShards(shards), updatec.WithEngine(updatec.Undo))
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
 
 	fmt.Printf("%d replicas x %d shards; %d writers, %d increments each\n",
-		n, shards, writers, perW)
+		n, cluster.Shards(), writers, perW)
 	for _, k := range keys {
-		fmt.Printf("  key %-10q -> shard %d\n", k, reps[0].ShardOf(k))
+		fmt.Printf("  key %-10q -> shard %d\n", k, cluster.ShardOf(k))
 	}
 
 	// Writers spread over replicas and keys; every increment is
@@ -49,36 +48,29 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rep := reps[w%n]
+			m := maps[w%n]
 			for i := 0; i < perW; i++ {
-				rep.Update(spec.AddKey{K: keys[(w+i)%len(keys)], N: 1})
+				m.Inc(keys[(w+i)%len(keys)])
 			}
 		}(w)
 	}
 	wg.Wait()
-	net.Drain() // let every shard mailbox empty
+	cluster.Settle() // let every shard mailbox empty
 
 	fmt.Println("\nafter delivery, keyed reads (served by one shard each):")
 	for _, k := range keys[:4] {
-		fmt.Printf("  %-10s = %v\n", k, reps[1].Query(spec.ReadCtr{K: k}))
+		fmt.Printf("  %-10s = %d\n", k, maps[1].Value(k))
 	}
 
 	fmt.Println("\nmerged whole-state read (per-shard states folded together):")
-	fmt.Printf("  replica 0: %v\n", reps[0].Query(spec.ReadAllCtrs{}))
+	fmt.Printf("  replica 0: %v\n", maps[0].All())
 
-	converged := true
-	want := reps[0].StateKey()
-	for _, r := range reps[1:] {
-		if r.StateKey() != want {
-			converged = false
-		}
-	}
 	total := int64(0)
 	for _, k := range keys {
-		total += int64(reps[0].Query(spec.ReadCtr{K: k}).(spec.CtrVal))
+		total += maps[0].Value(k)
 	}
 	fmt.Printf("\nconverged: %v, total increments accounted for: %d/%d\n",
-		converged, total, writers*perW)
+		cluster.Converged(), total, writers*perW)
 	fmt.Println("each shard reached its state by a total order of that shard's")
 	fmt.Println("updates; interleaving those orders is a single sequential")
 	fmt.Println("execution, so the merged state needs no conflict resolution.")

@@ -141,6 +141,15 @@ func (v Vector) Merge(o Vector) {
 	}
 }
 
+// Observe raises the component of the timestamp's process to its clock
+// value, if larger. Sessions use it to fold an issued update's
+// timestamp into their observation vector.
+func (v Vector) Observe(t Timestamp) {
+	if t.Proc >= 0 && t.Proc < len(v) && t.Clock > v[t.Proc] {
+		v[t.Proc] = t.Clock
+	}
+}
+
 // Min returns the smallest component of v, 0 for an empty vector.
 func (v Vector) Min() uint64 {
 	if len(v) == 0 {

@@ -222,12 +222,31 @@ func (r *Replica) Update(u spec.Update) {
 // of the system already assumes (they are canonical values, compared
 // and rendered, never edited in place).
 func (r *Replica) Query(in spec.QueryInput) spec.QueryOutput {
+	out, _ := r.queryCovered(nil, in)
+	return out
+}
+
+// queryCovered is the query path shared by Query and SessionQuery.
+// With cover == nil it is a plain query. With a non-nil cover vector
+// the replica must additionally cover it — (nil, false) otherwise, and
+// nothing is evaluated — and the replica's coverage is absorbed into
+// cover in place before serving; the check, the absorb, and the
+// (cacheable) query share one lock acquisition, so a covered session
+// read costs a raw read.
+func (r *Replica) queryCovered(cover clock.Vector, in spec.QueryInput) (spec.QueryOutput, bool) {
 	key, cacheable := spec.QueryCacheKey{}, false
 	if r.qkeyer != nil && r.rec == nil && r.stab == nil {
 		key, cacheable = r.qkeyer.QueryInputKey(in)
 	}
 	if r.rec == nil && r.stab == nil {
 		r.mu.RLock()
+		if cover != nil {
+			if !r.coveredLocked(cover) {
+				r.mu.RUnlock()
+				return nil, false
+			}
+			r.absorbLocked(cover)
+		}
 		if cacheable {
 			// The version is pinned while the shared lock is held
 			// (mutations take the exclusive half), so the lookup, the
@@ -237,25 +256,34 @@ func (r *Replica) Query(in spec.QueryInput) spec.QueryOutput {
 			if out, ok := r.qc.lookup(ver, key); ok {
 				r.clk.Tick()
 				r.mu.RUnlock()
-				return out
+				return out, true
 			}
 			if s, ok := r.engine.StateConcurrent(); ok {
 				r.clk.Tick()
 				out := r.adt.Query(s, in)
 				r.qc.store(ver, key, out)
 				r.mu.RUnlock()
-				return out
+				return out, true
 			}
 		} else if s, ok := r.engine.StateConcurrent(); ok {
 			r.clk.Tick()
 			out := r.adt.Query(s, in)
 			r.mu.RUnlock()
-			return out
+			return out, true
 		}
 		r.mu.RUnlock()
+		// The engine needs the exclusive lock to rebuild its state;
+		// coverage is already absorbed, and re-checking below is
+		// harmless (coverage is monotone, the absorb a running max).
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if cover != nil {
+		if !r.coveredLocked(cover) {
+			return nil, false
+		}
+		r.absorbLocked(cover)
+	}
 	cl := r.clk.Tick()
 	if r.stab != nil {
 		r.stab.ObserveSelf(cl)
@@ -267,7 +295,7 @@ func (r *Replica) Query(in spec.QueryInput) spec.QueryOutput {
 	if cacheable {
 		r.qc.store(r.log.Version(), key, out)
 	}
-	return out
+	return out, true
 }
 
 // QueryCacheStats reports the query-output cache counters (hits,

@@ -24,6 +24,9 @@ import (
 // Sessions keep operations wait-free: TryQuery never blocks — it
 // reports a stale replica instead, and the client chooses to retry,
 // switch replicas, or accept the stale read.
+//
+// A Session is a single client's state and is not safe for concurrent
+// use by multiple goroutines (the replicas it speaks to are).
 type Session struct {
 	r   *Replica
 	vec clock.Vector
@@ -46,27 +49,122 @@ func (s *Session) Switch(r *Replica) { s.r = r }
 // timestamp into the session vector (read-your-writes).
 func (s *Session) Update(u spec.Update) {
 	ts := s.r.UpdateTimestamped(u)
-	s.observe(ts)
+	s.vec.Observe(ts)
 }
 
 // TryQuery evaluates the query if the replica covers the session's
 // observation vector; otherwise it returns ok = false without
 // blocking. On success the session vector absorbs the replica's
-// current coverage (monotonic reads).
+// current coverage (monotonic reads). Covered queries ride the
+// replica's query-output cache under a single shared-lock acquisition
+// (see Replica.SessionQuery), so a session read of a settled replica
+// costs the same as a raw read.
 func (s *Session) TryQuery(in spec.QueryInput) (out spec.QueryOutput, ok bool) {
-	cov, covered := s.r.covers(s.vec)
-	if !covered {
-		return nil, false
+	return s.r.SessionQuery(s.vec, in)
+}
+
+// Covered reports whether the session's current replica covers every
+// update the session has observed — i.e. whether TryQuery would
+// succeed right now. It does not advance the session vector.
+func (s *Session) Covered() bool { return s.r.Covers(s.vec) }
+
+// ShardedSession is the Session analogue for key-sharded replicas.
+// A ShardedReplica runs one Lamport clock and log per shard, so the
+// session tracks one observation vector per shard lane: an update is
+// recorded in the lane of the shard that owns its key, a keyed query
+// is checked against (and absorbs) only the owning shard's coverage,
+// and a whole-state query requires every lane to be covered before the
+// merged state is served.
+//
+// The guarantees compose per key exactly like the construction itself:
+// a covering replica's shard log contains everything the session
+// observed on that shard, so keyed reads are monotonic per key and
+// whole-state reads are monotonic overall. Like Session, a
+// ShardedSession is one client's state and is not safe for concurrent
+// use.
+type ShardedSession struct {
+	r    *ShardedReplica
+	vecs []clock.Vector
+}
+
+// NewShardedSession starts a session against the given sharded
+// replica.
+func NewShardedSession(r *ShardedReplica) *ShardedSession {
+	s := &ShardedSession{r: r, vecs: make([]clock.Vector, len(r.shards))}
+	for i := range s.vecs {
+		s.vecs[i] = clock.NewVector(r.shards[i].n)
 	}
-	out = s.r.Query(in)
-	s.vec.Merge(cov)
+	return s
+}
+
+// Replica returns the session's current sharded replica.
+func (s *ShardedSession) Replica() *ShardedReplica { return s.r }
+
+// Switch fails the session over to another sharded replica of the same
+// cluster. The replica must have the same shard count (shard routing
+// is a pure function of key and shard count, so lanes keep meaning the
+// same key sets).
+func (s *ShardedSession) Switch(r *ShardedReplica) {
+	if len(r.shards) != len(s.vecs) {
+		panic("core: ShardedSession.Switch requires an equal shard count")
+	}
+	s.r = r
+}
+
+// Update issues an update through the shard owning its key and folds
+// the timestamp into that lane's vector (read-your-writes).
+func (s *ShardedSession) Update(u spec.Update) {
+	sh := s.r.shardOfUpdate(u)
+	ts := s.r.shards[sh].UpdateTimestamped(u)
+	s.vecs[sh].Observe(ts)
+}
+
+// TryQuery evaluates the query if the replica covers the session's
+// observations, without blocking. A keyed query involves only the
+// owning shard; a whole-state query requires every shard lane to be
+// covered and is then served through the merged-state cache.
+func (s *ShardedSession) TryQuery(in spec.QueryInput) (out spec.QueryOutput, ok bool) {
+	r := s.r
+	if r.part == nil || len(r.shards) == 1 {
+		return r.shards[0].SessionQuery(s.vecs[0], in)
+	}
+	if key, keyed := r.part.QueryKey(in); keyed {
+		sh := r.ShardOf(key)
+		return r.shards[sh].SessionQuery(s.vecs[sh], in)
+	}
+	// Whole-state query: check every lane, serve the merged state, then
+	// absorb. Coverage only grows, so a lane checked early cannot
+	// regress before the merged read; and absorbing AFTER the read is
+	// what keeps the session sound under concurrent deliveries — every
+	// update the merged output can show was delivered before the fold,
+	// hence is below the coverage absorbed afterwards. (Absorbing first
+	// would leave a window where an update delivered between absorb and
+	// fold appears in the output without entering the session vector,
+	// letting a later failover read it back out.) The absorb may
+	// overshoot what the output actually showed; that is the safe
+	// direction — it only makes later reads stricter.
+	for sh, rep := range r.shards {
+		if !rep.Covers(s.vecs[sh]) {
+			return nil, false
+		}
+	}
+	out = r.queryMerged(in)
+	for sh, rep := range r.shards {
+		rep.AbsorbCoverage(s.vecs[sh])
+	}
 	return out, true
 }
 
-func (s *Session) observe(ts clock.Timestamp) {
-	if ts.Proc >= 0 && ts.Proc < len(s.vec) && ts.Clock > s.vec[ts.Proc] {
-		s.vec[ts.Proc] = ts.Clock
+// Covered reports whether the session's current replica covers every
+// lane — i.e. whether a whole-state TryQuery would succeed right now.
+// It does not advance the session vectors.
+func (s *ShardedSession) Covered() bool {
+	for sh, rep := range s.r.shards {
+		if !rep.Covers(s.vecs[sh]) {
+			return false
+		}
 	}
+	return true
 }
 
 // Coverage returns the replica's per-origin coverage vector: for each
@@ -75,36 +173,73 @@ func (s *Session) observe(ts clock.Timestamp) {
 func (r *Replica) Coverage() clock.Vector {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	_, baseTS := r.log.Base()
-	cov := r.originMax.Clone()
-	for j := range cov {
-		if baseTS.Clock > cov[j] {
-			cov[j] = baseTS.Clock
-		}
-	}
+	cov := clock.NewVector(len(r.originMax))
+	r.absorbLocked(cov)
 	return cov
 }
 
-// covers reports whether the replica's log (including its compacted
+// Covers reports whether the replica's log (including its compacted
 // prefix) contains every update the vector describes: for each origin
 // j, all of j's updates with clock ≤ v[j]. The compacted base holds
 // *every* update below the horizon clock, whatever its origin, so
-// coverage per origin is max(originMax[j], horizon). It returns the
-// replica's own coverage vector for the session to absorb.
-func (r *Replica) covers(v clock.Vector) (clock.Vector, bool) {
+// coverage per origin is max(originMax[j], horizon).
+func (r *Replica) Covers(v clock.Vector) bool {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	return r.coveredLocked(v)
+}
+
+// AbsorbCoverage raises v, in place, to the replica's current
+// coverage. Sessions use it to absorb observations without allocating
+// a per-query coverage clone.
+func (r *Replica) AbsorbCoverage(v clock.Vector) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.absorbLocked(v)
+}
+
+// coveredLocked is Covers with the lock already held (either half).
+func (r *Replica) coveredLocked(v clock.Vector) bool {
 	_, baseTS := r.log.Base()
-	cov := r.originMax.Clone()
-	for j := range cov {
-		if baseTS.Clock > cov[j] {
-			cov[j] = baseTS.Clock
-		}
-	}
 	for j := range v {
-		if v[j] > cov[j] {
-			return nil, false
+		cov := r.originMax[j]
+		if baseTS.Clock > cov {
+			cov = baseTS.Clock
+		}
+		if v[j] > cov {
+			return false
 		}
 	}
-	return cov, true
+	return true
+}
+
+// absorbLocked raises v in place to the replica's coverage. Caller
+// holds the lock (either half).
+func (r *Replica) absorbLocked(v clock.Vector) {
+	_, baseTS := r.log.Base()
+	for j := range v {
+		cov := r.originMax[j]
+		if baseTS.Clock > cov {
+			cov = baseTS.Clock
+		}
+		if cov > v[j] {
+			v[j] = cov
+		}
+	}
+}
+
+// SessionQuery evaluates in if the replica covers v, absorbing the
+// replica's coverage into v (in place) before serving; ok = false
+// means the replica is stale for the vector and nothing was evaluated
+// or absorbed.
+//
+// This is the session read path, and it IS Replica.Query's path
+// (queryCovered) with the coverage check switched on: when neither
+// recording nor GC needs the exclusive lock, the coverage check, the
+// absorb, and the (cacheable) query all happen under one shared-lock
+// acquisition — a covered session read of a settled replica is a
+// version compare plus a cache hit, with no allocation, the same cost
+// as a raw Query.
+func (r *Replica) SessionQuery(v clock.Vector, in spec.QueryInput) (spec.QueryOutput, bool) {
+	return r.queryCovered(v, in)
 }

@@ -145,6 +145,143 @@ func TestQuickSessionNeverReadsBackwards(t *testing.T) {
 	}
 }
 
+func TestSessionQueryRidesCache(t *testing.T) {
+	// A covered session read of a settled replica must be served by the
+	// query-output cache (no state walk) and allocate nothing.
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 9})
+	reps := Cluster(2, spec.Set(), net, ClusterOptions{
+		NewEngine: func() Engine { return NewUndoEngine() },
+	})
+	sess := NewSession(reps[0])
+	for k := 0; k < 50; k++ {
+		sess.Update(spec.Ins{V: fmt.Sprint(k % 9)})
+	}
+	net.Quiesce()
+	if _, ok := sess.TryQuery(spec.Read{}); !ok {
+		t.Fatalf("settled own replica must cover the session")
+	}
+	hits0, _ := reps[0].QueryCacheStats()
+	const reads = 32
+	for i := 0; i < reads; i++ {
+		if _, ok := sess.TryQuery(spec.Read{}); !ok {
+			t.Fatalf("read %d refused", i)
+		}
+	}
+	hits, _ := reps[0].QueryCacheStats()
+	if hits-hits0 != reads {
+		t.Fatalf("session reads bypassed the cache: %d hits for %d reads", hits-hits0, reads)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := sess.TryQuery(spec.Read{}); !ok {
+			t.Fatalf("covered read refused")
+		}
+	}); allocs != 0 {
+		t.Fatalf("covered session read allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestShardedSessionReadYourWrites(t *testing.T) {
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 11})
+	reps := ShardedCluster(2, 4, spec.CounterMap(), net, ClusterOptions{})
+	sess := NewShardedSession(reps[0])
+	sess.Update(spec.AddKey{K: "mine", N: 3})
+	out, ok := sess.TryQuery(spec.ReadCtr{K: "mine"})
+	if !ok {
+		t.Fatalf("own replica must serve immediately")
+	}
+	if out.(spec.CtrVal) != 3 {
+		t.Fatalf("read-your-writes violated: %v", out)
+	}
+	// The whole-state read too: every lane is covered locally.
+	if _, ok := sess.TryQuery(spec.ReadAllCtrs{}); !ok {
+		t.Fatalf("own replica must serve the whole-state read")
+	}
+}
+
+func TestShardedSessionFailoverBlocksStaleReplica(t *testing.T) {
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 12})
+	reps := ShardedCluster(2, 4, spec.CounterMap(), net, ClusterOptions{})
+	sess := NewShardedSession(reps[0])
+	sess.Update(spec.AddKey{K: "x", N: 1})
+	sess.Switch(reps[1])
+	// The keyed read and the whole-state read must both refuse the
+	// replica that has not seen the session's write.
+	if _, ok := sess.TryQuery(spec.ReadCtr{K: "x"}); ok {
+		t.Fatalf("stale replica served a keyed session read")
+	}
+	if _, ok := sess.TryQuery(spec.ReadAllCtrs{}); ok {
+		t.Fatalf("stale replica served a whole-state session read")
+	}
+	if sess.Covered() {
+		t.Fatalf("Covered must report the stale replica")
+	}
+	net.Quiesce()
+	out, ok := sess.TryQuery(spec.ReadCtr{K: "x"})
+	if !ok || out.(spec.CtrVal) != 1 {
+		t.Fatalf("caught-up replica must serve: %v %v", out, ok)
+	}
+	if !sess.Covered() {
+		t.Fatalf("caught-up replica must report covered")
+	}
+}
+
+func TestShardedSessionKeyedReadChecksOnlyOwningShard(t *testing.T) {
+	// A keyed session read must not be blocked by staleness on OTHER
+	// shards: coverage is per lane. Write two keys owned by different
+	// shards through the session, deliver only one shard's broadcast,
+	// and check the delivered key is readable on the other replica while
+	// the undelivered one refuses.
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 13})
+	reps := ShardedCluster(2, 8, spec.CounterMap(), net, ClusterOptions{})
+	var a, b string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if a == "" {
+			a = k
+			continue
+		}
+		if reps[0].ShardOf(k) != reps[0].ShardOf(a) {
+			b = k
+			break
+		}
+	}
+	sess := NewShardedSession(reps[0])
+	sess.Update(spec.AddKey{K: a, N: 1})
+	sess.Update(spec.AddKey{K: b, N: 1})
+	// Deliver everything, then issue one more update to b's shard that
+	// stays in flight.
+	net.Quiesce()
+	sess.Update(spec.AddKey{K: b, N: 1})
+	sess.Switch(reps[1])
+	if _, ok := sess.TryQuery(spec.ReadCtr{K: a}); !ok {
+		t.Fatalf("keyed read of a covered shard refused because another shard is stale")
+	}
+	if _, ok := sess.TryQuery(spec.ReadCtr{K: b}); ok {
+		t.Fatalf("stale shard served its keyed read")
+	}
+	if _, ok := sess.TryQuery(spec.ReadAllCtrs{}); ok {
+		t.Fatalf("whole-state read served while one lane is stale")
+	}
+	net.Quiesce()
+	if _, ok := sess.TryQuery(spec.ReadAllCtrs{}); !ok {
+		t.Fatalf("settled replica must serve the whole-state read")
+	}
+}
+
+func TestShardedSessionSwitchShardCountMismatchPanics(t *testing.T) {
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 14})
+	a := ShardedCluster(2, 2, spec.CounterMap(), net, ClusterOptions{})
+	net2 := transport.NewSim(transport.SimOptions{N: 2, Seed: 14})
+	b := ShardedCluster(2, 4, spec.CounterMap(), net2, ClusterOptions{})
+	sess := NewShardedSession(a[0])
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Switch across shard counts must panic")
+		}
+	}()
+	sess.Switch(b[0])
+}
+
 func TestUpdateTimestampedMatchesLog(t *testing.T) {
 	net := transport.NewSim(transport.SimOptions{N: 1, Seed: 0})
 	r := NewReplica(Config{ID: 0, N: 1, ADT: spec.Set(), Net: net})

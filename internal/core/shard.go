@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"updatec/internal/history"
 	"updatec/internal/spec"
 	"updatec/internal/transport"
 )
@@ -92,6 +93,13 @@ type ShardedConfig struct {
 	// compaction period in deliveries (default 32).
 	GC      bool
 	GCEvery int
+	// Recorder records the replica's operations for the consistency
+	// deciders. Replica-level recording assumes one clock per process,
+	// which sharding deliberately gives up, so it is only permitted with
+	// Shards == 1 (where the construction IS a plain Replica); sharded
+	// runs must record at the harness level instead (as internal/sim and
+	// the public updatec package do).
+	Recorder *history.Recorder
 }
 
 // NewShardedReplica builds the per-shard replicas and attaches each to
@@ -99,6 +107,9 @@ type ShardedConfig struct {
 func NewShardedReplica(cfg ShardedConfig) *ShardedReplica {
 	if cfg.Shards <= 0 {
 		panic("core: ShardedConfig.Shards must be positive")
+	}
+	if cfg.Recorder != nil && cfg.Shards > 1 {
+		panic("core: replica-level recording requires one shard; record at the harness level")
 	}
 	snet, ok := cfg.Net.(transport.ShardedNetwork)
 	if !ok && cfg.Shards > 1 {
@@ -126,6 +137,7 @@ func NewShardedReplica(cfg ShardedConfig) *ShardedReplica {
 		r.shards[s] = NewReplica(Config{
 			ID: cfg.ID, N: cfg.N, ADT: cfg.ADT, Net: net,
 			Engine: eng, GC: cfg.GC, GCEvery: cfg.GCEvery,
+			Recorder: cfg.Recorder,
 		})
 	}
 	return r
@@ -221,6 +233,18 @@ func (r *ShardedReplica) Query(in spec.QueryInput) spec.QueryOutput {
 		return r.shards[r.ShardOf(key)].Query(in)
 	}
 	return r.queryMerged(in)
+}
+
+// QueryOmega evaluates a query and records it as the replica's
+// converged (ω) observation when replica-level recording is active.
+// With one shard it is exactly Replica.QueryOmega; on a genuinely
+// sharded replica (where recording lives at the harness level) it is a
+// plain Query and the caller records the observation itself.
+func (r *ShardedReplica) QueryOmega(in spec.QueryInput) spec.QueryOutput {
+	if len(r.shards) == 1 {
+		return r.shards[0].QueryOmega(in)
+	}
+	return r.Query(in)
 }
 
 // queryMerged serves a whole-state query from the merged-state cache,
@@ -365,15 +389,18 @@ func (r *ShardedReplica) RetireProcess(j int) {
 
 // ShardedCluster builds n sharded replicas sharing one transport, all
 // with the same shard count and options. ClusterOptions.Recorder is
-// ignored: replica-level recording assumes one clock per process, which
-// sharding deliberately gives up — record at the harness level instead
-// (as internal/sim does).
+// honored only with shards == 1 (where the construction is a plain
+// Replica per process): replica-level recording assumes one clock per
+// process, which sharding deliberately gives up — sharded runs must
+// record at the harness level instead (as internal/sim and the public
+// updatec package do), and passing a recorder with shards > 1 panics.
 func ShardedCluster(n, shards int, adt spec.UQADT, net transport.Network, opt ClusterOptions) []*ShardedReplica {
 	reps := make([]*ShardedReplica, n)
 	for i := 0; i < n; i++ {
 		reps[i] = NewShardedReplica(ShardedConfig{
 			ID: i, N: n, Shards: shards, ADT: adt, Net: net,
 			NewEngine: opt.NewEngine, GC: opt.GC, GCEvery: opt.GCEvery,
+			Recorder: opt.Recorder,
 		})
 	}
 	return reps

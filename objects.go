@@ -5,304 +5,324 @@ import (
 	"updatec/internal/core"
 	"updatec/internal/history"
 	"updatec/internal/spec"
-	"updatec/internal/transport"
 )
+
+// port is the object surface every typed handle is written against:
+// issue an update, evaluate a query. Depending on how the handle was
+// obtained it is backed by a (possibly sharded) replica of the generic
+// construction, an Algorithm 2 memory, a recording wrapper, or a
+// client session — the handle's methods are identical in all cases.
+type port interface {
+	Update(u spec.Update)
+	Query(in spec.QueryInput) spec.QueryOutput
+}
+
+// Object describes one replicated data type to New: its sequential
+// specification (the UQ-ADT of Definition 1), how to wrap a replica
+// into the typed handle H, and the converged (ω) query recorded at the
+// end of a recorded run. Use the built-in descriptors — SetObject,
+// CounterObject, RegisterObject, TextLogObject, GraphObject,
+// SequenceObject, KVObject, CounterMapObject, MemoryObject — as the
+// second argument of New.
+type Object[H any] struct {
+	name  string
+	adt   spec.UQADT
+	wrap  func(p port) H
+	omega spec.QueryInput
+	// alg2 marks the Algorithm 2 shared memory, which replaces the
+	// log-based construction entirely (no engines, no GC, no shards).
+	alg2 bool
+	init string // Algorithm 2 initial register value
+}
+
+// Name returns the descriptor's data type name (e.g. "set").
+func (o Object[H]) Name() string { return o.name }
+
+// partitionable reports whether the object may be key-sharded.
+func (o Object[H]) partitionable() bool {
+	if o.alg2 {
+		return false
+	}
+	_, ok := o.adt.(spec.Partitionable)
+	return ok
+}
 
 // Set is an update consistent replicated set: after convergence, every
 // replica holds the state reached by one total order of all insertions
 // and deletions (Example 1's S_Val under Algorithm 1).
-type Set struct{ inner *core.Set }
+type Set struct{ p port }
 
 // Insert adds v to the set. Wait-free.
-func (s *Set) Insert(v string) { s.inner.Insert(v) }
+func (s *Set) Insert(v string) { s.p.Update(spec.Ins{V: v}) }
 
 // Delete removes v from the set. Wait-free.
-func (s *Set) Delete(v string) { s.inner.Delete(v) }
+func (s *Set) Delete(v string) { s.p.Update(spec.Del{V: v}) }
 
 // Elements returns this replica's current view, sorted.
-func (s *Set) Elements() []string { return s.inner.Elements() }
+func (s *Set) Elements() []string { return s.p.Query(spec.Read{}).(spec.Elems) }
 
 // Contains reports membership in this replica's current view.
-func (s *Set) Contains(v string) bool { return s.inner.Contains(v) }
+func (s *Set) Contains(v string) bool {
+	for _, e := range s.Elements() {
+		if e == v {
+			return true
+		}
+	}
+	return false
+}
 
-// NewSetCluster builds n replicas of an update consistent set.
-func NewSetCluster(n int, opts ...Option) (*Cluster, []*Set, error) {
-	cl, reps, err := newCluster(n, spec.Set(), opts)
-	if err != nil {
-		return nil, nil, err
+// SetObject describes the replicated set. Partitionable (each element
+// is its own key), so it accepts WithShards.
+func SetObject() Object[*Set] {
+	return Object[*Set]{
+		name:  "set",
+		adt:   spec.Set(),
+		wrap:  func(p port) *Set { return &Set{p: p} },
+		omega: spec.Read{},
 	}
-	sets := make([]*Set, n)
-	for i, r := range reps {
-		sets[i] = &Set{inner: core.NewSet(r)}
-	}
-	cl.omega = func(p int) { reps[p].QueryOmega(spec.Read{}) }
-	return cl, sets, nil
 }
 
 // Counter is an update consistent replicated counter (also a CRDT,
 // since its updates commute).
-type Counter struct{ inner *core.Counter }
+type Counter struct{ p port }
 
 // Add adds n (negative values subtract). Wait-free.
-func (c *Counter) Add(n int64) { c.inner.Add(n) }
+func (c *Counter) Add(n int64) { c.p.Update(spec.Add{N: n}) }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.inner.Inc() }
+func (c *Counter) Inc() { c.Add(1) }
 
 // Dec subtracts one.
-func (c *Counter) Dec() { c.inner.Dec() }
+func (c *Counter) Dec() { c.Add(-1) }
 
 // Value returns this replica's current count.
-func (c *Counter) Value() int64 { return c.inner.Value() }
+func (c *Counter) Value() int64 { return int64(c.p.Query(spec.Read{}).(spec.CtrVal)) }
 
-// NewCounterCluster builds n replicas of an update consistent counter.
-func NewCounterCluster(n int, opts ...Option) (*Cluster, []*Counter, error) {
-	cl, reps, err := newCluster(n, spec.Counter(), opts)
-	if err != nil {
-		return nil, nil, err
+// CounterObject describes the replicated counter.
+func CounterObject() Object[*Counter] {
+	return Object[*Counter]{
+		name:  "counter",
+		adt:   spec.Counter(),
+		wrap:  func(p port) *Counter { return &Counter{p: p} },
+		omega: spec.Read{},
 	}
-	ctrs := make([]*Counter, n)
-	for i, r := range reps {
-		ctrs[i] = &Counter{inner: core.NewCounter(r)}
-	}
-	cl.omega = func(p int) { reps[p].QueryOmega(spec.Read{}) }
-	return cl, ctrs, nil
 }
 
 // Register is an update consistent last-writer register.
-type Register struct{ inner *core.Register }
+type Register struct{ p port }
 
 // Write stores v. Wait-free.
-func (r *Register) Write(v string) { r.inner.Write(v) }
+func (r *Register) Write(v string) { r.p.Update(spec.Write{V: v}) }
 
 // Read returns this replica's current value.
-func (r *Register) Read() string { return r.inner.Read() }
+func (r *Register) Read() string { return string(r.p.Query(spec.Read{}).(spec.RegVal)) }
 
-// NewRegisterCluster builds n replicas of an update consistent
-// register with initial value v0.
-func NewRegisterCluster(n int, v0 string, opts ...Option) (*Cluster, []*Register, error) {
-	cl, reps, err := newCluster(n, spec.Register(v0), opts)
-	if err != nil {
-		return nil, nil, err
+// RegisterObject describes the replicated register with initial value
+// v0.
+func RegisterObject(v0 string) Object[*Register] {
+	return Object[*Register]{
+		name:  "register",
+		adt:   spec.Register(v0),
+		wrap:  func(p port) *Register { return &Register{p: p} },
+		omega: spec.Read{},
 	}
-	regs := make([]*Register, n)
-	for i, r := range reps {
-		regs[i] = &Register{inner: core.NewRegister(r)}
-	}
-	cl.omega = func(p int) { reps[p].QueryOmega(spec.Read{}) }
-	return cl, regs, nil
 }
 
 // TextLog is an update consistent append-only document: all replicas
 // converge to the same line order — the convergence collaborative
 // editors need. Appends do not commute, so no plain CRDT provides
 // this; the update linearization does.
-type TextLog struct{ inner *core.TextLog }
+type TextLog struct{ p port }
 
 // Append adds a line at the end of the document. Wait-free.
-func (l *TextLog) Append(line string) { l.inner.Append(line) }
+func (l *TextLog) Append(line string) { l.p.Update(spec.Append{V: line}) }
 
 // Lines returns this replica's current document.
-func (l *TextLog) Lines() []string { return l.inner.Lines() }
+func (l *TextLog) Lines() []string { return l.p.Query(spec.ReadLog{}).(spec.Lines) }
 
-// NewTextLogCluster builds n replicas of an update consistent
-// append-only document.
-func NewTextLogCluster(n int, opts ...Option) (*Cluster, []*TextLog, error) {
-	cl, reps, err := newCluster(n, spec.Log(), opts)
-	if err != nil {
-		return nil, nil, err
+// TextLogObject describes the replicated append-only document.
+func TextLogObject() Object[*TextLog] {
+	return Object[*TextLog]{
+		name:  "log",
+		adt:   spec.Log(),
+		wrap:  func(p port) *TextLog { return &TextLog{p: p} },
+		omega: spec.ReadLog{},
 	}
-	logs := make([]*TextLog, n)
-	for i, r := range reps {
-		logs[i] = &TextLog{inner: core.NewTextLog(r)}
-	}
-	cl.omega = func(p int) { reps[p].QueryOmega(spec.ReadLog{}) }
-	return cl, logs, nil
 }
 
 // Graph is an update consistent directed graph: every replica's view
 // always satisfies referential integrity (edges only between present
 // vertices), because all replicas execute the same update
 // linearization of the sequential graph semantics.
-type Graph struct{ inner *core.Graph }
+type Graph struct{ p port }
 
 // AddVertex adds vertex v. Wait-free.
-func (g *Graph) AddVertex(v string) { g.inner.AddVertex(v) }
+func (g *Graph) AddVertex(v string) { g.p.Update(spec.AddV{V: v}) }
 
 // RemoveVertex removes v and its incident edges. Wait-free.
-func (g *Graph) RemoveVertex(v string) { g.inner.RemoveVertex(v) }
+func (g *Graph) RemoveVertex(v string) { g.p.Update(spec.RemV{V: v}) }
 
 // AddEdge adds edge u→v (dropped if an endpoint is absent at its
 // linearization point). Wait-free.
-func (g *Graph) AddEdge(u, v string) { g.inner.AddEdge(u, v) }
+func (g *Graph) AddEdge(u, v string) { g.p.Update(spec.AddE{U: u, V: v}) }
 
 // RemoveEdge removes edge u→v. Wait-free.
-func (g *Graph) RemoveEdge(u, v string) { g.inner.RemoveEdge(u, v) }
+func (g *Graph) RemoveEdge(u, v string) { g.p.Update(spec.RemE{U: u, V: v}) }
 
 // Vertices returns this replica's current vertices, sorted.
-func (g *Graph) Vertices() []string { return g.inner.Snapshot().Vertices }
+func (g *Graph) Vertices() []string { return g.snapshot().Vertices }
 
 // Edges returns this replica's current edges, sorted.
-func (g *Graph) Edges() [][2]string { return g.inner.Snapshot().Edges }
+func (g *Graph) Edges() [][2]string { return g.snapshot().Edges }
 
-// NewGraphCluster builds n replicas of an update consistent graph.
-func NewGraphCluster(n int, opts ...Option) (*Cluster, []*Graph, error) {
-	cl, reps, err := newCluster(n, spec.Graph(), opts)
-	if err != nil {
-		return nil, nil, err
+func (g *Graph) snapshot() spec.GraphVal {
+	return g.p.Query(spec.ReadGraph{}).(spec.GraphVal)
+}
+
+// GraphObject describes the replicated graph.
+func GraphObject() Object[*Graph] {
+	return Object[*Graph]{
+		name:  "graph",
+		adt:   spec.Graph(),
+		wrap:  func(p port) *Graph { return &Graph{p: p} },
+		omega: spec.ReadGraph{},
 	}
-	graphs := make([]*Graph, n)
-	for i, r := range reps {
-		graphs[i] = &Graph{inner: core.NewGraph(r)}
-	}
-	cl.omega = func(p int) { reps[p].QueryOmega(spec.ReadGraph{}) }
-	return cl, graphs, nil
 }
 
 // Sequence is an update consistent positional sequence: a shared
 // ordered document with insert-at-position and delete-at-position,
 // converging to one element order on every replica.
-type Sequence struct{ inner *core.Sequence }
+type Sequence struct{ p port }
 
 // InsertAt inserts v at position pos. Wait-free.
-func (s *Sequence) InsertAt(pos int, v string) { s.inner.InsertAt(pos, v) }
+func (s *Sequence) InsertAt(pos int, v string) { s.p.Update(spec.InsAt{Pos: pos, V: v}) }
 
 // DeleteAt deletes the element at position pos. Wait-free.
-func (s *Sequence) DeleteAt(pos int) { s.inner.DeleteAt(pos) }
+func (s *Sequence) DeleteAt(pos int) { s.p.Update(spec.DelAt{Pos: pos}) }
 
 // Items returns this replica's current document.
-func (s *Sequence) Items() []string { return s.inner.Items() }
+func (s *Sequence) Items() []string { return s.p.Query(spec.ReadSeq{}).(spec.Lines) }
 
-// NewSequenceCluster builds n replicas of an update consistent
-// positional sequence.
-func NewSequenceCluster(n int, opts ...Option) (*Cluster, []*Sequence, error) {
-	cl, reps, err := newCluster(n, spec.Sequence(), opts)
-	if err != nil {
-		return nil, nil, err
+// SequenceObject describes the replicated positional sequence.
+func SequenceObject() Object[*Sequence] {
+	return Object[*Sequence]{
+		name:  "sequence",
+		adt:   spec.Sequence(),
+		wrap:  func(p port) *Sequence { return &Sequence{p: p} },
+		omega: spec.ReadSeq{},
 	}
-	seqs := make([]*Sequence, n)
-	for i, r := range reps {
-		seqs[i] = &Sequence{inner: core.NewSequence(r)}
-	}
-	cl.omega = func(p int) { reps[p].QueryOmega(spec.ReadSeq{}) }
-	return cl, seqs, nil
 }
 
 // KV is an update consistent key-value store built on the *generic*
-// construction (Algorithm 1 over the register-map type). Prefer
-// NewMemoryCluster (Algorithm 2) in applications: it implements the
-// same semantics with O(1) reads and bounded memory; KV exists mainly
-// for the paper's complexity comparison.
-type KV struct{ inner *core.KV }
+// construction (Algorithm 1 over the register-map type). It is
+// partitionable — each register is its own key — so it accepts
+// WithShards. Prefer MemoryObject (Algorithm 2) for unsharded
+// applications: it implements the same semantics with O(1) reads and
+// bounded memory; KV exists for the paper's complexity comparison and
+// as the sharded register map.
+type KV struct{ p port }
 
 // Put writes v to register k. Wait-free.
-func (kv *KV) Put(k, v string) { kv.inner.Put(k, v) }
+func (kv *KV) Put(k, v string) { kv.p.Update(spec.WriteKey{K: k, V: v}) }
 
 // Get reads register k from this replica.
-func (kv *KV) Get(k string) string { return kv.inner.Get(k) }
+func (kv *KV) Get(k string) string {
+	return string(kv.p.Query(spec.ReadKey{K: k}).(spec.RegVal))
+}
 
-// NewKVCluster builds n replicas of the generic key-value store.
-func NewKVCluster(n int, opts ...Option) (*Cluster, []*KV, error) {
-	cl, reps, err := newCluster(n, spec.Memory(""), opts)
-	if err != nil {
-		return nil, nil, err
+// KVObject describes the generic key-value store.
+func KVObject() Object[*KV] {
+	return Object[*KV]{
+		name:  "kv",
+		adt:   spec.Memory(""),
+		wrap:  func(p port) *KV { return &KV{p: p} },
+		omega: spec.ReadKey{K: ""},
 	}
-	kvs := make([]*KV, n)
-	for i, r := range reps {
-		kvs[i] = &KV{inner: core.NewKV(r)}
+}
+
+// CounterMap is an update consistent map of named counters: additions
+// to one counter commute, additions to different counters are
+// independent, which makes it both a CRDT and the canonical
+// partitionable workload — with WithShards, each increment touches
+// only the shard owning its counter.
+type CounterMap struct{ p port }
+
+// Add adds n (negative values subtract) to counter k. Wait-free.
+func (m *CounterMap) Add(k string, n int64) { m.p.Update(spec.AddKey{K: k, N: n}) }
+
+// Inc adds one to counter k.
+func (m *CounterMap) Inc(k string) { m.Add(k, 1) }
+
+// Dec subtracts one from counter k.
+func (m *CounterMap) Dec(k string) { m.Add(k, -1) }
+
+// Value returns counter k at this replica (zero if never touched). On
+// a sharded cluster this keyed read is served entirely by the shard
+// owning k.
+func (m *CounterMap) Value(k string) int64 {
+	return int64(m.p.Query(spec.ReadCtr{K: k}).(spec.CtrVal))
+}
+
+// All returns every touched counter as sorted "k=v" entries — a
+// whole-state read: on a sharded cluster it folds the per-shard states
+// (served through the merged-state cache).
+func (m *CounterMap) All() []string {
+	return m.p.Query(spec.ReadAllCtrs{}).(spec.Elems)
+}
+
+// CounterMapObject describes the replicated counter map.
+func CounterMapObject() Object[*CounterMap] {
+	return Object[*CounterMap]{
+		name:  "countermap",
+		adt:   spec.CounterMap(),
+		wrap:  func(p port) *CounterMap { return &CounterMap{p: p} },
+		omega: spec.ReadAllCtrs{},
 	}
-	cl.omega = func(p int) { reps[p].QueryOmega(spec.ReadKey{K: ""}) }
-	return cl, kvs, nil
 }
 
 // Memory is the shared memory of Algorithm 2: per-register
 // last-writer-wins cells ordered by the same timestamps as the generic
 // construction, giving update consistency with O(1) reads and writes
-// and memory bounded by the number of registers.
-type Memory struct{ inner *core.Memory }
+// and memory bounded by the number of registers. Memory clusters
+// support neither WithEngine, WithGC nor WithShards (Algorithm 2 keeps
+// no log and is already per-register); New reports an error for those
+// combinations.
+type Memory struct{ p port }
 
 // Write stores v in register x. Wait-free, O(1).
-func (m *Memory) Write(x, v string) { m.inner.Write(x, v) }
+func (m *Memory) Write(x, v string) { m.p.Update(spec.WriteKey{K: x, V: v}) }
 
 // Read returns register x at this replica. O(1).
-func (m *Memory) Read(x string) string { return m.inner.Read(x) }
-
-// NewMemoryCluster builds n replicas of the Algorithm 2 shared memory
-// with initial register value v0. Memory clusters do not support
-// WithEngine/WithGC (Algorithm 2 needs neither: it keeps no log).
-func NewMemoryCluster(n int, v0 string, opts ...Option) (*Cluster, []*Memory, error) {
-	var cfg config
-	for _, o := range opts {
-		o(&cfg)
-	}
-	cl := &Cluster{n: n}
-	if cfg.simulated {
-		cl.sim = transport.NewSim(transport.SimOptions{N: n, Seed: cfg.seed, FIFO: cfg.fifo})
-	} else {
-		cl.live = transport.NewLive(n)
-	}
-	if cfg.record {
-		cl.rec = history.NewRecorder(spec.Memory(v0), n)
-	}
-	mems := make([]*Memory, n)
-	cl.memories = make([]*core.Memory, n)
-	for i := 0; i < n; i++ {
-		var m *core.Memory
-		if cl.sim != nil {
-			m = core.NewMemory(core.MemoryConfig{ID: i, Init: v0, Net: cl.sim, Recorder: cl.rec})
-		} else {
-			m = core.NewMemory(core.MemoryConfig{ID: i, Init: v0, Net: cl.live, Recorder: cl.rec})
-		}
-		cl.memories[i] = m
-		mems[i] = &Memory{inner: m}
-	}
-	cl.omega = func(p int) {
-		for _, k := range cl.memories[p].Keys() {
-			cl.memories[p].ReadOmega(k)
-			break // one ω read suffices for the classification
-		}
-	}
-	return cl, mems, nil
+func (m *Memory) Read(x string) string {
+	return string(m.p.Query(spec.ReadKey{K: x}).(spec.RegVal))
 }
 
-// SetSession is a client session over a set cluster providing
-// read-your-writes and monotonic reads across replica failover, while
-// staying wait-free: a read against a replica that has not yet caught
-// up with the session's observations reports ok = false instead of
-// blocking. (Update consistency is a convergence guarantee; sessions
-// add the per-client ordering guarantees on the way to convergence.)
-type SetSession struct {
-	cl   *Cluster
-	sess *core.Session
+// MemoryObject describes the Algorithm 2 shared memory with initial
+// register value v0.
+func MemoryObject(v0 string) Object[*Memory] {
+	return Object[*Memory]{
+		name:  "memory",
+		adt:   spec.Memory(v0),
+		wrap:  func(p port) *Memory { return &Memory{p: p} },
+		omega: spec.ReadKey{K: ""},
+		alg2:  true,
+		init:  v0,
+	}
 }
 
-// NewSetSession opens a session against replica p of a set cluster
-// built by NewSetCluster.
-func (c *Cluster) NewSetSession(p int) *SetSession {
-	if _, ok := c.replicas[p].ADT().(spec.SetSpec); !ok {
-		panic("updatec: NewSetSession requires a set cluster")
-	}
-	return &SetSession{cl: c, sess: core.NewSession(c.replicas[p])}
+// memPort adapts an Algorithm 2 memory to the port interface, so the
+// Memory handle (and the recording machinery) speak the same surface
+// as the generic construction.
+type memPort struct{ m *core.Memory }
+
+func (p memPort) Update(u spec.Update) {
+	w := u.(spec.WriteKey)
+	p.m.Write(w.K, w.V)
 }
 
-// Switch fails the session over to replica p.
-func (s *SetSession) Switch(p int) { s.sess.Switch(s.cl.replicas[p]) }
-
-// Insert adds v through the session's replica.
-func (s *SetSession) Insert(v string) { s.sess.Update(spec.Ins{V: v}) }
-
-// Delete removes v through the session's replica.
-func (s *SetSession) Delete(v string) { s.sess.Update(spec.Del{V: v}) }
-
-// TryElements returns the replica's view if it covers everything this
-// session has observed; ok = false means the replica is stale for this
-// session (retry later or Switch).
-func (s *SetSession) TryElements() (elems []string, ok bool) {
-	out, ok := s.sess.TryQuery(spec.Read{})
-	if !ok {
-		return nil, false
-	}
-	return out.(spec.Elems), true
+func (p memPort) Query(in spec.QueryInput) spec.QueryOutput {
+	r := in.(spec.ReadKey)
+	return spec.RegVal(p.m.Read(r.K))
 }
 
 // ClassifyHistory parses a history in the paper's notation (see

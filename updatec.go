@@ -7,17 +7,21 @@
 // for the paper's consistency criteria.
 //
 // The package offers replicated objects (Set, Counter, Register,
-// TextLog, KV, Memory) whose replicas converge, after all updates have
-// been delivered, to the state reached by a single total order of all
-// updates — a guarantee strictly stronger than eventual consistency:
-// the converged state is always explainable by a sequential execution
-// of the object's specification. Every operation is wait-free: it
-// completes using only local state, whatever the network does and
-// however many replicas crash.
+// TextLog, Graph, Sequence, KV, CounterMap, Memory) whose replicas
+// converge, after all updates have been delivered, to the state reached
+// by a single total order of all updates — a guarantee strictly
+// stronger than eventual consistency: the converged state is always
+// explainable by a sequential execution of the object's specification.
+// Every operation is wait-free: it completes using only local state,
+// whatever the network does and however many replicas crash.
 //
 // # Quick start
 //
-//	cluster, sets, _ := updatec.NewSetCluster(3)
+// The construction is generic — Algorithm 1 works for any update-query
+// ADT — and so is the API: one entry point, New, instantiated by an
+// Object descriptor per data type.
+//
+//	cluster, sets, _ := updatec.New(3, updatec.SetObject())
 //	defer cluster.Close()
 //	sets[0].Insert("x")
 //	sets[1].Delete("x") // concurrent conflicting update
@@ -30,6 +34,18 @@
 // delivery order is reproducible, which the experiment harness and
 // tests use. WithRecording records the run as a distributed history
 // that can be classified under the paper's criteria.
+//
+// Partitionable objects — those whose state decomposes into
+// independent per-key components: SetObject, KVObject,
+// CounterMapObject — additionally accept WithShards(s): each replica
+// then runs one instance of Algorithm 1 per key shard (own log, clock,
+// engine and transport channel), so updates to different keys never
+// contend, while per shard the paper's guarantees hold verbatim and
+// the merged object stays update consistent.
+//
+// Cluster.Session opens a per-client session with read-your-writes and
+// monotonic reads across replica failover, for any object built on the
+// generic construction, sharded or not.
 package updatec
 
 import (
@@ -59,7 +75,9 @@ type config struct {
 	fifo      bool
 	gc        bool
 	engine    EngineKind
+	engineSet bool
 	record    bool
+	shards    int
 }
 
 // Option configures a cluster.
@@ -77,23 +95,47 @@ func WithSeed(seed int64) Option {
 func WithFIFO() Option { return func(c *config) { c.fifo = true } }
 
 // WithGC enables stability-based log compaction (§VII-C garbage
-// collection). It requires FIFO delivery.
+// collection). It requires FIFO delivery and an object built on the
+// generic construction (MemoryObject keeps no log to compact).
 func WithGC() Option { return func(c *config) { c.gc = true } }
 
-// WithEngine selects the query engine.
-func WithEngine(k EngineKind) Option { return func(c *config) { c.engine = k } }
+// WithEngine selects the query engine. It requires an object built on
+// the generic construction (MemoryObject keeps no log to query).
+func WithEngine(k EngineKind) Option {
+	return func(c *config) { c.engine = k; c.engineSet = true }
+}
 
 // WithRecording records every operation into a distributed history
 // available from Cluster.History and Cluster.Classify.
+//
+// A recorded history needs a well-defined program order per process:
+// drive each handle of a recorded cluster from a single goroutine (the
+// deciders' model is one sequential process per replica — concurrent
+// callers on one handle have no program order to record). Keep
+// recorded runs small and deterministic (WithSeed); Classify solves
+// NP-complete search problems.
 func WithRecording() Option { return func(c *config) { c.record = true } }
 
+// WithShards runs each replica as s key shards — one instance of
+// Algorithm 1 (log, Lamport clock, query engine, transport channel)
+// per shard, updates routed to the shard owning their key. It requires
+// a partitionable object (SetObject, KVObject, CounterMapObject):
+// distinct keys are independent there, so update consistency composes
+// per key and the merged object keeps the paper's guarantee. One shard
+// is the unsharded construction.
+func WithShards(s int) Option { return func(c *config) { c.shards = s } }
+
 // Cluster owns the transport and replicas of one replicated object.
-type Cluster struct {
+// The type parameter H is the typed per-replica handle (for example
+// *Set), fixed by the Object descriptor New was called with.
+type Cluster[H any] struct {
 	n        int
+	obj      Object[H]
+	shards   int
 	sim      *transport.SimNetwork
 	live     *transport.LiveNetwork
-	replicas []*core.Replica
-	memories []*core.Memory
+	replicas []*core.ShardedReplica // generic construction (nil for MemoryObject)
+	memories []*core.Memory         // Algorithm 2 (nil otherwise)
 	rec      *history.Recorder
 	omega    func(p int)
 	crashed  map[int]bool
@@ -109,29 +151,77 @@ type NetworkStats struct {
 	Sends, Bytes uint64
 }
 
-// newCluster assembles the transport and generic replicas for a spec.
-func newCluster(n int, adt spec.UQADT, opts []Option) (*Cluster, []*core.Replica, error) {
+// New builds n replicas of the object described by obj and returns the
+// cluster together with one typed handle per replica. It is the single
+// constructor for every built-in data type:
+//
+//	cluster, sets, err := updatec.New(3, updatec.SetObject())
+//	cluster, ctrs, err := updatec.New(5, updatec.CounterObject(), updatec.WithSeed(7))
+//	cluster, maps, err := updatec.New(3, updatec.CounterMapObject(), updatec.WithShards(4))
+//
+// New validates the option/object combination and returns an error —
+// rather than silently ignoring the option — when the object does not
+// support it: WithShards needs a partitionable object, and
+// MemoryObject (Algorithm 2) supports neither WithEngine, WithGC nor
+// WithShards.
+func New[H any](n int, obj Object[H], opts ...Option) (*Cluster[H], []H, error) {
+	if obj.wrap == nil {
+		return nil, nil, fmt.Errorf("updatec: zero Object; use a built-in descriptor (SetObject, CounterObject, ...)")
+	}
 	if n <= 0 {
 		return nil, nil, fmt.Errorf("updatec: cluster size must be positive, got %d", n)
 	}
-	var cfg config
+	cfg := config{shards: 1}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.shards < 1 {
+		return nil, nil, fmt.Errorf("updatec: WithShards needs at least one shard, got %d", cfg.shards)
+	}
+	if cfg.shards > 1 {
+		if obj.alg2 {
+			return nil, nil, fmt.Errorf("updatec: %s does not support WithShards: Algorithm 2 is already per-register", obj.name)
+		}
+		if !obj.partitionable() {
+			return nil, nil, fmt.Errorf("updatec: %s is not partitionable; WithShards requires a key-partitionable object (set, kv, countermap)", obj.name)
+		}
+	}
+	if obj.alg2 && cfg.engineSet {
+		return nil, nil, fmt.Errorf("updatec: %s does not support WithEngine: Algorithm 2 keeps no update log to query", obj.name)
+	}
+	if obj.alg2 && cfg.gc {
+		return nil, nil, fmt.Errorf("updatec: %s does not support WithGC: Algorithm 2 keeps no log to compact", obj.name)
 	}
 	if cfg.gc && cfg.simulated && !cfg.fifo {
 		return nil, nil, fmt.Errorf("updatec: WithGC on a simulated network requires WithFIFO")
 	}
-	cl := &Cluster{n: n}
+	cl := &Cluster[H]{n: n, obj: obj, shards: cfg.shards}
 	var net transport.Network
 	if cfg.simulated {
 		cl.sim = transport.NewSim(transport.SimOptions{N: n, Seed: cfg.seed, FIFO: cfg.fifo})
 		net = cl.sim
 	} else {
-		cl.live = transport.NewLive(n)
+		cl.live = transport.NewLiveSharded(n, cfg.shards)
 		net = cl.live
 	}
 	if cfg.record {
-		cl.rec = history.NewRecorder(adt, n)
+		cl.rec = history.NewRecorder(obj.adt, n)
+	}
+	handles := make([]H, n)
+	if obj.alg2 {
+		cl.memories = make([]*core.Memory, n)
+		for i := 0; i < n; i++ {
+			m := core.NewMemory(core.MemoryConfig{ID: i, Init: obj.init, Net: net, Recorder: cl.rec})
+			cl.memories[i] = m
+			handles[i] = obj.wrap(memPort{m: m})
+		}
+		cl.omega = func(p int) {
+			for _, k := range cl.memories[p].Keys() {
+				cl.memories[p].ReadOmega(k)
+				break // one ω read suffices for the classification
+			}
+		}
+		return cl, handles, nil
 	}
 	var mkEngine func() core.Engine
 	switch cfg.engine {
@@ -140,16 +230,77 @@ func newCluster(n int, adt spec.UQADT, opts []Option) (*Cluster, []*core.Replica
 	case Undo:
 		mkEngine = func() core.Engine { return core.NewUndoEngine() }
 	}
-	cl.replicas = core.Cluster(n, adt, net, core.ClusterOptions{
-		NewEngine: mkEngine, GC: cfg.gc, Recorder: cl.rec,
-	})
-	return cl, cl.replicas, nil
+	copt := core.ClusterOptions{NewEngine: mkEngine, GC: cfg.gc}
+	if cfg.shards == 1 {
+		// One shard is exactly the unsharded construction, so recording
+		// can live inside the replica (one clock per process).
+		copt.Recorder = cl.rec
+	}
+	cl.replicas = core.ShardedCluster(n, cfg.shards, obj.adt, net, copt)
+	for i, r := range cl.replicas {
+		var p port = r
+		if cl.rec != nil && cfg.shards > 1 {
+			// Sharded replicas run one clock per shard, so recording
+			// moves to the harness level: the port sees every operation
+			// the handle performs, in the client's program order.
+			p = recordingPort{p: p, rec: cl.rec, id: i}
+		}
+		handles[i] = obj.wrap(p)
+	}
+	cl.omega = func(p int) {
+		if cl.rec != nil && cfg.shards > 1 {
+			out := cl.replicas[p].Query(obj.omega)
+			cl.rec.QueryOmega(p, obj.omega, out)
+			return
+		}
+		cl.replicas[p].QueryOmega(obj.omega)
+	}
+	return cl, handles, nil
+}
+
+// recordingPort wraps a replica port with harness-level history
+// recording, used for sharded recorded clusters (replica-level
+// recording assumes one clock per process, which sharding gives up).
+// The recorded per-process order is the order operations are issued
+// through the port, which is the process's program order exactly when
+// the handle is driven by one goroutine — the contract WithRecording
+// documents (internal/sim records under the same assumption).
+type recordingPort struct {
+	p   port
+	rec *history.Recorder
+	id  int
+}
+
+func (rp recordingPort) Update(u spec.Update) {
+	rp.rec.Update(rp.id, u)
+	rp.p.Update(u)
+}
+
+func (rp recordingPort) Query(in spec.QueryInput) spec.QueryOutput {
+	out := rp.p.Query(in)
+	rp.rec.Query(rp.id, in, out)
+	return out
+}
+
+// N returns the cluster size.
+func (c *Cluster[H]) N() int { return c.n }
+
+// Shards returns the shard count per replica (1 unless WithShards).
+func (c *Cluster[H]) Shards() int { return c.shards }
+
+// ShardOf returns the shard that owns the given key — a pure function
+// of key and shard count, identical on every replica.
+func (c *Cluster[H]) ShardOf(key string) int {
+	if c.replicas == nil {
+		return 0
+	}
+	return c.replicas[0].ShardOf(key)
 }
 
 // Deliver delivers one in-flight message on a simulated cluster,
 // reporting whether anything was deliverable. It panics on a live
 // cluster (delivery is autonomous there).
-func (c *Cluster) Deliver() bool {
+func (c *Cluster[H]) Deliver() bool {
 	if c.sim == nil {
 		panic("updatec: Deliver is only meaningful with WithSeed (simulated transport)")
 	}
@@ -160,7 +311,7 @@ func (c *Cluster) Deliver() bool {
 // runs the adversary to quiescence; on a live cluster it waits for all
 // mailboxes to drain. After Settle (and absent new updates) all
 // replicas have applied the same update set and therefore agree.
-func (c *Cluster) Settle() {
+func (c *Cluster[H]) Settle() {
 	if c.sim != nil {
 		c.sim.Quiesce()
 		return
@@ -168,10 +319,11 @@ func (c *Cluster) Settle() {
 	c.live.Drain()
 }
 
-// Crash halts a replica: it stops receiving and its broadcasts are
-// suppressed. Survivors keep operating — wait-freedom. Crashed
-// replicas are excluded from Converged and from recorded ω queries.
-func (c *Cluster) Crash(p int) {
+// Crash halts a replica: it stops receiving (on every shard) and its
+// broadcasts are suppressed. Survivors keep operating — wait-freedom.
+// Crashed replicas are excluded from Converged and from recorded ω
+// queries.
+func (c *Cluster[H]) Crash(p int) {
 	if c.crashed == nil {
 		c.crashed = map[int]bool{}
 	}
@@ -184,7 +336,7 @@ func (c *Cluster) Crash(p int) {
 }
 
 // Close releases transport resources (a no-op for simulated clusters).
-func (c *Cluster) Close() {
+func (c *Cluster[H]) Close() {
 	if c.closed {
 		return
 	}
@@ -195,7 +347,7 @@ func (c *Cluster) Close() {
 }
 
 // Stats returns transport traffic counters.
-func (c *Cluster) Stats() NetworkStats {
+func (c *Cluster[H]) Stats() NetworkStats {
 	var s transport.Stats
 	if c.sim != nil {
 		s = c.sim.Stats()
@@ -207,10 +359,10 @@ func (c *Cluster) Stats() NetworkStats {
 
 // Converged reports whether all surviving (non-crashed) replicas
 // currently have identical states (call Settle first for a meaningful
-// answer).
-func (c *Cluster) Converged() bool {
+// answer). On a sharded cluster the comparison covers every shard.
+func (c *Cluster[H]) Converged() bool {
 	key := func(p int) string {
-		if len(c.memories) > 0 {
+		if c.memories != nil {
 			return c.memories[p].StateKey()
 		}
 		return c.replicas[p].StateKey()
@@ -234,7 +386,7 @@ func (c *Cluster) Converged() bool {
 // History finalizes the recorded history: it settles the cluster,
 // records one converged (ω) query per replica, and returns the history
 // in the paper's notation. Requires WithRecording.
-func (c *Cluster) History() (string, error) {
+func (c *Cluster[H]) History() (string, error) {
 	h, err := c.recorded()
 	if err != nil {
 		return "", err
@@ -255,7 +407,7 @@ type Classification struct {
 // Classify finalizes the recorded history and classifies it under the
 // five criteria. Keep recorded runs small: the deciders solve
 // NP-complete search problems. Requires WithRecording.
-func (c *Cluster) Classify() (Classification, error) {
+func (c *Cluster[H]) Classify() (Classification, error) {
 	h, err := c.recorded()
 	if err != nil {
 		return Classification{}, err
@@ -263,7 +415,7 @@ func (c *Cluster) Classify() (Classification, error) {
 	return classify(h), nil
 }
 
-func (c *Cluster) recorded() (*history.History, error) {
+func (c *Cluster[H]) recorded() (*history.History, error) {
 	if c.rec == nil {
 		return nil, fmt.Errorf("updatec: cluster was built without WithRecording")
 	}

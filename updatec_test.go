@@ -8,7 +8,7 @@ import (
 )
 
 func TestSetClusterLive(t *testing.T) {
-	cluster, sets, err := NewSetCluster(3)
+	cluster, sets, err := New(3, SetObject())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestSetClusterLive(t *testing.T) {
 
 func TestSetClusterSimulatedDeterminism(t *testing.T) {
 	run := func() []string {
-		cluster, sets, err := NewSetCluster(2, WithSeed(11))
+		cluster, sets, err := New(2, SetObject(), WithSeed(11))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -51,7 +51,7 @@ func TestSetClusterSimulatedDeterminism(t *testing.T) {
 }
 
 func TestDeliverStepwise(t *testing.T) {
-	cluster, sets, err := NewSetCluster(2, WithSeed(3))
+	cluster, sets, err := New(2, SetObject(), WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestDeliverStepwise(t *testing.T) {
 }
 
 func TestCounterCluster(t *testing.T) {
-	cluster, ctrs, err := NewCounterCluster(3, WithSeed(5))
+	cluster, ctrs, err := New(3, CounterObject(), WithSeed(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestCounterCluster(t *testing.T) {
 }
 
 func TestRegisterCluster(t *testing.T) {
-	cluster, regs, err := NewRegisterCluster(2, "v0", WithSeed(7))
+	cluster, regs, err := New(2, RegisterObject("v0"), WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestRegisterCluster(t *testing.T) {
 }
 
 func TestTextLogCluster(t *testing.T) {
-	cluster, logs, err := NewTextLogCluster(2, WithSeed(9))
+	cluster, logs, err := New(2, TextLogObject(), WithSeed(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestTextLogCluster(t *testing.T) {
 }
 
 func TestKVAndMemoryClusters(t *testing.T) {
-	clusterKV, kvs, err := NewKVCluster(2, WithSeed(1))
+	clusterKV, kvs, err := New(2, KVObject(), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestKVAndMemoryClusters(t *testing.T) {
 		t.Fatalf("kv diverged")
 	}
 
-	clusterMem, mems, err := NewMemoryCluster(2, "0", WithSeed(1))
+	clusterMem, mems, err := New(2, MemoryObject("0"), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestKVAndMemoryClusters(t *testing.T) {
 }
 
 func TestCrashSurvivors(t *testing.T) {
-	cluster, sets, err := NewSetCluster(3, WithSeed(13))
+	cluster, sets, err := New(3, SetObject(), WithSeed(13))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestCrashSurvivors(t *testing.T) {
 }
 
 func TestRecordingAndClassification(t *testing.T) {
-	cluster, sets, err := NewSetCluster(2, WithSeed(17), WithRecording())
+	cluster, sets, err := New(2, SetObject(), WithSeed(17), WithRecording())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,20 +209,70 @@ func TestClassifyHistoryText(t *testing.T) {
 }
 
 func TestOptionValidation(t *testing.T) {
-	if _, _, err := NewSetCluster(0); err == nil {
+	if _, _, err := New(0, SetObject()); err == nil {
 		t.Fatalf("zero-size cluster must be rejected")
 	}
-	if _, _, err := NewSetCluster(2, WithSeed(1), WithGC()); err == nil {
+	if _, _, err := New(2, Object[*Set]{}); err == nil {
+		t.Fatalf("zero Object must be rejected")
+	}
+	if _, _, err := New(2, SetObject(), WithSeed(1), WithGC()); err == nil {
 		t.Fatalf("GC without FIFO must be rejected on simulated transport")
 	}
-	if _, _, err := NewSetCluster(2, WithSeed(1), WithGC(), WithFIFO()); err != nil {
+	if _, _, err := New(2, SetObject(), WithSeed(1), WithGC(), WithFIFO()); err != nil {
 		t.Fatalf("GC with FIFO should work: %v", err)
+	}
+	if _, _, err := New(2, SetObject(), WithShards(0)); err == nil {
+		t.Fatalf("zero shards must be rejected")
+	}
+}
+
+func TestOptionObjectCombinationErrors(t *testing.T) {
+	// MemoryObject (Algorithm 2) keeps no log: WithEngine and WithGC
+	// used to be silently ignored and must now be rejected.
+	if _, _, err := New(2, MemoryObject(""), WithEngine(Undo)); err == nil {
+		t.Fatalf("WithEngine on a memory cluster must be rejected")
+	}
+	if _, _, err := New(2, MemoryObject(""), WithSeed(1), WithFIFO(), WithGC()); err == nil {
+		t.Fatalf("WithGC on a memory cluster must be rejected")
+	}
+	if _, _, err := New(2, MemoryObject(""), WithShards(2)); err == nil {
+		t.Fatalf("WithShards on a memory cluster must be rejected")
+	}
+	// Even the default engine kind, when requested explicitly, is an
+	// unsupported option for Algorithm 2.
+	if _, _, err := New(2, MemoryObject(""), WithEngine(Replay)); err == nil {
+		t.Fatalf("explicit WithEngine(Replay) on a memory cluster must be rejected")
+	}
+	// WithShards requires a partitionable object.
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"counter", func() error { _, _, err := New(2, CounterObject(), WithShards(2)); return err }()},
+		{"register", func() error { _, _, err := New(2, RegisterObject(""), WithShards(2)); return err }()},
+		{"log", func() error { _, _, err := New(2, TextLogObject(), WithShards(2)); return err }()},
+		{"graph", func() error { _, _, err := New(2, GraphObject(), WithShards(2)); return err }()},
+		{"sequence", func() error { _, _, err := New(2, SequenceObject(), WithShards(2)); return err }()},
+	} {
+		if tc.err == nil {
+			t.Fatalf("WithShards on non-partitionable %s must be rejected", tc.name)
+		}
+	}
+	// The partitionable objects accept shards.
+	for _, err := range []error{
+		func() error { _, _, err := New(2, SetObject(), WithSeed(1), WithShards(2)); return err }(),
+		func() error { _, _, err := New(2, KVObject(), WithSeed(1), WithShards(2)); return err }(),
+		func() error { _, _, err := New(2, CounterMapObject(), WithSeed(1), WithShards(2)); return err }(),
+	} {
+		if err != nil {
+			t.Fatalf("WithShards on a partitionable object failed: %v", err)
+		}
 	}
 }
 
 func TestEngineOptions(t *testing.T) {
 	for _, k := range []EngineKind{Replay, Checkpoint, Undo} {
-		cluster, sets, err := NewSetCluster(2, WithSeed(19), WithEngine(k))
+		cluster, sets, err := New(2, SetObject(), WithSeed(19), WithEngine(k))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -236,7 +286,7 @@ func TestEngineOptions(t *testing.T) {
 }
 
 func TestStatsExposed(t *testing.T) {
-	cluster, sets, err := NewSetCluster(2, WithSeed(23))
+	cluster, sets, err := New(2, SetObject(), WithSeed(23))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +299,7 @@ func TestStatsExposed(t *testing.T) {
 }
 
 func TestGraphCluster(t *testing.T) {
-	cluster, graphs, err := NewGraphCluster(2, WithSeed(31))
+	cluster, graphs, err := New(2, GraphObject(), WithSeed(31))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +326,7 @@ func TestGraphCluster(t *testing.T) {
 }
 
 func TestSequenceCluster(t *testing.T) {
-	cluster, seqs, err := NewSequenceCluster(2, WithSeed(37))
+	cluster, seqs, err := New(2, SequenceObject(), WithSeed(37))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,21 +350,26 @@ func TestLiveSoakAllObjects(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test")
 	}
-	clusterS, sets, err := NewSetCluster(4)
+	clusterS, sets, err := New(4, SetObject())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer clusterS.Close()
-	clusterC, ctrs, err := NewCounterCluster(4)
+	clusterC, ctrs, err := New(4, CounterObject())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer clusterC.Close()
-	clusterQ, seqs, err := NewSequenceCluster(4)
+	clusterQ, seqs, err := New(4, SequenceObject())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer clusterQ.Close()
+	clusterM, maps, err := New(4, CounterMapObject(), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clusterM.Close()
 
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
@@ -328,10 +383,13 @@ func TestLiveSoakAllObjects(t *testing.T) {
 				}
 				ctrs[i].Add(int64(k%5 - 2))
 				seqs[i].InsertAt(k%4, fmt.Sprint(i))
+				maps[i].Add(fmt.Sprint(k%11), 1)
 				if k%5 == 0 {
 					seqs[i].DeleteAt(0)
 					_ = sets[i].Elements()
 					_ = ctrs[i].Value()
+					_ = maps[i].Value(fmt.Sprint(k % 11))
+					_ = maps[i].All()
 				}
 			}
 		}(i)
@@ -340,18 +398,56 @@ func TestLiveSoakAllObjects(t *testing.T) {
 	clusterS.Settle()
 	clusterC.Settle()
 	clusterQ.Settle()
-	if !clusterS.Converged() || !clusterC.Converged() || !clusterQ.Converged() {
-		t.Fatalf("soak clusters diverged: set=%v counter=%v sequence=%v",
-			clusterS.Converged(), clusterC.Converged(), clusterQ.Converged())
+	clusterM.Settle()
+	if !clusterS.Converged() || !clusterC.Converged() || !clusterQ.Converged() || !clusterM.Converged() {
+		t.Fatalf("soak clusters diverged: set=%v counter=%v sequence=%v countermap=%v",
+			clusterS.Converged(), clusterC.Converged(), clusterQ.Converged(), clusterM.Converged())
 	}
 }
 
 func TestHistoryWithoutRecordingErrs(t *testing.T) {
-	cluster, _, err := NewSetCluster(2, WithSeed(29))
+	cluster, _, err := New(2, SetObject(), WithSeed(29))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := cluster.History(); err == nil {
 		t.Fatalf("History without WithRecording must fail")
+	}
+}
+
+func TestDeprecatedConstructorsStillWork(t *testing.T) {
+	// The pre-generic constructors are thin shims over New; a caller
+	// written against them must keep working, sessions included.
+	cluster, sets, err := NewSetCluster(2, WithSeed(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets[0].Insert("x")
+	sess := cluster.NewSetSession(0)
+	sess.Insert("y")
+	if _, ok := sess.TryElements(); !ok {
+		t.Fatalf("own replica must serve the session")
+	}
+	sess.Switch(1)
+	if _, ok := sess.TryElements(); ok {
+		t.Fatalf("stale replica must refuse the session")
+	}
+	cluster.Settle()
+	elems, ok := sess.TryElements()
+	if !ok || strings.Join(elems, ",") != "x,y" {
+		t.Fatalf("settled session read wrong: %v %v", elems, ok)
+	}
+	if !cluster.Converged() {
+		t.Fatalf("shim cluster diverged")
+	}
+
+	clusterM, mems, err := NewMemoryCluster(2, "0", WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mems[0].Write("k", "v")
+	clusterM.Settle()
+	if mems[1].Read("k") != "v" {
+		t.Fatalf("shim memory cluster lost a write")
 	}
 }

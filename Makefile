@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt verify examples bench bench-quick bench-json bench-shards bench-read
+.PHONY: build test vet fmt verify examples bench bench-quick bench-json bench-shards bench-read bench-resize test-resize
 
 build:
 	$(GO) build ./...
@@ -44,10 +44,20 @@ bench-shards:
 bench-read:
 	$(GO) run ./cmd/ucbench -exp readmostly,stepbacklog
 
+# bench-resize prints the E17 live-resharding table (throughput dip
+# and recovery across a 2→8 resize).
+bench-resize:
+	$(GO) run ./cmd/ucbench -exp resize
+
+# test-resize runs the resharding test suite (core protocol + public
+# API) under the race detector; CI's race job covers the same tests.
+test-resize:
+	$(GO) test -race -run 'Resize|Reshard' ./internal/core/ ./internal/bench/ .
+
 # bench-json refreshes the recorded perf trajectory (hot paths, shard
-# scaling, read caches, adversary step). Set LABEL to this PR's entry;
-# the matching entry in the trajectory's runs array is replaced, the
-# rest are preserved.
+# scaling, read caches, adversary step, live resharding). Set LABEL to
+# this PR's entry; the matching entry in the trajectory's runs array is
+# replaced, the rest are preserved and kept sorted by label.
 LABEL ?= dev
 bench-json:
-	$(GO) run ./cmd/ucbench -exp hotpath,shards,readmostly,stepbacklog -json BENCH_ucbench.json -label $(LABEL)
+	$(GO) run ./cmd/ucbench -exp hotpath,shards,readmostly,stepbacklog,resize -json BENCH_ucbench.json -label $(LABEL)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath|shards|readmostly|stepbacklog]
+//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath|shards|readmostly|stepbacklog|resize]
 //	        [-quick] [-runs n] [-shards list] [-json path] [-label name]
 //
 // -exp accepts a comma-separated list (e.g. -exp hotpath,shards) so one
@@ -13,10 +13,13 @@
 // With -json, every experiment that ran emits its machine-readable
 // results into the given path, which holds a per-PR time series: a
 // "runs" array of labeled entries. The entry whose label matches
-// -label (default "dev") is replaced in place; other entries are
-// preserved, so each PR's recorded run accumulates into the
-// trajectory. BENCH_ucbench.json in the repository root is the
-// tracked file.
+// -label is replaced in place; other entries are preserved and the
+// array is kept sorted by label (numerically for prN-style labels), so
+// each PR's recorded run accumulates into a cleanly diffable
+// trajectory. Labels are validated — letters, digits, dots, dashes and
+// underscores — because they become JSON-path keys for external
+// tooling. BENCH_ucbench.json in the repository root is the tracked
+// file.
 //
 // -shards sets the shard counts swept by the E14 shard-scaling
 // experiment (default 1,2,4,8); the first count is the speedup
@@ -29,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -57,6 +61,7 @@ type report struct {
 	Shards      *bench.ShardResult       `json:"shards,omitempty"`
 	ReadMostly  *bench.ReadMostlyResult  `json:"readmostly,omitempty"`
 	StepBacklog *bench.StepBacklogResult `json:"stepbacklog,omitempty"`
+	Reshard     *bench.ReshardResult     `json:"reshard,omitempty"`
 }
 
 // trajectory is the BENCH_ucbench.json shape: one entry per recorded
@@ -92,15 +97,71 @@ func loadTrajectory(path string) (trajectory, error) {
 	return trajectory{}, fmt.Errorf("%s is neither a trajectory nor a legacy report; refusing to overwrite it", path)
 }
 
-// upsert replaces the run with rep's label, or appends it.
+// upsert replaces the run with rep's label, or appends it, and keeps
+// the runs sorted by label so regenerating the file diffs cleanly
+// whatever order labels were recorded in.
 func (tr *trajectory) upsert(rep report) {
 	for i := range tr.Runs {
 		if tr.Runs[i].Label == rep.Label {
 			tr.Runs[i] = rep
+			tr.sort()
 			return
 		}
 	}
 	tr.Runs = append(tr.Runs, rep)
+	tr.sort()
+}
+
+func (tr *trajectory) sort() {
+	sort.SliceStable(tr.Runs, func(i, j int) bool {
+		return labelLess(tr.Runs[i].Label, tr.Runs[j].Label)
+	})
+}
+
+// labelLess orders labels naturally: a shared alphabetic prefix with
+// numeric suffixes compares numerically ("pr2" < "pr10"), anything
+// else lexically — so the prN trajectory stays in PR order past pr9.
+func labelLess(a, b string) bool {
+	pa, na, oka := splitLabel(a)
+	pb, nb, okb := splitLabel(b)
+	if oka && okb && pa == pb {
+		return na < nb
+	}
+	return a < b
+}
+
+// splitLabel splits a label into an alphabetic prefix and a numeric
+// suffix; ok reports whether the label has that shape.
+func splitLabel(s string) (prefix string, num int, ok bool) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) {
+		return s, 0, false
+	}
+	n, err := strconv.Atoi(s[i:])
+	if err != nil {
+		return s, 0, false
+	}
+	return s[:i], n, true
+}
+
+// validLabel restricts -label to characters safe as JSON-path keys for
+// external trajectory tooling.
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // parseShardCounts parses the -shards flag value.
@@ -117,7 +178,7 @@ func parseShardCounts(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath, shards, readmostly, stepbacklog")
+	exp := flag.String("exp", "all", "comma-separated experiments: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath, shards, readmostly, stepbacklog, resize")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	runs := flag.Int("runs", 400, "randomized-history runs for prop2/prop3")
 	shardsFlag := flag.String("shards", "1,2,4,8", "shard counts for the E14 shard-scaling experiment")
@@ -125,6 +186,10 @@ func main() {
 	label := flag.String("label", "dev", "trajectory entry to write (one per PR, e.g. pr3)")
 	flag.Parse()
 
+	if !validLabel(*label) {
+		fmt.Fprintf(os.Stderr, "ucbench: -label %q must be non-empty letters, digits, dots, dashes or underscores\n", *label)
+		os.Exit(2)
+	}
 	shardCounts, err := parseShardCounts(*shardsFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ucbench: -shards: %v\n", err)
@@ -156,6 +221,8 @@ func main() {
 			rep.ReadMostly, rep.StepBacklog = &res.ReadMostly, &res.StepBacklog
 			shards := bench.ShardScaling(w, *quick, shardCounts)
 			rep.Shards = &shards
+			reshard := bench.Reshard(w, *quick)
+			rep.Reshard = &reshard
 		case "fig1", "fig2":
 			if rep.Figures == nil {
 				res := bench.Figures(w)
@@ -245,6 +312,11 @@ func main() {
 			if rep.StepBacklog == nil {
 				res := bench.StepBacklog(w, *quick)
 				rep.StepBacklog = &res
+			}
+		case "resize":
+			if rep.Reshard == nil {
+				res := bench.Reshard(w, *quick)
+				rep.Reshard = &res
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "ucbench: unknown experiment %q\n", name)

@@ -17,6 +17,11 @@
 //	ucsim [-impl uc-set|or-set|...] [-n 3] [-ops 12] [-seed 1] [-crash p]
 //	      [-shards s] [-classify] [-fig2]
 //	ucsim -obj countermap -n 3 -shards 4 -ops 100 [-seed 1] [-crash p] [-classify]
+//	      [-resize s']
+//
+// -resize s' (generic object mode, partitionable objects) resizes the
+// cluster live to s' shards halfway through the workload, with the
+// adversary's backlog in flight across the flip.
 package main
 
 import (
@@ -41,6 +46,7 @@ func main() {
 	crash := flag.Int("crash", -1, "crash this process halfway through")
 	fifo := flag.Bool("fifo", false, "per-link FIFO delivery")
 	shards := flag.Int("shards", 1, "key shards per replica (partitionable objects only)")
+	resize := flag.Int("resize", 0, "resize to this shard count halfway through (-obj mode, partitionable objects)")
 	classify := flag.Bool("classify", false, "record the history and classify it (keep ops small)")
 	fig2 := flag.Bool("fig2", false, "run the Figure 2 workload under a full partition")
 	flag.Parse()
@@ -55,11 +61,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ucsim: -obj cannot be combined with -impl or -fig2 (they select the set comparison harness)\n")
 			os.Exit(2)
 		}
-		if err := runObject(*obj, *n, *shards, *ops, *seed, *crash, *fifo, *classify); err != nil {
+		if err := runObject(*obj, *n, *shards, *resize, *ops, *seed, *crash, *fifo, *classify); err != nil {
 			fmt.Fprintf(os.Stderr, "ucsim: %v\n", err)
 			os.Exit(2)
 		}
 		return
+	}
+	if *resize != 0 {
+		fmt.Fprintf(os.Stderr, "ucsim: -resize requires the generic object mode (-obj)\n")
+		os.Exit(2)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -113,12 +123,12 @@ func main() {
 // Each object kind supplies a mutator that issues one random update on
 // a handle; the scenario loop (crash injection, adversarial partial
 // deliveries, settle, convergence report) is shared.
-func runObject(name string, n, shards int, ops int, seed int64, crash int, fifo, classify bool) error {
+func runObject(name string, n, shards, resize int, ops int, seed int64, crash int, fifo, classify bool) error {
 	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
 	pick := func(rng *rand.Rand) string { return keys[rng.Intn(len(keys))] }
 	switch name {
 	case "set":
-		return runGeneric(updatec.SetObject(), n, shards, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.SetObject(), n, shards, resize, ops, seed, crash, fifo, classify,
 			func(h *updatec.Set, rng *rand.Rand) {
 				if rng.Intn(3) == 0 {
 					h.Delete(pick(rng))
@@ -127,16 +137,16 @@ func runObject(name string, n, shards int, ops int, seed int64, crash int, fifo,
 				}
 			})
 	case "counter":
-		return runGeneric(updatec.CounterObject(), n, shards, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.CounterObject(), n, shards, resize, ops, seed, crash, fifo, classify,
 			func(h *updatec.Counter, rng *rand.Rand) { h.Add(int64(rng.Intn(9) - 4)) })
 	case "register":
-		return runGeneric(updatec.RegisterObject(""), n, shards, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.RegisterObject(""), n, shards, resize, ops, seed, crash, fifo, classify,
 			func(h *updatec.Register, rng *rand.Rand) { h.Write(pick(rng)) })
 	case "log":
-		return runGeneric(updatec.TextLogObject(), n, shards, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.TextLogObject(), n, shards, resize, ops, seed, crash, fifo, classify,
 			func(h *updatec.TextLog, rng *rand.Rand) { h.Append(pick(rng)) })
 	case "sequence":
-		return runGeneric(updatec.SequenceObject(), n, shards, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.SequenceObject(), n, shards, resize, ops, seed, crash, fifo, classify,
 			func(h *updatec.Sequence, rng *rand.Rand) {
 				if rng.Intn(4) == 0 {
 					h.DeleteAt(rng.Intn(4))
@@ -145,7 +155,7 @@ func runObject(name string, n, shards int, ops int, seed int64, crash int, fifo,
 				}
 			})
 	case "graph":
-		return runGeneric(updatec.GraphObject(), n, shards, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.GraphObject(), n, shards, resize, ops, seed, crash, fifo, classify,
 			func(h *updatec.Graph, rng *rand.Rand) {
 				switch rng.Intn(4) {
 				case 0:
@@ -157,20 +167,20 @@ func runObject(name string, n, shards int, ops int, seed int64, crash int, fifo,
 				}
 			})
 	case "kv":
-		return runGeneric(updatec.KVObject(), n, shards, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.KVObject(), n, shards, resize, ops, seed, crash, fifo, classify,
 			func(h *updatec.KV, rng *rand.Rand) { h.Put(pick(rng), pick(rng)) })
 	case "memory":
-		return runGeneric(updatec.MemoryObject(""), n, shards, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.MemoryObject(""), n, shards, resize, ops, seed, crash, fifo, classify,
 			func(h *updatec.Memory, rng *rand.Rand) { h.Write(pick(rng), pick(rng)) })
 	case "countermap":
-		return runGeneric(updatec.CounterMapObject(), n, shards, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.CounterMapObject(), n, shards, resize, ops, seed, crash, fifo, classify,
 			func(h *updatec.CounterMap, rng *rand.Rand) { h.Add(pick(rng), int64(rng.Intn(5)+1)) })
 	default:
 		return fmt.Errorf("unknown object %q (known: set, counter, register, log, sequence, graph, kv, memory, countermap)", name)
 	}
 }
 
-func runGeneric[H any](obj updatec.Object[H], n, shards int, ops int, seed int64, crash int, fifo, classify bool, mutate func(H, *rand.Rand)) error {
+func runGeneric[H any](obj updatec.Object[H], n, shards, resize int, ops int, seed int64, crash int, fifo, classify bool, mutate func(H, *rand.Rand)) error {
 	opts := []updatec.Option{updatec.WithSeed(seed)}
 	if fifo {
 		opts = append(opts, updatec.WithFIFO())
@@ -188,10 +198,18 @@ func runGeneric[H any](obj updatec.Object[H], n, shards int, ops int, seed int64
 	defer cluster.Close()
 	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
 	crashed := map[int]bool{}
+	resized := false
 	for i := 0; i < ops; i++ {
 		if crash >= 0 && i == ops/2 && !crashed[crash] {
 			cluster.Crash(crash)
 			crashed[crash] = true
+		}
+		if resize > 0 && i == ops/2 && !resized {
+			if err := cluster.Resize(resize); err != nil {
+				return err
+			}
+			fmt.Printf("resized: %d -> %d shards at op %d (backlog in flight)\n", shards, resize, i)
+			resized = true
 		}
 		p := rng.Intn(n)
 		if crashed[p] {
@@ -207,6 +225,10 @@ func runGeneric[H any](obj updatec.Object[H], n, shards int, ops int, seed int64
 	cluster.Settle()
 	fmt.Printf("object: %s   processes: %d   shards: %d   ops: %d   seed: %d\n",
 		obj.Name(), n, cluster.Shards(), ops, seed)
+	if resized {
+		_, moved := cluster.ResizeStats()
+		fmt.Printf("reshard: %d live log entries moved at replica 0\n", moved)
+	}
 	fmt.Printf("converged: %v\n", cluster.Converged())
 	st := cluster.Stats()
 	fmt.Printf("network: broadcasts=%d sends=%d bytes=%d\n", st.Broadcasts, st.Sends, st.Bytes)

@@ -52,6 +52,40 @@ func ExampleWithShards() {
 	// true
 }
 
+// ExampleCluster_Resize re-partitions a sharded cluster's key space
+// live: each replica moves every key range's state into a fresh set
+// of shards and flips its routing table, while in-flight messages
+// carry their routing epoch and land in the owning shard on arrival.
+// After Resize + Settle the cluster is indistinguishable from one
+// built at the new shard count.
+func ExampleCluster_Resize() {
+	cluster, maps, err := updatec.New(3, updatec.CounterMapObject(),
+		updatec.WithSeed(17), updatec.WithShards(2))
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+
+	for i := 0; i < 6; i++ {
+		maps[i%3].Inc("page:home")
+	}
+	if err := cluster.Resize(8); err != nil { // grow 2 → 8, live
+		panic(err)
+	}
+	for i := 0; i < 6; i++ {
+		maps[i%3].Inc("page:home")
+	}
+	cluster.Settle()
+
+	fmt.Println(cluster.Shards())
+	fmt.Println(maps[1].Value("page:home"))
+	fmt.Println(cluster.Converged())
+	// Output:
+	// 8
+	// 12
+	// true
+}
+
 // ExampleSession shows the per-client session guarantees: a client
 // that wrote through one replica fails over to another and must not
 // observe a state missing its own write — the session refuses the

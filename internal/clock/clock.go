@@ -225,43 +225,82 @@ func DecodeVector(b []byte) (Vector, int, error) {
 // hearsay vectors (ObserveVector) is only sound for applications where
 // overshooting the true minimum is acceptable; internal/core does not
 // use it for log compaction.
+//
+// A Stability is safe for concurrent use: each component is a running
+// atomic maximum, so a query serving a cache hit under a replica's
+// shared lock can feed ObserveSelf concurrently with other readers
+// (raising a component can only raise the horizon, never unfold
+// anything already declared stable).
 type Stability struct {
-	reached Vector
+	reached []atomic.Uint64
 	self    int
 }
+
+// retiredClock is the sentinel a retired process's component is raised
+// to: the maximum clock, so the process never holds the horizon back.
+const retiredClock = ^uint64(0)
 
 // NewStability returns a tracker for n processes, for the local process
 // self.
 func NewStability(n, self int) *Stability {
-	return &Stability{reached: NewVector(n), self: self}
+	return &Stability{reached: make([]atomic.Uint64, n), self: self}
 }
 
-// ObserveSelf records the local process's clock.
-func (s *Stability) ObserveSelf(clock uint64) {
-	if clock > s.reached[s.self] {
-		s.reached[s.self] = clock
+// raise lifts component j to clock if larger (atomic running max).
+func (s *Stability) raise(j int, clock uint64) {
+	for {
+		cur := s.reached[j].Load()
+		if clock <= cur || s.reached[j].CompareAndSwap(cur, clock) {
+			return
+		}
 	}
 }
 
+// ObserveSelf records the local process's clock.
+func (s *Stability) ObserveSelf(clock uint64) { s.raise(s.self, clock) }
+
 // ObservePeer records knowledge that process j reached the given clock.
 func (s *Stability) ObservePeer(j int, clock uint64) {
-	if j >= 0 && j < len(s.reached) && clock > s.reached[j] {
-		s.reached[j] = clock
+	if j >= 0 && j < len(s.reached) {
+		s.raise(j, clock)
 	}
 }
 
 // ObserveVector merges a piggybacked "reached" vector from a peer.
-func (s *Stability) ObserveVector(v Vector) { s.reached.Merge(v) }
+func (s *Stability) ObserveVector(v Vector) {
+	for j := range s.reached {
+		if j < len(v) {
+			s.raise(j, v[j])
+		}
+	}
+}
 
 // Reached returns a copy of the per-process reached-clock vector, for
 // piggybacking on outgoing messages.
-func (s *Stability) Reached() Vector { return s.reached.Clone() }
+func (s *Stability) Reached() Vector {
+	v := NewVector(len(s.reached))
+	for j := range s.reached {
+		v[j] = s.reached[j].Load()
+	}
+	return v
+}
 
 // Horizon returns the stability horizon: every update with
 // Timestamp.Clock ≤ Horizon() is stable. Updates *at* the horizon are
 // stable because any future update by any process j is stamped at
 // least reached[j]+1 > Horizon().
-func (s *Stability) Horizon() uint64 { return s.reached.Min() }
+func (s *Stability) Horizon() uint64 {
+	if len(s.reached) == 0 {
+		return 0
+	}
+	m := s.reached[0].Load()
+	for j := 1; j < len(s.reached); j++ {
+		if x := s.reached[j].Load(); x < m {
+			m = x
+		}
+	}
+	return m
+}
 
 // Stable reports whether an update with the given timestamp is stable.
 func (s *Stability) Stable(t Timestamp) bool { return t.Clock <= s.Horizon() }
@@ -273,6 +312,15 @@ func (s *Stability) Stable(t Timestamp) bool { return t.Clock <= s.Horizon() }
 // is that GC is an optimization requiring liveness information.
 func (s *Stability) Retire(j int) {
 	if j >= 0 && j < len(s.reached) {
-		s.reached[j] = ^uint64(0)
+		s.reached[j].Store(retiredClock)
 	}
+}
+
+// Retired reports whether process j has been retired. Resharding uses
+// it to carry retirement over into the fresh trackers of the new
+// shards (everything else a tracker learned is re-learned from future
+// deliveries; retirement never would be, since a crashed process stays
+// silent).
+func (s *Stability) Retired(j int) bool {
+	return j >= 0 && j < len(s.reached) && s.reached[j].Load() == retiredClock
 }

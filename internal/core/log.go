@@ -51,11 +51,59 @@ type Log struct {
 	// cached derivations (Replica.StateKey) are valid while it is
 	// unchanged.
 	version uint64
+	// tieKey, when set, breaks timestamp ties by update key. A single
+	// clock domain never produces two equal timestamps, but a resharded
+	// log merges entries from several old shards' clock domains, where
+	// (cl, j) pairs can collide across *different keys* (the same key
+	// always lived in one old shard, hence one domain). Ordering the
+	// collision by key keeps the log order deterministic across
+	// replicas; for a partitionable type the cross-key order is
+	// semantically irrelevant (updates to distinct keys commute).
+	tieKey func(u spec.Update) string
+	// seeded marks a base installed by SeedBase — a *merged* base whose
+	// horizon is the minimum across several old shards' domains. Only
+	// such logs get the relaxed below-horizon guard (see belowHorizon);
+	// a base built by this log's own CompactBelow keeps the strict one.
+	seeded bool
 }
 
 // NewLog returns an empty log for the given data type.
 func NewLog(adt spec.UQADT) *Log {
 	return &Log{adt: adt}
+}
+
+// SetTieKey installs a per-update key extractor used to order entries
+// whose timestamps collide (see the tieKey field). The key-sharded
+// construction sets it for partitionable types; a plain replica's log
+// never needs it.
+func (l *Log) SetTieKey(f func(u spec.Update) string) { l.tieKey = f }
+
+// less is the log's entry order: timestamp order, ties broken by
+// update key when a tie-break is installed.
+func (l *Log) less(a, b Entry) bool {
+	if a.TS != b.TS {
+		return a.TS.Less(b.TS)
+	}
+	return l.tieKey != nil && l.tieKey(a.U) < l.tieKey(b.U)
+}
+
+// belowHorizon reports whether inserting ts under the compaction
+// horizon would be a stability violation. Normally any ts not
+// strictly above baseTS proves one, and that stays true even for
+// logs receiving cross-epoch traffic: a resized sender's clocks are
+// floored above everything it issued before, so its new stamps
+// strictly exceed every direct observation this log's tracker took.
+// A *seeded* base is different — its horizon is the minimum across
+// several old shards' domains, and a late cross-epoch arrival can
+// collide with that (clock, proc) exactly while still sorting above
+// every folded entry *of its own key* (a key's whole history lives
+// in one domain, strictly above that domain's horizon) — there, only
+// a strictly smaller clock is a violation.
+func belowHorizon(l *Log, ts clock.Timestamp) bool {
+	if l.seeded {
+		return ts.Clock < l.baseTS.Clock
+	}
+	return !l.baseTS.Less(ts)
 }
 
 // Len returns the number of live (non-compacted) entries.
@@ -108,22 +156,22 @@ func (l *Log) Reserve(n int) {
 // early — e.g. GC enabled on a non-FIFO transport) and panics rather
 // than silently corrupting the convergence order.
 func (l *Log) Insert(e Entry) int {
-	if l.baseLen > 0 && !l.baseTS.Less(e.TS) {
+	if l.base != nil && belowHorizon(l, e.TS) {
 		panic(fmt.Sprintf("core: update %s arrived below compaction horizon %s — stability was not honored (is the transport FIFO?)",
 			e.TS, l.baseTS))
 	}
 	live := l.buf[l.head:]
 	n := len(live)
-	if n == 0 || live[n-1].TS.Less(e.TS) {
+	if n == 0 || l.less(live[n-1], e) {
 		// Fast tail path: strictly above the current maximum.
 		l.buf = append(l.buf, e)
 		l.version++
 		return n
 	}
 	at := sort.Search(n, func(i int) bool {
-		return e.TS.Less(live[i].TS)
+		return l.less(e, live[i])
 	})
-	if at > 0 && live[at-1].TS == e.TS {
+	if at > 0 && live[at-1].TS == e.TS && !l.less(live[at-1], e) {
 		panic(fmt.Sprintf("core: duplicate timestamp %s — broadcast delivered twice?", e.TS))
 	}
 	l.buf = append(l.buf, Entry{})
@@ -171,6 +219,28 @@ func (l *Log) CompactBelow(horizon uint64) int {
 	}
 	l.version++
 	return cut
+}
+
+// SeedBase installs a compacted-prefix snapshot into an empty log. The
+// resharding move uses it to carry the folded state of the old shards
+// into a new shard's log: s must hold exactly the key components owned
+// by this log, and ts must be a timestamp such that every future
+// insert sorts strictly above it — for a merged base that is the
+// *minimum* of the contributing old shards' horizons (each old shard's
+// live and in-flight entries sort above its own horizon, hence above
+// the minimum). count is how many folded updates s represents when the
+// caller knows it, 0 otherwise (the per-key split of a folded state
+// cannot recover per-range update counts; the sharded layer accounts
+// for them separately).
+func (l *Log) SeedBase(s spec.State, ts clock.Timestamp, count int) {
+	if l.base != nil || l.Len() != 0 {
+		panic("core: SeedBase requires an empty log")
+	}
+	l.base = s
+	l.baseTS = ts
+	l.baseLen = count
+	l.seeded = true
+	l.version++
 }
 
 // Replay returns the state after the base and all live entries. The

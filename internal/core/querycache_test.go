@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -212,21 +213,84 @@ func TestQueryCacheBoundedManyKeys(t *testing.T) {
 	}
 }
 
-// TestQueryCacheDisabledWhenRecording: a recording replica must keep
-// recording every query (the deciders depend on completeness), so the
-// cache fast path must not swallow queries.
-func TestQueryCacheDisabledWhenRecording(t *testing.T) {
+// TestQueryCacheServesRecordingReplicas: recording used to bypass the
+// output cache (the recorder needs every query); now a cache hit
+// records the query event on the shared-lock path instead, so a
+// recording replica gets the read-path win *and* a complete history.
+// The counters prove hits occur in a recorded run, and the recorded
+// history must hold every query with the correct output.
+func TestQueryCacheServesRecordingReplicas(t *testing.T) {
 	adt := spec.Set()
 	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 7})
 	rec := history.NewRecorder(adt, 2)
 	reps := Cluster(2, adt, net, ClusterOptions{Recorder: rec})
 	reps[0].Update(spec.Ins{V: "x"})
 	net.Quiesce()
+	const queries = 5
+	for i := 0; i < queries; i++ {
+		got := reps[0].Query(spec.Read{})
+		if want := (spec.Elems{"x"}); !adt.EqualOutput(got, want) {
+			t.Fatalf("query %d: got %v, want %v", i, got, want)
+		}
+	}
+	hits, _ := reps[0].QueryCacheStats()
+	if hits == 0 {
+		t.Fatalf("recording replica never hit the query cache")
+	}
+	h, err := rec.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := 0
+	for _, e := range h.Events() {
+		if e.Proc == 0 && !e.IsUpdate() {
+			recorded++
+			if !adt.EqualOutput(e.QOut, spec.Elems{"x"}) {
+				t.Fatalf("recorded query output %v, want [x]", e.QOut)
+			}
+		}
+	}
+	if recorded != queries {
+		t.Fatalf("recorder saw %d queries, want %d (cache hits must still record)", recorded, queries)
+	}
+}
+
+// TestQueryCacheServesGCReplicas: GC used to bypass the cache too (a
+// query must feed the stability tracker's self-observation); now the
+// stability tick rides the shared-lock hit path. Hits must occur, the
+// self component of the tracker must keep advancing across cached
+// reads, and compaction afterwards must still be sound.
+func TestQueryCacheServesGCReplicas(t *testing.T) {
+	adt := spec.Set()
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 8, FIFO: true})
+	reps := Cluster(2, adt, net, ClusterOptions{GC: true, GCEvery: 4})
+	for k := 0; k < 8; k++ {
+		reps[0].Update(spec.Ins{V: fmt.Sprint(k)})
+		reps[1].Update(spec.Ins{V: fmt.Sprint(k)})
+	}
+	net.Quiesce()
+	selfBefore := reps[0].stab.Reached()[0]
 	for i := 0; i < 5; i++ {
 		reps[0].Query(spec.Read{})
 	}
 	hits, _ := reps[0].QueryCacheStats()
-	if hits != 0 {
-		t.Fatalf("recording replica served %d queries from the cache", hits)
+	if hits == 0 {
+		t.Fatalf("GC replica never hit the query cache")
 	}
+	if selfAfter := reps[0].stab.Reached()[0]; selfAfter <= selfBefore {
+		t.Fatalf("cached queries did not advance the stability self-observation: %d -> %d", selfBefore, selfAfter)
+	}
+	reps[0].ForceCompact()
+	if got, want := reps[0].Query(spec.Read{}), elemsOf(8); !adt.EqualOutput(got, want) {
+		t.Fatalf("post-compaction query %v, want %v", got, want)
+	}
+}
+
+func elemsOf(n int) spec.Elems {
+	out := make([]string, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, fmt.Sprint(k))
+	}
+	sort.Strings(out)
+	return out
 }

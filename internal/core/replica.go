@@ -235,47 +235,45 @@ func (r *Replica) Query(in spec.QueryInput) spec.QueryOutput {
 // read costs a raw read.
 func (r *Replica) queryCovered(cover clock.Vector, in spec.QueryInput) (spec.QueryOutput, bool) {
 	key, cacheable := spec.QueryCacheKey{}, false
-	if r.qkeyer != nil && r.rec == nil && r.stab == nil {
+	if r.qkeyer != nil {
 		key, cacheable = r.qkeyer.QueryInputKey(in)
 	}
-	if r.rec == nil && r.stab == nil {
-		r.mu.RLock()
-		if cover != nil {
-			if !r.coveredLocked(cover) {
-				r.mu.RUnlock()
-				return nil, false
-			}
-			r.absorbLocked(cover)
+	r.mu.RLock()
+	if cover != nil {
+		if !r.coveredLocked(cover) {
+			r.mu.RUnlock()
+			return nil, false
 		}
-		if cacheable {
-			// The version is pinned while the shared lock is held
-			// (mutations take the exclusive half), so the lookup, the
-			// state derivation and the store below all speak about the
-			// same log contents.
-			ver := r.log.Version()
-			if out, ok := r.qc.lookup(ver, key); ok {
-				r.clk.Tick()
-				r.mu.RUnlock()
-				return out, true
-			}
-			if s, ok := r.engine.StateConcurrent(); ok {
-				r.clk.Tick()
-				out := r.adt.Query(s, in)
-				r.qc.store(ver, key, out)
-				r.mu.RUnlock()
-				return out, true
-			}
-		} else if s, ok := r.engine.StateConcurrent(); ok {
-			r.clk.Tick()
-			out := r.adt.Query(s, in)
+		r.absorbLocked(cover)
+	}
+	if cacheable {
+		// The version is pinned while the shared lock is held
+		// (mutations take the exclusive half), so the lookup, the
+		// state derivation and the store below all speak about the
+		// same log contents.
+		ver := r.log.Version()
+		if out, ok := r.qc.lookup(ver, key); ok {
+			r.queryTickShared(in, out)
 			r.mu.RUnlock()
 			return out, true
 		}
+		if s, ok := r.engine.StateConcurrent(); ok {
+			out := r.adt.Query(s, in)
+			r.qc.store(ver, key, out)
+			r.queryTickShared(in, out)
+			r.mu.RUnlock()
+			return out, true
+		}
+	} else if s, ok := r.engine.StateConcurrent(); ok {
+		out := r.adt.Query(s, in)
+		r.queryTickShared(in, out)
 		r.mu.RUnlock()
-		// The engine needs the exclusive lock to rebuild its state;
-		// coverage is already absorbed, and re-checking below is
-		// harmless (coverage is monotone, the absorb a running max).
+		return out, true
 	}
+	r.mu.RUnlock()
+	// The engine needs the exclusive lock to rebuild its state;
+	// coverage is already absorbed, and re-checking below is
+	// harmless (coverage is monotone, the absorb a running max).
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if cover != nil {
@@ -296,6 +294,25 @@ func (r *Replica) queryCovered(cover clock.Vector, in spec.QueryInput) (spec.Que
 		r.qc.store(r.log.Version(), key, out)
 	}
 	return out, true
+}
+
+// queryTickShared performs the per-query bookkeeping of lines 12–13 on
+// the shared-lock path: the clock tick, the stability tracker's
+// self-observation (the "stability tick" — Stability is a set of
+// atomic running maxima, so feeding it needs no exclusive access), and
+// the recorded query event (the recorder has its own lock). Before
+// this, recording or GC forced every query onto the exclusive path,
+// silently bypassing the output cache; now cache hits keep both modes'
+// bookkeeping intact, so recorded and GC replicas get the read-path
+// win too.
+func (r *Replica) queryTickShared(in spec.QueryInput, out spec.QueryOutput) {
+	cl := r.clk.Tick()
+	if r.stab != nil {
+		r.stab.ObserveSelf(cl)
+	}
+	if r.rec != nil {
+		r.rec.Query(r.id, in, out)
+	}
 }
 
 // QueryCacheStats reports the query-output cache counters (hits,
@@ -371,15 +388,7 @@ func (r *Replica) handle(from int, payload []byte) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.clk.Observe(ts.Clock)
-	at := r.log.Insert(Entry{TS: ts, U: u})
-	if at != r.log.Len()-1 {
-		r.lateInserts++
-	}
-	if ts.Proc >= 0 && ts.Proc < len(r.originMax) && ts.Clock > r.originMax[ts.Proc] {
-		r.originMax[ts.Proc] = ts.Clock
-	}
-	r.engine.Inserted(at)
+	r.insertLocked(ts, u)
 	if r.stab != nil {
 		r.stab.ObservePeer(ts.Proc, ts.Clock)
 		// Delivery advanced our own clock too: our next update will be
@@ -392,6 +401,38 @@ func (r *Replica) handle(from int, payload []byte) {
 			r.compact()
 		}
 	}
+}
+
+// insertLocked lands a timestamped update in the log, the clock, the
+// origin coverage and the engine. Caller holds the exclusive lock.
+func (r *Replica) insertLocked(ts clock.Timestamp, u spec.Update) {
+	r.clk.Observe(ts.Clock)
+	at := r.log.Insert(Entry{TS: ts, U: u})
+	if at != r.log.Len()-1 {
+		r.lateInserts++
+	}
+	if ts.Proc >= 0 && ts.Proc < len(r.originMax) && ts.Clock > r.originMax[ts.Proc] {
+		r.originMax[ts.Proc] = ts.Clock
+	}
+	r.engine.Inserted(at)
+}
+
+// Absorb inserts an already-timestamped update directly into the
+// replica's log — the resharding state-transfer path: entries moved
+// from an old shard's log, and in-flight old-epoch deliveries
+// re-routed by key, keep their original timestamps so every replica
+// sorts them identically. Unlike a delivery through handle, Absorb
+// never broadcasts and never feeds the stability tracker's *peer*
+// observations: an absorbed entry was observed on a different (old
+// shard) channel, and the per-sender FIFO argument that makes a direct
+// observation sound does not transfer — several old channels' stamps
+// interleave non-monotonically, so treating one as a FIFO observation
+// here could declare stability over an old-epoch message still in
+// flight. The tracker re-learns from current-epoch deliveries instead.
+func (r *Replica) Absorb(ts clock.Timestamp, u spec.Update) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.insertLocked(ts, u)
 }
 
 // compact folds stable entries into the log base. Caller holds the

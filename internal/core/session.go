@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"updatec/internal/clock"
 	"updatec/internal/spec"
 )
@@ -82,6 +84,21 @@ func (s *Session) Covered() bool { return s.r.Covers(s.vec) }
 // whole-state reads are monotonic overall. Like Session, a
 // ShardedSession is one client's state and is not safe for concurrent
 // use.
+//
+// A session's lanes are bound to the shard count it was opened at: a
+// lane's vector describes observations about one key range, and a
+// Resize re-partitions the ranges, so the lanes stop corresponding to
+// anything. Using a session whose replica has since resized to a
+// different shard count panics — open a new session after a resize. A
+// grow/shrink cycle that lands back on the original count stays
+// *sound* (routing is a pure function of key and shard count, so the
+// lanes mean the same key ranges again, and coverage after a move
+// never overstates what the replica holds) but not necessarily live:
+// the moves rebuild coverage from the surviving entries, so coverage
+// the session absorbed from since-compacted state can regress below
+// the session's vector, and a whole-state TryQuery then reports stale
+// until the affected origins issue again — possibly forever on a
+// quiet cluster. Prefer reopening sessions after any resize.
 type ShardedSession struct {
 	r    *ShardedReplica
 	vecs []clock.Vector
@@ -90,11 +107,22 @@ type ShardedSession struct {
 // NewShardedSession starts a session against the given sharded
 // replica.
 func NewShardedSession(r *ShardedReplica) *ShardedSession {
-	s := &ShardedSession{r: r, vecs: make([]clock.Vector, len(r.shards))}
+	g := r.gen.Load()
+	s := &ShardedSession{r: r, vecs: make([]clock.Vector, len(g.shards))}
 	for i := range s.vecs {
-		s.vecs[i] = clock.NewVector(r.shards[i].n)
+		s.vecs[i] = clock.NewVector(r.n)
 	}
 	return s
+}
+
+// lanes returns the current generation after checking it still matches
+// the session's lane count. Caller holds routeMu's read half.
+func (s *ShardedSession) lanes(g *shardGen) []*Replica {
+	if len(g.shards) != len(s.vecs) {
+		panic(fmt.Sprintf("core: session opened at %d shards used after a Resize to %d; open a new session",
+			len(s.vecs), len(g.shards)))
+	}
+	return g.shards
 }
 
 // Replica returns the session's current sharded replica.
@@ -105,7 +133,7 @@ func (s *ShardedSession) Replica() *ShardedReplica { return s.r }
 // is a pure function of key and shard count, so lanes keep meaning the
 // same key sets).
 func (s *ShardedSession) Switch(r *ShardedReplica) {
-	if len(r.shards) != len(s.vecs) {
+	if len(r.gen.Load().shards) != len(s.vecs) {
 		panic("core: ShardedSession.Switch requires an equal shard count")
 	}
 	s.r = r
@@ -114,8 +142,12 @@ func (s *ShardedSession) Switch(r *ShardedReplica) {
 // Update issues an update through the shard owning its key and folds
 // the timestamp into that lane's vector (read-your-writes).
 func (s *ShardedSession) Update(u spec.Update) {
-	sh := s.r.shardOfUpdate(u)
-	ts := s.r.shards[sh].UpdateTimestamped(u)
+	s.r.routeMu.RLock()
+	defer s.r.routeMu.RUnlock()
+	g := s.r.gen.Load()
+	shards := s.lanes(g)
+	sh := s.r.shardOfUpdate(g, u)
+	ts := shards[sh].UpdateTimestamped(u)
 	s.vecs[sh].Observe(ts)
 }
 
@@ -125,12 +157,16 @@ func (s *ShardedSession) Update(u spec.Update) {
 // covered and is then served through the merged-state cache.
 func (s *ShardedSession) TryQuery(in spec.QueryInput) (out spec.QueryOutput, ok bool) {
 	r := s.r
-	if r.part == nil || len(r.shards) == 1 {
-		return r.shards[0].SessionQuery(s.vecs[0], in)
+	r.routeMu.RLock()
+	defer r.routeMu.RUnlock()
+	g := r.gen.Load()
+	shards := s.lanes(g)
+	if r.part == nil || len(shards) == 1 {
+		return shards[0].SessionQuery(s.vecs[0], in)
 	}
 	if key, keyed := r.part.QueryKey(in); keyed {
-		sh := r.ShardOf(key)
-		return r.shards[sh].SessionQuery(s.vecs[sh], in)
+		sh := routeKey(key, len(shards))
+		return shards[sh].SessionQuery(s.vecs[sh], in)
 	}
 	// Whole-state query: check every lane, serve the merged state, then
 	// absorb. Coverage only grows, so a lane checked early cannot
@@ -143,13 +179,13 @@ func (s *ShardedSession) TryQuery(in spec.QueryInput) (out spec.QueryOutput, ok 
 	// letting a later failover read it back out.) The absorb may
 	// overshoot what the output actually showed; that is the safe
 	// direction — it only makes later reads stricter.
-	for sh, rep := range r.shards {
+	for sh, rep := range shards {
 		if !rep.Covers(s.vecs[sh]) {
 			return nil, false
 		}
 	}
-	out = r.queryMerged(in)
-	for sh, rep := range r.shards {
+	out = r.queryMerged(g, in)
+	for sh, rep := range shards {
 		rep.AbsorbCoverage(s.vecs[sh])
 	}
 	return out, true
@@ -159,7 +195,9 @@ func (s *ShardedSession) TryQuery(in spec.QueryInput) (out spec.QueryOutput, ok 
 // lane — i.e. whether a whole-state TryQuery would succeed right now.
 // It does not advance the session vectors.
 func (s *ShardedSession) Covered() bool {
-	for sh, rep := range s.r.shards {
+	s.r.routeMu.RLock()
+	defer s.r.routeMu.RUnlock()
+	for sh, rep := range s.lanes(s.r.gen.Load()) {
 		if !rep.Covers(s.vecs[sh]) {
 			return false
 		}

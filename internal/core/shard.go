@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"updatec/internal/clock"
 	"updatec/internal/history"
 	"updatec/internal/spec"
 	"updatec/internal/transport"
@@ -29,19 +32,70 @@ import (
 // convergence, every replica's merged state is explainable by one total
 // order of all updates.
 //
+// The shard count is no longer frozen at construction: Resize
+// re-partitions the key space live. Routing tables are versioned by an
+// *epoch* — carried on the wire as the sender's shard count, which
+// fully determines the table — alongside the shard tag, and each
+// replica's delivery router lands cross-epoch messages in the shard
+// that owns their key under the receiver's current table. A resize moves state between the per-shard instances
+// of Algorithm 1 exactly as the paper's state-transfer argument
+// prescribes: the compacted base is split per key range
+// (spec.Partitionable.ExtractRange) and the live log suffix is
+// replayed, timestamps intact, into the new shards' logs — so every
+// replica sorts every update identically before and after the flip.
+//
 // Non-partitionable data types degrade gracefully: every update and
 // query is routed to shard 0 and the object behaves exactly like a
 // plain Replica (the remaining shards stay empty).
 //
 // A ShardedReplica is safe for concurrent use; concurrency control
-// lives in the per-shard Replicas.
+// lives in the per-shard Replicas, plus a routing lock whose read half
+// the operation hot paths hold so a resize can exclude them.
 type ShardedReplica struct {
-	id     int
-	adt    spec.UQADT
-	part   spec.Partitionable // nil → everything routes to shard 0
+	id        int
+	n         int
+	adt       spec.UQADT
+	part      spec.Partitionable // nil → everything routes to shard 0
+	codec     spec.Codec
+	qkeyer    spec.QueryKeyer // non-nil when whole-state outputs can be cached
+	newEngine func() Engine
+	gc        bool
+	gcEvery   int
+	// rnet is the epoch-aware transport; nil when the network does not
+	// implement transport.ResizableNetwork, in which case the replica
+	// runs in the legacy per-shard-handler mode and Resize is
+	// unavailable.
+	rnet transport.ResizableNetwork
+
+	// routeMu excludes a resize against updates, queries and session
+	// reads: the hot paths hold the read half, Resize the write half.
+	// The delivery router deliberately does NOT take it — it reads gen
+	// atomically — so in-flight deliveries keep draining while a
+	// coordinated live resize holds the write half (ResizeCluster
+	// drains the network before moving any state).
+	routeMu sync.RWMutex
+	// gen is the current routing generation: the epoch and the
+	// per-shard replicas. It is replaced wholesale by a resize;
+	// generations are immutable once published.
+	gen atomic.Pointer[shardGen]
+	mc  mergedCache
+
+	// resize bookkeeping (written under routeMu's write half):
+	// resizes counts Resize calls that changed the shard count,
+	// movedEntries the live log entries replayed across shards, and
+	// movedCompacted the compacted updates whose folded state was
+	// carried over in split bases (per-range counts are unrecoverable
+	// from a folded state, so Stats accounts for them here).
+	resizes        uint64
+	movedEntries   uint64
+	movedCompacted uint64
+}
+
+// shardGen is one routing generation: a resize builds a fresh one and
+// swaps the pointer. The shards slice is never mutated after publish.
+type shardGen struct {
+	epoch  int
 	shards []*Replica
-	qkeyer spec.QueryKeyer // non-nil when whole-state outputs can be cached
-	mc     mergedCache
 }
 
 // mergedCache is the whole-state read cache of a ShardedReplica: the
@@ -58,6 +112,12 @@ type ShardedReplica struct {
 // outs additionally memoizes whole-state query outputs against gen,
 // which increments whenever any contribution is re-folded — the
 // sharded analogue of the per-replica queryCache.
+//
+// A resize rebuilds the cache: the vers/parts arrays are resized to
+// the new shard count, every stale contribution is dropped (a full
+// reset — unmerging each and re-merging nothing — leaves the initial
+// state), and gen is bumped so memoized outputs can never be served
+// against the new routing.
 type mergedCache struct {
 	mu     sync.Mutex
 	vers   []uint64     // shard log version each contribution is from
@@ -84,7 +144,8 @@ type ShardedConfig struct {
 	ADT spec.UQADT
 	// Net is the broadcast transport shared by the cluster. It must
 	// implement transport.ShardedNetwork when Shards > 1 (both SimNetwork
-	// and LiveNetwork do).
+	// and LiveNetwork do); when it also implements
+	// transport.ResizableNetwork the replica supports Resize.
 	Net transport.Network
 	// NewEngine builds each shard's query engine (nil → ReplayEngine).
 	NewEngine func() Engine
@@ -102,8 +163,10 @@ type ShardedConfig struct {
 	Recorder *history.Recorder
 }
 
-// NewShardedReplica builds the per-shard replicas and attaches each to
-// its shard channel of the transport.
+// NewShardedReplica builds the per-shard replicas and attaches the
+// replica to the transport: on a ResizableNetwork one delivery router
+// per process (each per-shard replica broadcasts with its shard and
+// epoch tags), otherwise one handler per (process, shard) channel.
 func NewShardedReplica(cfg ShardedConfig) *ShardedReplica {
 	if cfg.Shards <= 0 {
 		panic("core: ShardedConfig.Shards must be positive")
@@ -117,28 +180,43 @@ func NewShardedReplica(cfg ShardedConfig) *ShardedReplica {
 	}
 	part, _ := cfg.ADT.(spec.Partitionable)
 	r := &ShardedReplica{
-		id:     cfg.ID,
-		adt:    cfg.ADT,
-		part:   part,
-		shards: make([]*Replica, cfg.Shards),
+		id:        cfg.ID,
+		n:         cfg.N,
+		adt:       cfg.ADT,
+		part:      part,
+		newEngine: cfg.NewEngine,
+		gc:        cfg.GC,
+		gcEvery:   cfg.GCEvery,
 	}
+	r.codec, _ = cfg.ADT.(spec.Codec)
 	r.qkeyer, _ = cfg.ADT.(spec.QueryKeyer)
+	r.rnet, _ = cfg.Net.(transport.ResizableNetwork)
 	r.mc.vers = make([]uint64, cfg.Shards)
 	r.mc.parts = make([]spec.State, cfg.Shards)
-	for s := range r.shards {
+	g := &shardGen{shards: make([]*Replica, cfg.Shards)}
+	for s := range g.shards {
 		var net transport.Network = cfg.Net
-		if snet != nil {
+		if r.rnet != nil {
+			net = epochChannel{net: r.rnet, shard: s, epoch: cfg.Shards}
+		} else if snet != nil {
 			net = shardChannel{net: snet, shard: s}
 		}
 		var eng Engine
 		if cfg.NewEngine != nil {
 			eng = cfg.NewEngine()
 		}
-		r.shards[s] = NewReplica(Config{
+		g.shards[s] = NewReplica(Config{
 			ID: cfg.ID, N: cfg.N, ADT: cfg.ADT, Net: net,
 			Engine: eng, GC: cfg.GC, GCEvery: cfg.GCEvery,
 			Recorder: cfg.Recorder,
 		})
+		if part != nil {
+			g.shards[s].log.SetTieKey(part.UpdateKey)
+		}
+	}
+	r.gen.Store(g)
+	if r.rnet != nil {
+		r.rnet.AttachRouter(cfg.ID, r.route)
 	}
 	return r
 }
@@ -146,6 +224,7 @@ func NewShardedReplica(cfg ShardedConfig) *ShardedReplica {
 // shardChannel restricts a ShardedNetwork to one shard's channel, so a
 // per-shard Replica can be attached unchanged: its Attach and Broadcast
 // calls become the tagged AttachShard/BroadcastShard of the parent.
+// It is the legacy (non-resizable) wiring.
 type shardChannel struct {
 	net   transport.ShardedNetwork
 	shard int
@@ -161,22 +240,108 @@ func (c shardChannel) Broadcast(from int, payload []byte) {
 	c.net.BroadcastShard(from, c.shard, payload)
 }
 
+// epochChannel binds a per-shard Replica's broadcasts to its (shard,
+// epoch) tags on a resizable network. Attach is a no-op: the
+// ShardedReplica's router owns delivery dispatch, calling the shard's
+// handler directly.
+//
+// The epoch tag carried on the wire is the sender's *shard count*, not
+// the generation counter: the routing table is a pure function of the
+// count, so an equal tag certifies an identical table — even between
+// replicas that resized independently (or through a grow/shrink cycle
+// back to an earlier count) — and the receiver can trust the shard tag
+// outright. A bare counter could collide between different tables;
+// the count cannot.
+type epochChannel struct {
+	net   transport.ResizableNetwork
+	shard int
+	epoch int
+}
+
+// Attach implements transport.Network (the router dispatches instead).
+func (epochChannel) Attach(int, transport.Handler) {}
+
+// Broadcast implements transport.Network.
+func (c epochChannel) Broadcast(from int, payload []byte) {
+	c.net.BroadcastShardEpoch(from, c.shard, c.epoch, payload)
+}
+
+// route is the per-process delivery router (transport.EpochHandler).
+// A delivery whose epoch tag — the sender's shard count, which fully
+// determines the routing table — matches ours goes straight to the
+// tagged shard's handler: the hot path, no second decode, correct even
+// if sender and receiver reached that count through different resize
+// histories. A cross-epoch delivery (the sender's table differs from
+// ours: an in-flight message from before a resize, or from a sender
+// that resized first) is decoded and landed, original timestamp
+// intact, in the shard that owns its key under the *current* table —
+// exactly where a local move would have put it, so every update ends
+// up in the owning shard exactly once whatever the interleaving of
+// resizes and deliveries.
+//
+// The router reads the generation atomically instead of taking
+// routeMu: a coordinated live resize drains the network while holding
+// the write half, and a blocking router would deadlock that drain.
+func (r *ShardedReplica) route(from, shard, epoch int, payload []byte) {
+	g := r.gen.Load()
+	if epoch == len(g.shards) && shard < len(g.shards) {
+		g.shards[shard].handle(from, payload)
+		return
+	}
+	ts, off, err := clock.DecodeTimestamp(payload)
+	if err != nil {
+		panic(fmt.Sprintf("core: replica %d: corrupt cross-epoch message: %v", r.id, err))
+	}
+	u, err := r.codec.DecodeUpdate(payload[off:])
+	if err != nil {
+		panic(fmt.Sprintf("core: replica %d: corrupt cross-epoch message: %v", r.id, err))
+	}
+	dst := 0
+	if r.part != nil && len(g.shards) > 1 {
+		dst = routeKey(r.part.UpdateKey(u), len(g.shards))
+	}
+	// Absorb, not handle: the entry keeps its timestamp but must not
+	// feed the stability tracker's peer observations — stamps from a
+	// different epoch's channel interleave non-monotonically with this
+	// shard's, so the FIFO argument behind direct observations does
+	// not apply (see Replica.Absorb).
+	g.shards[dst].Absorb(ts, u)
+}
+
 // ID returns the process id.
 func (r *ShardedReplica) ID() int { return r.id }
 
 // ADT returns the replica's sequential specification.
 func (r *ShardedReplica) ADT() spec.UQADT { return r.adt }
 
-// NumShards returns the shard count.
-func (r *ShardedReplica) NumShards() int { return len(r.shards) }
+// NumShards returns the current shard count.
+func (r *ShardedReplica) NumShards() int { return len(r.gen.Load().shards) }
+
+// Epoch returns the current routing epoch: 0 at construction,
+// incremented by every Resize that changes the shard count.
+func (r *ShardedReplica) Epoch() int { return r.gen.Load().epoch }
 
 // Shard exposes the per-shard Replica (tests and the state-transfer
 // harness use it); mutate it only through the ShardedReplica.
-func (r *ShardedReplica) Shard(s int) *Replica { return r.shards[s] }
+func (r *ShardedReplica) Shard(s int) *Replica { return r.gen.Load().shards[s] }
 
-// ShardOf returns the shard that owns the given key.
+// ShardOf returns the shard that currently owns the given key. For a
+// non-partitionable data type it reports shard 0 — where every update
+// actually lives (the key hash is meaningless when updates are not
+// keyed) — matching the routing of shardOfUpdate.
 func (r *ShardedReplica) ShardOf(key string) int {
-	return int(fnv1a(key) % uint64(len(r.shards)))
+	g := r.gen.Load()
+	if r.part == nil || len(g.shards) == 1 {
+		return 0
+	}
+	return routeKey(key, len(g.shards))
+}
+
+// routeKey maps a key to its owning shard under a table of the given
+// size — a pure function of key and shard count, identical on every
+// replica at the same epoch.
+func routeKey(key string, shards int) int {
+	return int(fnv1a(key) % uint64(shards))
 }
 
 // fnv1a is the 64-bit FNV-1a hash, the shard router's key hash: stable
@@ -196,19 +361,23 @@ func fnv1a(key string) uint64 {
 	return h
 }
 
-// shardOfUpdate routes an update to its owning shard.
-func (r *ShardedReplica) shardOfUpdate(u spec.Update) int {
-	if r.part == nil || len(r.shards) == 1 {
+// shardOfUpdate routes an update to its owning shard under generation
+// g.
+func (r *ShardedReplica) shardOfUpdate(g *shardGen, u spec.Update) int {
+	if r.part == nil || len(g.shards) == 1 {
 		return 0
 	}
-	return r.ShardOf(r.part.UpdateKey(u))
+	return routeKey(r.part.UpdateKey(u), len(g.shards))
 }
 
 // Update issues u on the shard owning its key (lines 4–7 of
 // Algorithm 1 on that shard's clock and log). Like Replica.Update it is
 // wait-free and locally visible when it returns.
 func (r *ShardedReplica) Update(u spec.Update) {
-	r.shards[r.shardOfUpdate(u)].Update(u)
+	r.routeMu.RLock()
+	defer r.routeMu.RUnlock()
+	g := r.gen.Load()
+	g.shards[r.shardOfUpdate(g, u)].Update(u)
 }
 
 // Query evaluates a query input. A keyed query (spec.Partitionable's
@@ -226,13 +395,16 @@ func (r *ShardedReplica) Update(u spec.Update) {
 // independent of merge order, and each shard's state is the converged
 // state of that shard's update total order.
 func (r *ShardedReplica) Query(in spec.QueryInput) spec.QueryOutput {
-	if r.part == nil || len(r.shards) == 1 {
-		return r.shards[0].Query(in)
+	r.routeMu.RLock()
+	defer r.routeMu.RUnlock()
+	g := r.gen.Load()
+	if r.part == nil || len(g.shards) == 1 {
+		return g.shards[0].Query(in)
 	}
 	if key, ok := r.part.QueryKey(in); ok {
-		return r.shards[r.ShardOf(key)].Query(in)
+		return g.shards[routeKey(key, len(g.shards))].Query(in)
 	}
-	return r.queryMerged(in)
+	return r.queryMerged(g, in)
 }
 
 // QueryOmega evaluates a query and records it as the replica's
@@ -241,9 +413,14 @@ func (r *ShardedReplica) Query(in spec.QueryInput) spec.QueryOutput {
 // sharded replica (where recording lives at the harness level) it is a
 // plain Query and the caller records the observation itself.
 func (r *ShardedReplica) QueryOmega(in spec.QueryInput) spec.QueryOutput {
-	if len(r.shards) == 1 {
-		return r.shards[0].QueryOmega(in)
+	r.routeMu.RLock()
+	g := r.gen.Load()
+	if len(g.shards) == 1 {
+		out := g.shards[0].QueryOmega(in)
+		r.routeMu.RUnlock()
+		return out
 	}
+	r.routeMu.RUnlock()
 	return r.Query(in)
 }
 
@@ -251,8 +428,9 @@ func (r *ShardedReplica) QueryOmega(in spec.QueryInput) spec.QueryOutput {
 // memoizing the output against the fold generation when the input is
 // cacheable. Whole-state queries serialize on the cache mutex (they
 // shared no structure before, but each paid a full S-shard fold; now
-// the common settled read is a few version compares).
-func (r *ShardedReplica) queryMerged(in spec.QueryInput) spec.QueryOutput {
+// the common settled read is a few version compares). Caller holds
+// routeMu's read half.
+func (r *ShardedReplica) queryMerged(g *shardGen, in spec.QueryInput) spec.QueryOutput {
 	key, cacheable := spec.QueryCacheKey{}, false
 	if r.qkeyer != nil {
 		key, cacheable = r.qkeyer.QueryInputKey(in)
@@ -260,7 +438,7 @@ func (r *ShardedReplica) queryMerged(in spec.QueryInput) spec.QueryOutput {
 	mc := &r.mc
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
-	r.refreshMergedLocked()
+	r.refreshMergedLocked(g)
 	mc.reads++
 	if !cacheable {
 		return r.adt.Query(mc.merged, in)
@@ -274,20 +452,20 @@ func (r *ShardedReplica) queryMerged(in spec.QueryInput) spec.QueryOutput {
 }
 
 // refreshMergedLocked brings the merged state up to date. Caller holds
-// mc.mu. A shard whose log version matches its cached contribution is
-// skipped without taking its lock; a moved shard's state is cloned
-// under its lock (ReadStateAt pins state and version together), then
-// spliced in: the stale contribution is unmerged, the fresh clone
-// merged — per-shard states are key-disjoint, so replacing one
-// contribution never disturbs another's keys. A version of 0 means
-// the shard has never been mutated, matching the nil contribution it
-// starts with.
-func (r *ShardedReplica) refreshMergedLocked() {
+// mc.mu (and routeMu's read half, so g is the current generation). A
+// shard whose log version matches its cached contribution is skipped
+// without taking its lock; a moved shard's state is cloned under its
+// lock (ReadStateAt pins state and version together), then spliced in:
+// the stale contribution is unmerged, the fresh clone merged —
+// per-shard states are key-disjoint, so replacing one contribution
+// never disturbs another's keys. A version of 0 means the shard has
+// never been mutated, matching the nil contribution it starts with.
+func (r *ShardedReplica) refreshMergedLocked(g *shardGen) {
 	mc := &r.mc
 	if mc.merged == nil {
 		mc.merged = r.adt.Initial()
 	}
-	for s, sh := range r.shards {
+	for s, sh := range g.shards {
 		if sh.Version() == mc.vers[s] {
 			continue
 		}
@@ -313,14 +491,17 @@ func (r *ShardedReplica) refreshMergedLocked() {
 // merged-state cache). Harnesses and tests use it; queries should go
 // through Query, which can avoid the clone.
 func (r *ShardedReplica) MergedState() spec.State {
-	if r.part == nil || len(r.shards) == 1 {
+	r.routeMu.RLock()
+	defer r.routeMu.RUnlock()
+	g := r.gen.Load()
+	if r.part == nil || len(g.shards) == 1 {
 		var out spec.State
-		r.shards[0].ReadState(func(s spec.State) { out = r.adt.Clone(s) })
+		g.shards[0].ReadState(func(s spec.State) { out = r.adt.Clone(s) })
 		return out
 	}
 	r.mc.mu.Lock()
 	defer r.mc.mu.Unlock()
-	r.refreshMergedLocked()
+	r.refreshMergedLocked(g)
 	return r.adt.Clone(r.mc.merged)
 }
 
@@ -334,17 +515,38 @@ func (r *ShardedReplica) MergedCacheStats() (folds, reads uint64) {
 	return r.mc.folds, r.mc.reads
 }
 
+// QueryCacheStats sums the query-output cache counters (hits, misses)
+// across the current shards — keyed reads hit the owning shard's
+// cache, whole-state reads the merged-state output memo. Since PR 5
+// the per-shard cache also serves recording and GC replicas, so hits
+// accrue in recorded runs too; the tests assert against that.
+func (r *ShardedReplica) QueryCacheStats() (hits, misses uint64) {
+	r.routeMu.RLock()
+	defer r.routeMu.RUnlock()
+	for _, sh := range r.gen.Load().shards {
+		h, m := sh.QueryCacheStats()
+		hits += h
+		misses += m
+	}
+	hits += r.mc.outs.hits.Load()
+	misses += r.mc.outs.misses.Load()
+	return hits, misses
+}
+
 // StateKey returns the canonical key of the replica's merged state —
 // the convergence predicate compares these across replicas, exactly as
 // with Replica.StateKey. It is assembled from the per-shard state keys
 // (each memoized against its shard's log version), so polling a settled
 // cluster stays cheap: S version compares, no state serialization.
 func (r *ShardedReplica) StateKey() string {
-	if len(r.shards) == 1 {
-		return r.shards[0].StateKey()
+	r.routeMu.RLock()
+	defer r.routeMu.RUnlock()
+	g := r.gen.Load()
+	if len(g.shards) == 1 {
+		return g.shards[0].StateKey()
 	}
 	var b strings.Builder
-	for s, sh := range r.shards {
+	for s, sh := range g.shards {
 		if s > 0 {
 			b.WriteByte('|')
 		}
@@ -354,10 +556,15 @@ func (r *ShardedReplica) StateKey() string {
 }
 
 // Stats aggregates the per-shard replica counters: lengths and counts
-// sum, the clock reports the maximum across shards.
+// sum, the clock reports the maximum across shards. Compacted updates
+// whose folded state was carried across a resize stay counted (a split
+// base cannot recover per-range counts, so the replica accounts for
+// them once, at move time).
 func (r *ShardedReplica) Stats() Stats {
+	r.routeMu.RLock()
+	defer r.routeMu.RUnlock()
 	var agg Stats
-	for _, sh := range r.shards {
+	for _, sh := range r.gen.Load().shards {
 		st := sh.Stats()
 		agg.LogLen += st.LogLen
 		agg.TotalOps += st.TotalOps
@@ -367,13 +574,26 @@ func (r *ShardedReplica) Stats() Stats {
 			agg.Clock = st.Clock
 		}
 	}
+	agg.TotalOps += int(r.movedCompacted)
+	agg.Compacted += r.movedCompacted
 	return agg
+}
+
+// ResizeStats reports the resharding counters: resizes that changed
+// the shard count, and live log entries replayed across shards by
+// them.
+func (r *ShardedReplica) ResizeStats() (resizes, movedEntries uint64) {
+	r.routeMu.RLock()
+	defer r.routeMu.RUnlock()
+	return r.resizes, r.movedEntries
 }
 
 // ForceCompact runs a compaction immediately on every shard (GC mode
 // only).
 func (r *ShardedReplica) ForceCompact() {
-	for _, sh := range r.shards {
+	r.routeMu.RLock()
+	defer r.routeMu.RUnlock()
+	for _, sh := range r.gen.Load().shards {
 		sh.ForceCompact()
 	}
 }
@@ -382,9 +602,246 @@ func (r *ShardedReplica) ForceCompact() {
 // crashed and will never issue updates again (see
 // Replica.RetireProcess).
 func (r *ShardedReplica) RetireProcess(j int) {
-	for _, sh := range r.shards {
+	r.routeMu.RLock()
+	defer r.routeMu.RUnlock()
+	for _, sh := range r.gen.Load().shards {
 		sh.RetireProcess(j)
 	}
+}
+
+// Resize re-partitions the replica's key space across newShards
+// shards, live. It builds a fresh routing generation (new per-shard
+// replicas with their own logs, clocks and engines, broadcasting under
+// the next epoch), transfers every key range's state from the old
+// shard that owned it — the compacted base split per key
+// (spec.Partitionable.ExtractRange), the live log suffix replayed
+// entry by entry with timestamps intact — then atomically flips the
+// router and rebuilds the merged-state cache. Updates and queries are
+// excluded for the duration of the move; they are wait-free again the
+// moment the flip lands.
+//
+// In-flight messages need no coordination: every broadcast carries its
+// epoch (the sender's shard count), and the router lands cross-epoch
+// deliveries in the shard that owns their key under the current table
+// (see route). Replicas of one cluster may therefore resize at
+// different times — convergence only requires that they all eventually
+// run the same table.
+//
+// GC soundness across a staggered resize rests on the transports'
+// per-link FIFO guarantee holding across shard channels (GC requires
+// FIFO regardless): everything a sender broadcast before its flip is
+// delivered before anything it broadcast after, so by the time a new
+// shard's fresh stability tracker takes its first direct observation
+// from a sender (a current-epoch delivery through handle), none of
+// that sender's old-epoch messages remain in flight here — which is
+// exactly why cross-epoch deliveries go through Absorb, feeding no
+// peer observations, while current-epoch ones may. On the live
+// transport ResizeCluster drains first, so no cross-epoch message
+// ever exists.
+//
+// On a live (goroutine) transport a lone Resize would race concurrent
+// deliveries against the move; use ResizeCluster, which coordinates
+// all replicas and drains the network first. Resize panics for
+// non-partitionable data types (there is nothing to re-partition) and
+// on transports that do not implement transport.ResizableNetwork.
+func (r *ShardedReplica) Resize(newShards int) {
+	if newShards <= 0 {
+		panic("core: Resize needs at least one shard")
+	}
+	if r.part == nil {
+		panic(fmt.Sprintf("core: %s is not partitionable; Resize requires per-key state", r.adt.Name()))
+	}
+	if r.rnet == nil {
+		panic("core: Resize requires a transport.ResizableNetwork")
+	}
+	r.rnet.EnsureShards(newShards)
+	r.routeMu.Lock()
+	defer r.routeMu.Unlock()
+	r.resizeLocked(newShards)
+}
+
+// ResizeCluster resizes every replica of a cluster in lockstep: it
+// acquires every replica's routing lock (stalling updates and queries
+// cluster-wide), invokes drain to deliver everything in flight (the
+// routers keep running — they never take the routing lock), then moves
+// every replica's state and flips all routers before releasing. This
+// is the resize path for live transports, where per-replica moves
+// would otherwise race autonomous deliveries; pass the network's Drain
+// as drain. On the simulated transport, staggered per-replica Resize
+// calls with no drain are sound (the driver interleaves deliveries and
+// moves in one goroutine) and exercise the cross-epoch routing far
+// harder — the resize tests do exactly that.
+func ResizeCluster(reps []*ShardedReplica, newShards int, drain func()) {
+	if len(reps) == 0 {
+		return
+	}
+	if newShards <= 0 {
+		panic("core: ResizeCluster needs at least one shard")
+	}
+	for _, r := range reps {
+		if r.rnet == nil {
+			panic("core: ResizeCluster requires a transport.ResizableNetwork")
+		}
+	}
+	reps[0].rnet.EnsureShards(newShards)
+	for _, r := range reps {
+		r.routeMu.Lock()
+	}
+	defer func() {
+		for _, r := range reps {
+			r.routeMu.Unlock()
+		}
+	}()
+	if drain != nil {
+		drain()
+	}
+	for _, r := range reps {
+		r.resizeLocked(newShards)
+	}
+}
+
+// resizeLocked performs the state transfer. Caller holds routeMu's
+// write half; on a live transport the caller has also drained the
+// network, so nothing touches the old shards during the move.
+func (r *ShardedReplica) resizeLocked(newShards int) {
+	old := r.gen.Load()
+	if newShards == len(old.shards) {
+		return
+	}
+	// Mirror the constructor's recording guard: a 1-shard replica may
+	// carry a replica-level recorder, but the new shards are built
+	// without one (sharded recording lives at the harness level), so
+	// resizing would silently truncate the recorded history.
+	if old.shards[0].rec != nil {
+		panic("core: Resize would drop replica-level recording; record at the harness level to resize a recorded run")
+	}
+	next := &shardGen{epoch: old.epoch + 1, shards: make([]*Replica, newShards)}
+	for s := range next.shards {
+		var eng Engine
+		if r.newEngine != nil {
+			eng = r.newEngine()
+		}
+		rep := NewReplica(Config{
+			ID: r.id, N: r.n, ADT: r.adt,
+			Net:    epochChannel{net: r.rnet, shard: s, epoch: newShards},
+			Engine: eng, GC: r.gc, GCEvery: r.gcEvery,
+		})
+		rep.log.SetTieKey(r.part.UpdateKey)
+		next.shards[s] = rep
+	}
+
+	// The seed horizon for split bases: the minimum of the old shards'
+	// compaction horizons — zero unless every old shard has compacted.
+	// Every live or in-flight entry sorts strictly above its own old
+	// shard's horizon, hence above the minimum, which is what
+	// Log.Insert's below-base guard checks (per key the folded
+	// components are always below a later entry of the same key, since
+	// the key's whole history lived in one old shard).
+	var horizon clock.Timestamp
+	allCompacted := true
+	for _, o := range old.shards {
+		if base, _ := o.log.Base(); base == nil {
+			allCompacted = false
+			break
+		}
+	}
+	if allCompacted {
+		_, horizon = old.shards[0].log.Base()
+		for _, o := range old.shards[1:] {
+			if _, ts := o.log.Base(); ts.Less(horizon) {
+				horizon = ts
+			}
+		}
+	}
+
+	// Split every old shard into per-new-shard seeds: base state by key
+	// range, live entries by key. The old shards are left untouched —
+	// the old generation stays internally consistent until the flip.
+	type seed struct {
+		base    spec.State
+		entries []Entry
+	}
+	seeds := make([]seed, newShards)
+	var maxClock uint64
+	for _, o := range old.shards {
+		o.mu.Lock()
+		if c := o.clk.Now(); c > maxClock {
+			maxClock = c
+		}
+		if base, _ := o.log.Base(); base != nil {
+			work := r.adt.Clone(base)
+			for s := range seeds {
+				dst := s
+				ext, cnt := r.part.ExtractRange(work, func(key string) bool {
+					return routeKey(key, newShards) == dst
+				})
+				if cnt == 0 {
+					continue
+				}
+				if seeds[dst].base == nil {
+					seeds[dst].base = ext
+				} else {
+					seeds[dst].base = r.part.MergeInto(seeds[dst].base, ext)
+				}
+			}
+			r.movedCompacted += uint64(o.log.baseLen)
+		}
+		for _, e := range o.log.Entries() {
+			dst := routeKey(r.part.UpdateKey(e.U), newShards)
+			seeds[dst].entries = append(seeds[dst].entries, e)
+			r.movedEntries++
+		}
+		o.mu.Unlock()
+	}
+
+	// Replay each seed into its new shard: seed the base, insert the
+	// entries in log order (per-origin runs are already sorted; sorting
+	// the merged bucket makes every insert take the O(1) tail path),
+	// float the clock to the replica-wide maximum so post-resize
+	// updates stamp above everything moved, and carry over retirement
+	// (a crashed process stays crashed; everything else the fresh
+	// stability trackers re-learn from current-epoch deliveries).
+	oldStab := old.shards[0].stab
+	for s := range seeds {
+		rep := next.shards[s]
+		if seeds[s].base != nil {
+			rep.log.SeedBase(seeds[s].base, horizon, 0)
+		}
+		if n := len(seeds[s].entries); n > 0 {
+			entries := seeds[s].entries
+			sort.Slice(entries, func(i, j int) bool {
+				return rep.log.less(entries[i], entries[j])
+			})
+			rep.log.Reserve(n)
+			for _, e := range entries {
+				rep.Absorb(e.TS, e.U)
+			}
+		}
+		rep.clk.Observe(maxClock)
+		if rep.stab != nil {
+			rep.stab.ObserveSelf(rep.clk.Now())
+			if oldStab != nil {
+				for j := 0; j < r.n; j++ {
+					if oldStab.Retired(j) {
+						rep.stab.Retire(j)
+					}
+				}
+			}
+		}
+	}
+
+	// Flip the router, then rebuild the merged-state cache for the new
+	// generation: every stale contribution is dropped and the output
+	// memos are invalidated by bumping the fold generation.
+	r.gen.Store(next)
+	r.resizes++
+	mc := &r.mc
+	mc.mu.Lock()
+	mc.vers = make([]uint64, newShards)
+	mc.parts = make([]spec.State, newShards)
+	mc.merged = nil
+	mc.gen++
+	mc.mu.Unlock()
 }
 
 // ShardedCluster builds n sharded replicas sharing one transport, all

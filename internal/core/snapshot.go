@@ -20,10 +20,18 @@ import (
 // Snapshots are self-delimiting byte strings:
 //
 //	uvarint clock
-//	uvarint baseLen  (0 when nothing was compacted)
-//	[ baseTS, uvarint len(baseState), baseState ]   when baseLen > 0
+//	uvarint baseLen  (folded update count; 0 when nothing was
+//	                  compacted OR when the count is unknown — a
+//	                  resharded shard's seeded base carries state whose
+//	                  per-range count is unrecoverable)
+//	byte    hasBase  (1 when a base block follows)
+//	[ baseTS, uvarint len(baseState), baseState ]   when hasBase == 1
 //	uvarint entryCount
 //	entryCount × ( timestamp, uvarint opLen, op )
+//
+// Base presence is an explicit flag rather than baseLen > 0 exactly
+// because of seeded bases: base != nil with baseLen == 0 is a legal
+// log shape after a Resize, and encoder and decoder must agree on it.
 //
 // Encoding the base state requires the spec to implement
 // spec.StateCodec; uncompacted replicas need only the update codec.
@@ -40,6 +48,11 @@ func (r *Replica) Snapshot() ([]byte, error) {
 	base, baseTS := r.log.Base()
 	n = binary.PutUvarint(lenb[:], uint64(r.log.TotalLen()-r.log.Len()))
 	buf.Write(lenb[:n])
+	if base != nil {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
 	if base != nil {
 		sc, ok := r.adt.(spec.StateCodec)
 		if !ok {
@@ -89,7 +102,15 @@ func (r *Replica) Restore(snap []byte) error {
 		return fmt.Errorf("core: malformed snapshot base length")
 	}
 	off += n
-	if baseLen > 0 {
+	if off >= len(snap) {
+		return fmt.Errorf("core: truncated snapshot base flag")
+	}
+	hasBase := snap[off]
+	off++
+	if hasBase > 1 {
+		return fmt.Errorf("core: malformed snapshot base flag %d", hasBase)
+	}
+	if hasBase == 1 {
 		sc, ok := r.adt.(spec.StateCodec)
 		if !ok {
 			return fmt.Errorf("core: snapshot has a base state but %s lacks spec.StateCodec", r.adt.Name())

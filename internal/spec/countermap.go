@@ -173,6 +173,16 @@ func (CounterMapSpec) UnmergeFrom(dst, src State) State {
 	return d
 }
 
+// ExtractRange implements Partitionable: move the selected counters
+// into a fresh counter map.
+func (CounterMapSpec) ExtractRange(s State, keep func(key string) bool) (State, int) {
+	out, n := extractMap(s.(map[string]int64), keep)
+	if n == 0 {
+		return nil, 0
+	}
+	return out, n
+}
+
 // EncodeUpdate implements Codec. Wire format: uvarint key length, key
 // bytes, zig-zag varint delta.
 func (sp CounterMapSpec) EncodeUpdate(u Update) ([]byte, error) {

@@ -41,6 +41,34 @@ type Partitionable interface {
 	// src is read-only. The sharded merged-state cache uses it to
 	// replace one shard's contribution without re-folding the others.
 	UnmergeFrom(dst, src State) State
+	// ExtractRange removes from s every key component the keep
+	// predicate selects and returns those components as a fresh state,
+	// together with the number of components moved (0 with a nil
+	// extracted state when nothing matched). It is the per-key split of
+	// a state that live resharding needs: a shard's compacted base is
+	// partitioned into one extracted state per destination shard, and
+	// after extracting every range the source state is empty. s may be
+	// mutated freely (the caller is discarding it); the extracted state
+	// must share no mutable structure with s.
+	ExtractRange(s State, keep func(key string) bool) (State, int)
+}
+
+// extractMap is the shared ExtractRange body for the map-backed
+// partitionable states: move the entries keep selects out of src into
+// a fresh map, allocated lazily so a miss costs nothing.
+func extractMap[V any](src map[string]V, keep func(key string) bool) (map[string]V, int) {
+	var out map[string]V
+	for k, v := range src {
+		if !keep(k) {
+			continue
+		}
+		if out == nil {
+			out = map[string]V{}
+		}
+		out[k] = v
+		delete(src, k)
+	}
+	return out, len(out)
 }
 
 // UpdateKey implements Partitionable: a set element is its own key.
@@ -77,6 +105,16 @@ func (SetSpec) UnmergeFrom(dst, src State) State {
 	return d
 }
 
+// ExtractRange implements Partitionable: move the selected elements
+// into a fresh set state.
+func (SetSpec) ExtractRange(s State, keep func(key string) bool) (State, int) {
+	out, n := extractMap(s.(map[string]bool), keep)
+	if n == 0 {
+		return nil, 0
+	}
+	return out, n
+}
+
 // UpdateKey implements Partitionable: a write addresses its register.
 func (MemorySpec) UpdateKey(u Update) string {
 	w, ok := u.(WriteKey)
@@ -111,4 +149,14 @@ func (MemorySpec) UnmergeFrom(dst, src State) State {
 		delete(d, k)
 	}
 	return d
+}
+
+// ExtractRange implements Partitionable: move the selected registers
+// into a fresh register map.
+func (MemorySpec) ExtractRange(s State, keep func(key string) bool) (State, int) {
+	out, n := extractMap(s.(map[string]string), keep)
+	if n == 0 {
+		return nil, 0
+	}
+	return out, n
 }

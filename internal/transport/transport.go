@@ -70,6 +70,42 @@ type ShardedNetwork interface {
 	BroadcastShard(from, shard int, payload []byte)
 }
 
+// EpochHandler consumes a delivery on a resizable sharded network: the
+// envelope's shard and epoch tags are handed to the process's router,
+// which dispatches to the owning shard — directly when the epoch
+// matches its routing table, by re-routing the payload's key when the
+// sender was on an older (or newer) table.
+type EpochHandler func(from, shard, epoch int, payload []byte)
+
+// ResizableNetwork extends ShardedNetwork with what live resharding
+// needs: envelopes carry an epoch tag alongside the shard tag, each
+// process can register a single router that receives every delivery
+// with both tags (instead of one handler per shard), and the set of
+// per-(process, shard) channels can grow at runtime. A message
+// broadcast under epoch e is delivered with that tag even if receivers
+// have since flipped to a later routing table — the in-flight
+// old-epoch envelope reaches the receiver's router, which lands it in
+// the shard that owns its key *now*.
+//
+// Attach and AttachRouter are mutually exclusive per process: a
+// process with a router receives everything through it.
+type ResizableNetwork interface {
+	ShardedNetwork
+	// AttachRouter registers the per-process router. It must be called
+	// before any broadcast involving id.
+	AttachRouter(id int, h EpochHandler)
+	// BroadcastShardEpoch sends payload from shard `shard` of process
+	// `from`, tagged with the sender's routing epoch, to the same shard
+	// of every process. Self-delivery is synchronous; remote delivery
+	// is asynchronous. BroadcastShard is equivalent with epoch 0.
+	BroadcastShardEpoch(from, shard, epoch int, payload []byte)
+	// EnsureShards guarantees channels exist for shard indices below
+	// shards at every process (growing a live network's mailboxes; a
+	// no-op where channels are implicit). It must be called before any
+	// broadcast to a shard index the network was not built with.
+	EnsureShards(shards int)
+}
+
 // Stats counts network traffic. Broadcasts is the number of broadcast
 // invocations (the unit §VII-C's "a unique message is broadcast for
 // each update" refers to); Sends counts point-to-point transmissions;
@@ -88,6 +124,7 @@ type Stats struct {
 type envelope struct {
 	from, to int
 	shard    int // destination shard of a ShardedNetwork broadcast
+	epoch    int // sender's routing epoch (ResizableNetwork broadcasts)
 	payload  []byte
 	seq      uint64 // per-(from,to) link sequence, for FIFO
 	id       uint64 // global tie-break id
@@ -127,8 +164,12 @@ type SimNetwork struct {
 	// process id; the inner slices grow on AttachShard. Plain Attach
 	// and Broadcast use shard 0.
 	handlers [][]Handler
-	crashed  []bool
-	group    []int // partition group per process
+	// routers[id], when set, receives every delivery to id with its
+	// shard and epoch tags, replacing the per-shard handlers
+	// (ResizableNetwork).
+	routers []EpochHandler
+	crashed []bool
+	group   []int // partition group per process
 	// pending holds in-flight envelopes in no particular order;
 	// removal is an O(1) swap with the last element (delivery order is
 	// the adversary's choice anyway, so pending needs no structure).
@@ -166,6 +207,7 @@ func NewSim(opts SimOptions) *SimNetwork {
 		opts:     opts,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		handlers: make([][]Handler, opts.N),
+		routers:  make([]EpochHandler, opts.N),
 		crashed:  make([]bool, opts.N),
 		group:    make([]int, opts.N),
 		linkSeq:  make([]uint64, opts.N*opts.N),
@@ -195,13 +237,37 @@ func (n *SimNetwork) AttachShard(id, shard int, h Handler) {
 // inline; copies to other live processes are queued for adversarial
 // delivery. A crashed sender cannot broadcast.
 func (n *SimNetwork) Broadcast(from int, payload []byte) {
-	n.BroadcastShard(from, 0, payload)
+	n.BroadcastShardEpoch(from, 0, 0, payload)
 }
 
-// BroadcastShard implements ShardedNetwork: each queued envelope is
-// tagged with the shard, and delivery invokes the handler attached for
-// (to, shard).
+// BroadcastShard implements ShardedNetwork (epoch 0).
 func (n *SimNetwork) BroadcastShard(from, shard int, payload []byte) {
+	n.BroadcastShardEpoch(from, shard, 0, payload)
+}
+
+// AttachRouter implements ResizableNetwork.
+func (n *SimNetwork) AttachRouter(id int, h EpochHandler) { n.routers[id] = h }
+
+// EnsureShards implements ResizableNetwork: the simulator keeps no
+// per-shard structures beyond the handler tables, and a router-attached
+// process needs none, so growth is implicit.
+func (n *SimNetwork) EnsureShards(int) {}
+
+// deliver hands an envelope's content to the receiving process: its
+// router when one is attached, the per-shard handler otherwise.
+func (n *SimNetwork) deliver(to, from, shard, epoch int, payload []byte) {
+	if rt := n.routers[to]; rt != nil {
+		rt(from, shard, epoch, payload)
+		return
+	}
+	n.handlers[to][shard](from, payload)
+}
+
+// BroadcastShardEpoch implements ResizableNetwork: each queued envelope
+// is tagged with the shard and the sender's routing epoch, and delivery
+// invokes the receiver's router (or, without one, the handler attached
+// for (to, shard)).
+func (n *SimNetwork) BroadcastShardEpoch(from, shard, epoch int, payload []byte) {
 	if n.crashed[from] {
 		return
 	}
@@ -211,7 +277,7 @@ func (n *SimNetwork) BroadcastShard(from, shard int, payload []byte) {
 	n.stats.Sends++
 	n.stats.Delivered++
 	n.stats.Bytes += uint64(len(payload))
-	n.handlers[from][shard](from, payload)
+	n.deliver(from, from, shard, epoch, payload)
 	uni := n.uniform()
 	for to := 0; to < n.opts.N; to++ {
 		if to == from {
@@ -221,7 +287,7 @@ func (n *SimNetwork) BroadcastShard(from, shard int, payload []byte) {
 		n.linkSeq[link]++
 		// The payload slice is shared, never copied per recipient.
 		e := envelope{
-			from: from, to: to, shard: shard, payload: payload,
+			from: from, to: to, shard: shard, epoch: epoch, payload: payload,
 			seq: n.linkSeq[link], id: n.nextID,
 		}
 		if uni {
@@ -282,7 +348,7 @@ func (n *SimNetwork) Step() bool {
 		n.stats.Bytes += uint64(len(e.payload))
 	}
 	n.stats.Delivered++
-	n.handlers[e.to][e.shard](e.from, e.payload)
+	n.deliver(e.to, e.from, e.shard, e.epoch, e.payload)
 	return true
 }
 
@@ -388,8 +454,9 @@ func (n *SimNetwork) Heal() {
 func (n *SimNetwork) Stats() Stats { return n.stats }
 
 var (
-	_ Network        = (*SimNetwork)(nil)
-	_ ShardedNetwork = (*SimNetwork)(nil)
+	_ Network          = (*SimNetwork)(nil)
+	_ ShardedNetwork   = (*SimNetwork)(nil)
+	_ ResizableNetwork = (*SimNetwork)(nil)
 )
 
 // LiveNetwork delivers messages with one dispatcher goroutine and an
@@ -401,12 +468,23 @@ var (
 type LiveNetwork struct {
 	n      int
 	shards int
-	// nodes[id][shard] is the mailbox + dispatcher for one shard of one
-	// process.
-	nodes  [][]*liveNode
-	mu     sync.Mutex
-	stats  Stats
-	closed bool
+	// nodes holds the mailbox + dispatcher table, nodes[id][shard], one
+	// per shard of each process. The table is copy-on-write: EnsureShards
+	// builds a fresh table and swaps the pointer (writers coordinate
+	// under mu), so the broadcast hot path loads and indexes it without
+	// a lock.
+	nodes atomic.Pointer[[][]*liveNode]
+	// routers[id], when set, receives every delivery to id with its
+	// shard and epoch tags (ResizableNetwork); nodes added later by
+	// EnsureShards inherit it.
+	routers []EpochHandler
+	// crashedProc[id] records a Crash(id) at the process level (guarded
+	// by mu) so nodes added later by EnsureShards are born crashed — a
+	// crashed process must not come back to life on new shard indices.
+	crashedProc []bool
+	mu          sync.Mutex
+	stats       Stats
+	closed      bool
 }
 
 type liveNode struct {
@@ -414,6 +492,9 @@ type liveNode struct {
 	cond    *sync.Cond
 	queue   []envelope
 	handler Handler
+	// route, when set, replaces handler: deliveries are handed to the
+	// per-process router with their shard and epoch tags.
+	route EpochHandler
 	// crashed is atomic, not mutex-guarded: the dispatcher re-checks it
 	// per message while working through a swapped-out batch, so a crash
 	// takes effect mid-backlog without reintroducing a lock round-trip
@@ -435,17 +516,76 @@ func NewLiveSharded(n, shards int) *LiveNetwork {
 	if shards <= 0 {
 		panic("transport: NewLiveSharded needs at least one shard")
 	}
-	ln := &LiveNetwork{n: n, shards: shards, nodes: make([][]*liveNode, n)}
-	for i := range ln.nodes {
-		ln.nodes[i] = make([]*liveNode, shards)
-		for s := range ln.nodes[i] {
-			node := &liveNode{done: make(chan struct{})}
-			node.cond = sync.NewCond(&node.mu)
-			ln.nodes[i][s] = node
-			go node.run()
+	ln := &LiveNetwork{n: n, shards: shards, routers: make([]EpochHandler, n), crashedProc: make([]bool, n)}
+	nodes := make([][]*liveNode, n)
+	for i := range nodes {
+		nodes[i] = make([]*liveNode, shards)
+		for s := range nodes[i] {
+			nodes[i][s] = newLiveNode()
 		}
 	}
+	ln.nodes.Store(&nodes)
 	return ln
+}
+
+func newLiveNode() *liveNode {
+	node := &liveNode{done: make(chan struct{})}
+	node.cond = sync.NewCond(&node.mu)
+	go node.run()
+	return node
+}
+
+// snapshot captures the current node table; a captured table is
+// immutable (EnsureShards swaps in a fresh one, never mutates one).
+func (ln *LiveNetwork) snapshot() [][]*liveNode { return *ln.nodes.Load() }
+
+// EnsureShards implements ResizableNetwork: it grows every process's
+// mailbox row to the given shard count, spawning a dispatcher per new
+// (process, shard) channel. Existing nodes — and any envelopes queued
+// in them — are carried over untouched. Shrinking is implicit: a
+// routing epoch with fewer shards simply stops broadcasting to the
+// higher indices, whose dispatchers idle until Close.
+func (ln *LiveNetwork) EnsureShards(shards int) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	if shards <= ln.shards || ln.closed {
+		return
+	}
+	old := *ln.nodes.Load()
+	nodes := make([][]*liveNode, ln.n)
+	for i := range nodes {
+		row := make([]*liveNode, shards)
+		copy(row, old[i])
+		for s := ln.shards; s < shards; s++ {
+			node := newLiveNode()
+			if rt := ln.routers[i]; rt != nil {
+				node.mu.Lock()
+				node.route = rt
+				node.mu.Unlock()
+			}
+			if ln.crashedProc[i] {
+				node.crashed.Store(true)
+			}
+			row[s] = node
+		}
+		nodes[i] = row
+	}
+	ln.nodes.Store(&nodes)
+	ln.shards = shards
+}
+
+// AttachRouter implements ResizableNetwork: every current and future
+// channel of process id delivers through h.
+func (ln *LiveNetwork) AttachRouter(id int, h EpochHandler) {
+	ln.mu.Lock()
+	ln.routers[id] = h
+	nodes := *ln.nodes.Load()
+	ln.mu.Unlock()
+	for _, nd := range nodes[id] {
+		nd.mu.Lock()
+		nd.route = h
+		nd.mu.Unlock()
+	}
 }
 
 func (nd *liveNode) run() {
@@ -465,15 +605,19 @@ func (nd *liveNode) run() {
 			return
 		}
 		batch, nd.queue = nd.queue, batch[:0]
-		h := nd.handler
+		h, rt := nd.handler, nd.route
 		nd.busy = true
 		nd.mu.Unlock()
-		if h != nil {
+		if h != nil || rt != nil {
 			for i := range batch {
 				if nd.crashed.Load() {
 					break // a crash mid-batch drops the rest
 				}
-				h(batch[i].from, batch[i].payload)
+				if rt != nil {
+					rt(batch[i].from, batch[i].shard, batch[i].epoch, batch[i].payload)
+				} else {
+					h(batch[i].from, batch[i].payload)
+				}
 			}
 		}
 		// Zero the handled slots so the shared payloads become
@@ -493,7 +637,7 @@ func (ln *LiveNetwork) Attach(id int, h Handler) { ln.AttachShard(id, 0, h) }
 
 // AttachShard implements ShardedNetwork.
 func (ln *LiveNetwork) AttachShard(id, shard int, h Handler) {
-	nd := ln.nodes[id][shard]
+	nd := ln.snapshot()[id][shard]
 	nd.mu.Lock()
 	nd.handler = h
 	nd.mu.Unlock()
@@ -502,15 +646,22 @@ func (ln *LiveNetwork) AttachShard(id, shard int, h Handler) {
 // Broadcast implements Network. Self-delivery is synchronous (invoked
 // on the caller's goroutine); remote deliveries are enqueued.
 func (ln *LiveNetwork) Broadcast(from int, payload []byte) {
-	ln.BroadcastShard(from, 0, payload)
+	ln.BroadcastShardEpoch(from, 0, 0, payload)
 }
 
-// BroadcastShard implements ShardedNetwork: the message goes to the
-// mailbox of shard `shard` at every other process.
+// BroadcastShard implements ShardedNetwork (epoch 0).
 func (ln *LiveNetwork) BroadcastShard(from, shard int, payload []byte) {
-	self := ln.nodes[from][shard]
+	ln.BroadcastShardEpoch(from, shard, 0, payload)
+}
+
+// BroadcastShardEpoch implements ResizableNetwork: the message goes to
+// the mailbox of shard `shard` at every other process, tagged with the
+// sender's routing epoch.
+func (ln *LiveNetwork) BroadcastShardEpoch(from, shard, epoch int, payload []byte) {
+	nodes := ln.snapshot()
+	self := nodes[from][shard]
 	self.mu.Lock()
-	h := self.handler
+	h, rt := self.handler, self.route
 	self.mu.Unlock()
 	if self.crashed.Load() {
 		return
@@ -523,18 +674,20 @@ func (ln *LiveNetwork) BroadcastShard(from, shard int, payload []byte) {
 	ln.stats.Delivered += uint64(ln.n) // self + n-1 mailboxes
 	ln.stats.Bytes += uint64(len(payload) * ln.n)
 	ln.mu.Unlock()
-	if h != nil {
+	if rt != nil {
+		rt(from, shard, epoch, payload)
+	} else if h != nil {
 		h(from, payload)
 	}
 	for to := 0; to < ln.n; to++ {
 		if to == from {
 			continue
 		}
-		nd := ln.nodes[to][shard]
+		nd := nodes[to][shard]
 		nd.mu.Lock()
 		if !nd.closed {
 			// The payload slice is shared with every other mailbox.
-			nd.queue = append(nd.queue, envelope{from: from, to: to, shard: shard, payload: payload})
+			nd.queue = append(nd.queue, envelope{from: from, to: to, shard: shard, epoch: epoch, payload: payload})
 			// Broadcast, not Signal: the condition variable is shared
 			// between the dispatcher and Drain waiters.
 			nd.cond.Broadcast()
@@ -545,9 +698,14 @@ func (ln *LiveNetwork) BroadcastShard(from, shard int, payload []byte) {
 
 // Crash halts a process: every shard stops handling queued and future
 // messages (including a batch the dispatcher already swapped out of the
-// mailbox) and the process's broadcasts are suppressed.
+// mailbox) and the process's broadcasts are suppressed — including on
+// shard channels a later EnsureShards adds.
 func (ln *LiveNetwork) Crash(id int) {
-	for _, nd := range ln.nodes[id] {
+	ln.mu.Lock()
+	ln.crashedProc[id] = true
+	nodes := *ln.nodes.Load()
+	ln.mu.Unlock()
+	for _, nd := range nodes[id] {
 		nd.crashed.Store(true)
 	}
 }
@@ -562,7 +720,8 @@ func (ln *LiveNetwork) Close() {
 	}
 	ln.closed = true
 	ln.mu.Unlock()
-	for _, row := range ln.nodes {
+	nodes := ln.snapshot()
+	for _, row := range nodes {
 		for _, nd := range row {
 			nd.mu.Lock()
 			nd.closed = true
@@ -570,7 +729,7 @@ func (ln *LiveNetwork) Close() {
 			nd.mu.Unlock()
 		}
 	}
-	for _, row := range ln.nodes {
+	for _, row := range nodes {
 		for _, nd := range row {
 			<-nd.done
 		}
@@ -586,7 +745,7 @@ func (ln *LiveNetwork) Close() {
 func (ln *LiveNetwork) Drain() {
 	for {
 		stable := true
-		for _, row := range ln.nodes {
+		for _, row := range ln.snapshot() {
 			for _, nd := range row {
 				nd.mu.Lock()
 				for (len(nd.queue) > 0 || nd.busy) && !nd.closed {
@@ -610,8 +769,9 @@ func (ln *LiveNetwork) Stats() Stats {
 }
 
 var (
-	_ Network        = (*LiveNetwork)(nil)
-	_ ShardedNetwork = (*LiveNetwork)(nil)
+	_ Network          = (*LiveNetwork)(nil)
+	_ ShardedNetwork   = (*LiveNetwork)(nil)
+	_ ResizableNetwork = (*LiveNetwork)(nil)
 )
 
 // String renders traffic counters for experiment tables.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -610,5 +611,34 @@ func TestLiveCrashDropsBacklog(t *testing.T) {
 	// queued before the crash must be dropped, not fully delivered.
 	if got == 100 {
 		t.Fatal("crash did not stop delivery of the queued backlog")
+	}
+}
+
+// TestLiveCrashSurvivesEnsureShards: a crashed process must stay
+// crashed on shard channels added after the crash — EnsureShards grows
+// the mailbox table mid-run (a live resize does this), and the new
+// nodes must be born with the process's crash state.
+func TestLiveCrashSurvivesEnsureShards(t *testing.T) {
+	ln := NewLiveSharded(2, 2)
+	defer ln.Close()
+	var delivered [2]atomic.Uint64
+	for id := 0; id < 2; id++ {
+		p := id
+		ln.AttachRouter(id, func(from, shard, epoch int, payload []byte) {
+			delivered[p].Add(1)
+		})
+	}
+	ln.Crash(1)
+	ln.EnsureShards(4)
+	// Deliveries to the crashed process's new shard channels must be
+	// dropped, and its own broadcasts on them suppressed.
+	ln.BroadcastShardEpoch(0, 3, 1, []byte("x"))
+	ln.BroadcastShardEpoch(1, 3, 1, []byte("y"))
+	ln.Drain()
+	if got := delivered[1].Load(); got != 0 {
+		t.Fatalf("crashed process handled %d deliveries on a post-crash shard channel", got)
+	}
+	if got := delivered[0].Load(); got != 1 {
+		t.Fatalf("live process deliveries: got %d, want 1 (its own broadcast only)", got)
 	}
 }

@@ -45,7 +45,7 @@ func (c *Cluster[H]) Session(p int) (*Session[H], error) {
 	}
 	s := &Session[H]{cl: c, sess: core.NewShardedSession(c.replicas[p])}
 	sp := sessionPort{sess: s.sess}
-	if c.rec != nil && c.shards > 1 {
+	if c.rec != nil && c.Shards() > 1 {
 		// Sharded clusters record at the harness level; the session is
 		// part of the harness, so its operations enter the history too,
 		// attributed to the replica currently serving it (exactly where

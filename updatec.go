@@ -41,7 +41,11 @@
 // then runs one instance of Algorithm 1 per key shard (own log, clock,
 // engine and transport channel), so updates to different keys never
 // contend, while per shard the paper's guarantees hold verbatim and
-// the merged object stays update consistent.
+// the merged object stays update consistent. The shard count can be
+// changed live with Cluster.Resize, which moves each key range's state
+// between shards (snapshot of the compacted base plus replay of the
+// live log suffix) and lands in-flight messages via epoch-tagged
+// routing.
 //
 // Cluster.Session opens a per-client session with read-your-writes and
 // monotonic reads across replica failover, for any object built on the
@@ -50,6 +54,7 @@ package updatec
 
 import (
 	"fmt"
+	"sync"
 
 	"updatec/internal/core"
 	"updatec/internal/history"
@@ -122,7 +127,8 @@ func WithRecording() Option { return func(c *config) { c.record = true } }
 // a partitionable object (SetObject, KVObject, CounterMapObject):
 // distinct keys are independent there, so update consistency composes
 // per key and the merged object keeps the paper's guarantee. One shard
-// is the unsharded construction.
+// is the unsharded construction. The count is a starting point, not a
+// commitment: Cluster.Resize re-partitions the key space live.
 func WithShards(s int) Option { return func(c *config) { c.shards = s } }
 
 // Cluster owns the transport and replicas of one replicated object.
@@ -131,7 +137,6 @@ func WithShards(s int) Option { return func(c *config) { c.shards = s } }
 type Cluster[H any] struct {
 	n        int
 	obj      Object[H]
-	shards   int
 	sim      *transport.SimNetwork
 	live     *transport.LiveNetwork
 	replicas []*core.ShardedReplica // generic construction (nil for MemoryObject)
@@ -139,7 +144,11 @@ type Cluster[H any] struct {
 	rec      *history.Recorder
 	omega    func(p int)
 	crashed  map[int]bool
-	closed   bool
+	// mu guards the mutable control fields below — Resize and Close
+	// run concurrently with Shards() readers on a live cluster.
+	mu     sync.Mutex
+	shards int
+	closed bool
 }
 
 // NetworkStats summarizes transport traffic.
@@ -285,16 +294,118 @@ func (rp recordingPort) Query(in spec.QueryInput) spec.QueryOutput {
 // N returns the cluster size.
 func (c *Cluster[H]) N() int { return c.n }
 
-// Shards returns the shard count per replica (1 unless WithShards).
-func (c *Cluster[H]) Shards() int { return c.shards }
+// Shards returns the current shard count per replica (1 unless
+// WithShards or Resize changed it).
+func (c *Cluster[H]) Shards() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shards
+}
 
-// ShardOf returns the shard that owns the given key — a pure function
-// of key and shard count, identical on every replica.
+// ShardOf returns the shard that currently owns the given key — a pure
+// function of key and the current shard count, identical on every
+// replica. For a non-partitionable object it reports shard 0, where
+// every update actually lives.
 func (c *Cluster[H]) ShardOf(key string) int {
 	if c.replicas == nil {
 		return 0
 	}
 	return c.replicas[0].ShardOf(key)
+}
+
+// Resize re-partitions a partitionable cluster's key space across
+// newShards shards, live — the shard count chosen at construction
+// (WithShards, default 1) is no longer frozen. Every replica builds a
+// fresh set of per-shard instances of Algorithm 1, transfers each key
+// range's state from the old shard that owned it (the compacted base
+// split per key, the live log suffix replayed with timestamps intact),
+// then atomically flips its routing table. Updates issued while a
+// replica moves its state wait for the flip; everything is wait-free
+// again the moment it lands. Messages in flight across the flip need
+// no coordination: broadcasts carry their routing epoch, and receivers
+// land cross-epoch deliveries in the shard that owns their key under
+// the current table.
+//
+// After Resize and a Settle, every replica's merged state is identical
+// to a fresh cluster built at the new shard count and fed the same
+// updates — the convergence guarantee survives re-grouping, exactly as
+// the partitionable-systems argument promises.
+//
+// On a simulated cluster the replicas flip one after another with the
+// adversary's backlog still in flight; on a live cluster the resize is
+// coordinated — all replicas stall updates, the mailboxes drain, every
+// replica moves, then all flip together.
+//
+// Resize follows the same option/object discipline as WithShards: it
+// returns an error for non-partitionable objects, MemoryObject
+// (Algorithm 2), non-positive shard counts, and closed clusters. A
+// 1-shard cluster recording at the replica level (WithRecording
+// without WithShards) cannot resize — recording would have to move to
+// the harness level mid-run; build the cluster with WithShards to
+// record a resized run. Sessions opened before a Resize to a different
+// shard count are invalidated: their per-shard observation lanes no
+// longer correspond to key ranges, and further use panics — open a new
+// session.
+func (c *Cluster[H]) Resize(newShards int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("updatec: Resize on a closed cluster")
+	}
+	if newShards < 1 {
+		return fmt.Errorf("updatec: Resize needs at least one shard, got %d", newShards)
+	}
+	if c.obj.alg2 {
+		return fmt.Errorf("updatec: %s does not support Resize: Algorithm 2 is already per-register", c.obj.name)
+	}
+	if !c.obj.partitionable() {
+		return fmt.Errorf("updatec: %s is not partitionable; Resize requires a key-partitionable object (set, kv, countermap)", c.obj.name)
+	}
+	if newShards == c.shards {
+		return nil
+	}
+	if c.rec != nil && c.shards == 1 {
+		return fmt.Errorf("updatec: Resize on a 1-shard recorded cluster would strand replica-level recording; build with WithShards to record a resized run")
+	}
+	if c.sim != nil {
+		for _, r := range c.replicas {
+			r.Resize(newShards)
+		}
+	} else {
+		core.ResizeCluster(c.replicas, newShards, c.live.Drain)
+	}
+	c.shards = newShards
+	return nil
+}
+
+// ResizeStats reports the resharding counters of replica 0: resizes
+// that changed the shard count, and live log entries replayed across
+// shards by them. The resize count is cluster-uniform; the moved-entry
+// count is per-replica — on a simulated cluster the replicas flip with
+// different portions of the backlog delivered, so each moves a
+// different number of entries (the stragglers arrive later as
+// cross-epoch deliveries, which are not counted as moved). Zero for
+// MemoryObject clusters.
+func (c *Cluster[H]) ResizeStats() (resizes, movedEntries uint64) {
+	if c.replicas == nil {
+		return 0, 0
+	}
+	return c.replicas[0].ResizeStats()
+}
+
+// CacheStats reports the cluster-wide query-output cache counters,
+// summed over every replica and shard. Hits accrue on recorded and GC
+// clusters too — the cache serves those modes since PR 5, feeding the
+// recorder and the stability tick on the hit path — which the tests
+// assert through this counter. Zero for MemoryObject clusters
+// (Algorithm 2 keeps no query cache).
+func (c *Cluster[H]) CacheStats() (hits, misses uint64) {
+	for _, r := range c.replicas {
+		h, m := r.QueryCacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
 }
 
 // Deliver delivers one in-flight message on a simulated cluster,
@@ -337,10 +448,13 @@ func (c *Cluster[H]) Crash(p int) {
 
 // Close releases transport resources (a no-op for simulated clusters).
 func (c *Cluster[H]) Close() {
+	c.mu.Lock()
 	if c.closed {
+		c.mu.Unlock()
 		return
 	}
 	c.closed = true
+	c.mu.Unlock()
 	if c.live != nil {
 		c.live.Close()
 	}

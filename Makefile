@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt verify examples bench bench-quick bench-json bench-shards bench-read bench-resize test-resize
+.PHONY: build test vet fmt verify examples bench bench-quick bench-json bench-shards bench-read bench-resize bench-recovery test-resize test-chaos
 
 build:
 	$(GO) build ./...
@@ -49,15 +49,28 @@ bench-read:
 bench-resize:
 	$(GO) run ./cmd/ucbench -exp resize
 
+# bench-recovery prints the E18 table: time-to-convergence after a
+# long fault, backlog redelivery vs anti-entropy digest sync.
+bench-recovery:
+	$(GO) run ./cmd/ucbench -exp recovery
+
 # test-resize runs the resharding test suite (core protocol + public
 # API) under the race detector; CI's race job covers the same tests.
 test-resize:
 	$(GO) test -race -run 'Resize|Reshard' ./internal/core/ ./internal/bench/ .
 
+# test-chaos runs the seeded chaos schedules (crash/recover/partition/
+# heal/lossy links against every object kind) plus the recovery and
+# anti-entropy suites, all under the race detector.
+test-chaos:
+	$(GO) test -race ./internal/chaos/
+	$(GO) test -race -run 'Sync|Recover|Crash|PartitionHeal|Heal|Fault|URB' ./internal/core/ ./internal/transport/ .
+
 # bench-json refreshes the recorded perf trajectory (hot paths, shard
-# scaling, read caches, adversary step, live resharding). Set LABEL to
-# this PR's entry; the matching entry in the trajectory's runs array is
-# replaced, the rest are preserved and kept sorted by label.
+# scaling, read caches, adversary step, live resharding, recovery).
+# Set LABEL to this PR's entry; the matching entry in the trajectory's
+# runs array is replaced, the rest are preserved and kept sorted by
+# label.
 LABEL ?= dev
 bench-json:
-	$(GO) run ./cmd/ucbench -exp hotpath,shards,readmostly,stepbacklog,resize -json BENCH_ucbench.json -label $(LABEL)
+	$(GO) run ./cmd/ucbench -exp hotpath,shards,readmostly,stepbacklog,resize,recovery -json BENCH_ucbench.json -label $(LABEL)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath|shards|readmostly|stepbacklog|resize]
+//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath|shards|readmostly|stepbacklog|resize|recovery]
 //	        [-quick] [-runs n] [-shards list] [-json path] [-label name]
 //
 // -exp accepts a comma-separated list (e.g. -exp hotpath,shards) so one
@@ -62,6 +62,7 @@ type report struct {
 	ReadMostly  *bench.ReadMostlyResult  `json:"readmostly,omitempty"`
 	StepBacklog *bench.StepBacklogResult `json:"stepbacklog,omitempty"`
 	Reshard     *bench.ReshardResult     `json:"reshard,omitempty"`
+	Recovery    *bench.RecoveryResult    `json:"recovery,omitempty"`
 }
 
 // trajectory is the BENCH_ucbench.json shape: one entry per recorded
@@ -178,7 +179,7 @@ func parseShardCounts(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath, shards, readmostly, stepbacklog, resize")
+	exp := flag.String("exp", "all", "comma-separated experiments: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath, shards, readmostly, stepbacklog, resize, recovery")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	runs := flag.Int("runs", 400, "randomized-history runs for prop2/prop3")
 	shardsFlag := flag.String("shards", "1,2,4,8", "shard counts for the E14 shard-scaling experiment")
@@ -223,6 +224,8 @@ func main() {
 			rep.Shards = &shards
 			reshard := bench.Reshard(w, *quick)
 			rep.Reshard = &reshard
+			recovery := bench.Recovery(w, *quick)
+			rep.Recovery = &recovery
 		case "fig1", "fig2":
 			if rep.Figures == nil {
 				res := bench.Figures(w)
@@ -312,6 +315,11 @@ func main() {
 			if rep.StepBacklog == nil {
 				res := bench.StepBacklog(w, *quick)
 				rep.StepBacklog = &res
+			}
+		case "recovery":
+			if rep.Recovery == nil {
+				res := bench.Recovery(w, *quick)
+				rep.Recovery = &res
 			}
 		case "resize":
 			if rep.Reshard == nil {

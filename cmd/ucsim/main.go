@@ -17,11 +17,23 @@
 //	ucsim [-impl uc-set|or-set|...] [-n 3] [-ops 12] [-seed 1] [-crash p]
 //	      [-shards s] [-classify] [-fig2]
 //	ucsim -obj countermap -n 3 -shards 4 -ops 100 [-seed 1] [-crash p] [-classify]
-//	      [-resize s']
+//	      [-resize s'] [-recover]
+//	ucsim -chaos 12 [-obj set] [-n 4] [-ops 400] [-seed 1] [-shards s]
+//	      [-resize s'] [-classify]
 //
 // -resize s' (generic object mode, partitionable objects) resizes the
 // cluster live to s' shards halfway through the workload, with the
 // adversary's backlog in flight across the flip.
+//
+// -recover (with -crash p) brings the crashed replica back at the
+// three-quarter mark: it rejoins with its pre-crash state and pulls the
+// update suffix it missed from its peers by anti-entropy digest sync.
+//
+// -chaos e runs a seeded chaos schedule (internal/chaos): e fault
+// events — crash/recover/partition/heal/lossy-link windows — are
+// interleaved into the workload, the cluster is repaired (heal, rejoin,
+// digest sync rounds) and convergence is asserted. The event trace is
+// printed; the same seed reproduces it bit-for-bit.
 package main
 
 import (
@@ -33,6 +45,7 @@ import (
 	"strings"
 
 	"updatec"
+	"updatec/internal/chaos"
 	"updatec/internal/check"
 	"updatec/internal/sim"
 )
@@ -49,7 +62,31 @@ func main() {
 	resize := flag.Int("resize", 0, "resize to this shard count halfway through (-obj mode, partitionable objects)")
 	classify := flag.Bool("classify", false, "record the history and classify it (keep ops small)")
 	fig2 := flag.Bool("fig2", false, "run the Figure 2 workload under a full partition")
+	recoverFlag := flag.Bool("recover", false, "with -crash p: recover the crashed replica at the 3/4 mark (anti-entropy rejoin)")
+	chaosEvents := flag.Int("chaos", 0, "run a seeded chaos schedule with this many fault events")
 	flag.Parse()
+
+	if *chaosEvents > 0 {
+		implSet := false
+		flag.Visit(func(f *flag.Flag) { implSet = implSet || f.Name == "impl" })
+		if implSet || *fig2 || *crash >= 0 || *recoverFlag {
+			fmt.Fprintf(os.Stderr, "ucsim: -chaos schedules its own faults; it cannot be combined with -impl, -fig2, -crash or -recover\n")
+			os.Exit(2)
+		}
+		object := *obj
+		if object == "" {
+			object = "set"
+		}
+		if err := runChaos(object, *n, *shards, *resize, *ops, *seed, *chaosEvents, *classify); err != nil {
+			fmt.Fprintf(os.Stderr, "ucsim: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *recoverFlag && *crash < 0 {
+		fmt.Fprintf(os.Stderr, "ucsim: -recover requires -crash p (a replica to recover)\n")
+		os.Exit(2)
+	}
 
 	if *obj != "" {
 		// The generic object mode replaces the set comparison harness;
@@ -61,7 +98,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ucsim: -obj cannot be combined with -impl or -fig2 (they select the set comparison harness)\n")
 			os.Exit(2)
 		}
-		if err := runObject(*obj, *n, *shards, *resize, *ops, *seed, *crash, *fifo, *classify); err != nil {
+		if err := runObject(*obj, *n, *shards, *resize, *ops, *seed, *crash, *fifo, *classify, *recoverFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "ucsim: %v\n", err)
 			os.Exit(2)
 		}
@@ -123,12 +160,12 @@ func main() {
 // Each object kind supplies a mutator that issues one random update on
 // a handle; the scenario loop (crash injection, adversarial partial
 // deliveries, settle, convergence report) is shared.
-func runObject(name string, n, shards, resize int, ops int, seed int64, crash int, fifo, classify bool) error {
+func runObject(name string, n, shards, resize int, ops int, seed int64, crash int, fifo, classify, recoverCrashed bool) error {
 	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
 	pick := func(rng *rand.Rand) string { return keys[rng.Intn(len(keys))] }
 	switch name {
 	case "set":
-		return runGeneric(updatec.SetObject(), n, shards, resize, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.SetObject(), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.Set, rng *rand.Rand) {
 				if rng.Intn(3) == 0 {
 					h.Delete(pick(rng))
@@ -137,16 +174,16 @@ func runObject(name string, n, shards, resize int, ops int, seed int64, crash in
 				}
 			})
 	case "counter":
-		return runGeneric(updatec.CounterObject(), n, shards, resize, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.CounterObject(), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.Counter, rng *rand.Rand) { h.Add(int64(rng.Intn(9) - 4)) })
 	case "register":
-		return runGeneric(updatec.RegisterObject(""), n, shards, resize, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.RegisterObject(""), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.Register, rng *rand.Rand) { h.Write(pick(rng)) })
 	case "log":
-		return runGeneric(updatec.TextLogObject(), n, shards, resize, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.TextLogObject(), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.TextLog, rng *rand.Rand) { h.Append(pick(rng)) })
 	case "sequence":
-		return runGeneric(updatec.SequenceObject(), n, shards, resize, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.SequenceObject(), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.Sequence, rng *rand.Rand) {
 				if rng.Intn(4) == 0 {
 					h.DeleteAt(rng.Intn(4))
@@ -155,7 +192,7 @@ func runObject(name string, n, shards, resize int, ops int, seed int64, crash in
 				}
 			})
 	case "graph":
-		return runGeneric(updatec.GraphObject(), n, shards, resize, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.GraphObject(), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.Graph, rng *rand.Rand) {
 				switch rng.Intn(4) {
 				case 0:
@@ -167,20 +204,20 @@ func runObject(name string, n, shards, resize int, ops int, seed int64, crash in
 				}
 			})
 	case "kv":
-		return runGeneric(updatec.KVObject(), n, shards, resize, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.KVObject(), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.KV, rng *rand.Rand) { h.Put(pick(rng), pick(rng)) })
 	case "memory":
-		return runGeneric(updatec.MemoryObject(""), n, shards, resize, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.MemoryObject(""), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.Memory, rng *rand.Rand) { h.Write(pick(rng), pick(rng)) })
 	case "countermap":
-		return runGeneric(updatec.CounterMapObject(), n, shards, resize, ops, seed, crash, fifo, classify,
+		return runGeneric(updatec.CounterMapObject(), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.CounterMap, rng *rand.Rand) { h.Add(pick(rng), int64(rng.Intn(5)+1)) })
 	default:
 		return fmt.Errorf("unknown object %q (known: set, counter, register, log, sequence, graph, kv, memory, countermap)", name)
 	}
 }
 
-func runGeneric[H any](obj updatec.Object[H], n, shards, resize int, ops int, seed int64, crash int, fifo, classify bool, mutate func(H, *rand.Rand)) error {
+func runGeneric[H any](obj updatec.Object[H], n, shards, resize int, ops int, seed int64, crash int, fifo, classify, recoverCrashed bool, mutate func(H, *rand.Rand)) error {
 	opts := []updatec.Option{updatec.WithSeed(seed)}
 	if fifo {
 		opts = append(opts, updatec.WithFIFO())
@@ -201,8 +238,19 @@ func runGeneric[H any](obj updatec.Object[H], n, shards, resize int, ops int, se
 	resized := false
 	for i := 0; i < ops; i++ {
 		if crash >= 0 && i == ops/2 && !crashed[crash] {
-			cluster.Crash(crash)
+			if err := cluster.Crash(crash); err != nil {
+				return err
+			}
 			crashed[crash] = true
+		}
+		if recoverCrashed && crashed[crash] && i == ops*3/4 {
+			if err := cluster.Recover(crash); err != nil {
+				return err
+			}
+			delete(crashed, crash)
+			synced, _ := cluster.RepairStats()
+			fmt.Printf("recovered: p%d rejoined at op %d, anti-entropy landed %d missed entries\n",
+				crash, i, synced)
 		}
 		if resize > 0 && i == ops/2 && !resized {
 			if err := cluster.Resize(resize); err != nil {
@@ -242,6 +290,40 @@ func runGeneric[H any](obj updatec.Object[H], n, shards, resize int, ops int, se
 			c.UpdateConsistent, c.StrongUpdateConsistent, c.PipelinedConsistent)
 	}
 	if !cluster.Converged() {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// runChaos hands the run to the internal/chaos scheduler and reports
+// its trace, fault/repair counters and (optionally) the recorded
+// history's classification.
+func runChaos(object string, n, shards, resize, ops int, seed int64, events int, classify bool) error {
+	res, err := chaos.Run(chaos.Config{
+		Object: object, N: n, Shards: shards, Resize: resize,
+		Seed: seed, Ops: ops, Events: events, Record: classify,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chaos: object=%s n=%d ops=%d seed=%d events=%d\n", object, n, ops, seed, events)
+	for _, line := range res.Trace {
+		fmt.Printf("  %s\n", line)
+	}
+	fmt.Printf("issued: %d updates   events: %d crashes, %d recoveries, %d partitions, %d heals, %d fault windows\n",
+		res.Issued, res.Crashes, res.Recovers, res.Partitions, res.Heals, res.FaultWindows)
+	fmt.Printf("loss: %d dropped to crashed replicas, %d dropped/duplicated on faulty links\n",
+		res.DroppedCrash, res.DroppedLink)
+	fmt.Printf("repair: %d entries landed by anti-entropy, %d duplicate arrivals absorbed\n",
+		res.SyncApplied, res.DupDropped)
+	if res.Classification != nil {
+		c := res.Classification
+		fmt.Printf("classification: EC=%v SEC=%v UC=%v SUC=%v PC=%v\n",
+			c.EventuallyConsistent, c.StrongEventuallyConsistent,
+			c.UpdateConsistent, c.StrongUpdateConsistent, c.PipelinedConsistent)
+	}
+	fmt.Printf("converged: %v\n", res.Converged)
+	if !res.Converged {
 		os.Exit(1)
 	}
 	return nil

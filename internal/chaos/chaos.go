@@ -1,0 +1,405 @@
+// Package chaos drives seeded fault schedules — crash, recover,
+// partition, heal, per-link drop/duplication windows, live resizes —
+// against any object of the public updatec API, then repairs the
+// cluster (heal + recover + anti-entropy) and asserts convergence.
+//
+// The harness exists to demonstrate the robustness claim of the
+// partitionable-systems companion paper: update consistency is exactly
+// the guarantee that survives long partitions, rejoining replicas and
+// lossy links, PROVIDED the missing update suffixes are repaired — by
+// the transport's redelivery where it still holds them, and by the
+// anti-entropy digest sync where it does not (crash-dropped messages,
+// injected link drops). A schedule is reproducible from its seed: the
+// same Config always produces the same event trace, fault timing and
+// delivery order, so a failing schedule is a regression test.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"updatec"
+)
+
+// Config describes one seeded chaos schedule.
+type Config struct {
+	// Object names the replicated data type, as in `ucsim -obj`: set,
+	// counter, register, log, sequence, graph, kv, memory, countermap.
+	Object string
+	// N is the cluster size (default 4 — enough for a two-sided
+	// partition with a spectator).
+	N int
+	// Shards runs partitionable objects key-sharded.
+	Shards int
+	// Seed drives the schedule, the fault coin-flips and the network
+	// adversary.
+	Seed int64
+	// Ops is the number of update slots in the schedule (default 400).
+	// A slot on a crashed replica issues nothing, like a real client
+	// whose server is down.
+	Ops int
+	// Events is the number of fault events interleaved into the
+	// schedule (default 12). Each event picks uniformly among the
+	// actions currently feasible: crash a live replica (keeping at
+	// least one alive), recover a crashed one, open a random two-sided
+	// partition, heal it, open a drop/dup fault window on every link,
+	// or close it.
+	Events int
+	// Drop and Dup are the per-link fault probabilities applied while a
+	// fault window is open. Both zero defaults to 0.2/0.2.
+	Drop, Dup float64
+	// Resize, when positive, resizes the cluster to this shard count at
+	// the schedule midpoint — recovery and repair must compose with
+	// epoch-tagged routing.
+	Resize int
+	// Record records the run's history and classifies it under the
+	// paper's criteria. Keep Ops small (the deciders solve NP-complete
+	// problems).
+	Record bool
+}
+
+// Result reports one schedule.
+type Result struct {
+	// Converged reports whether every replica reached the same state
+	// after final repair — the acceptance bar of every schedule.
+	Converged bool
+	// Issued counts updates actually issued (slots on crashed replicas
+	// issue nothing).
+	Issued int
+	// Event counts.
+	Crashes, Recovers, Partitions, Heals, FaultWindows int
+	// SyncApplied counts log entries landed by anti-entropy pulls;
+	// DupDropped counts exact-duplicate arrivals the logs absorbed
+	// (injected duplication, post-heal redelivery of synced entries).
+	SyncApplied, DupDropped uint64
+	// DroppedCrash and DroppedLink attribute transport-level message
+	// loss; every one of these losses had to be repaired by a digest
+	// exchange for Converged to hold.
+	DroppedCrash, DroppedLink uint64
+	// Classification is set when Config.Record was on.
+	Classification *updatec.Classification
+	// Trace is the human-readable event narrative, one line per fault
+	// event plus the final repair.
+	Trace []string
+}
+
+// control is the object-independent slice of *updatec.Cluster[H] the
+// scheduler drives; every instantiation of the generic cluster
+// satisfies it.
+type control interface {
+	Crash(p int) error
+	Recover(p int) error
+	Partition(groups ...[]int) error
+	Heal() error
+	Sync() error
+	FaultAll(drop, dup float64) error
+	Resize(s int) error
+	Deliver() bool
+	Settle()
+	Converged() bool
+	Stats() updatec.NetworkStats
+	RepairStats() (uint64, uint64)
+	Classify() (updatec.Classification, error)
+	Close()
+}
+
+// harness pairs the type-erased cluster control with a mutator that
+// issues one random update on a given replica's typed handle.
+type harness struct {
+	ctl    control
+	update func(p int, rng *rand.Rand)
+}
+
+var chaosKeys = []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"}
+
+func pickKey(rng *rand.Rand) string { return chaosKeys[rng.Intn(len(chaosKeys))] }
+
+// build constructs the cluster for cfg.Object through the public API.
+func build(cfg Config) (*harness, error) {
+	switch cfg.Object {
+	case "set":
+		return buildObj(cfg, updatec.SetObject(), func(h *updatec.Set, rng *rand.Rand) {
+			if rng.Intn(3) == 0 {
+				h.Delete(pickKey(rng))
+			} else {
+				h.Insert(pickKey(rng))
+			}
+		})
+	case "counter":
+		return buildObj(cfg, updatec.CounterObject(), func(h *updatec.Counter, rng *rand.Rand) {
+			h.Add(int64(rng.Intn(9) - 4))
+		})
+	case "register":
+		return buildObj(cfg, updatec.RegisterObject(""), func(h *updatec.Register, rng *rand.Rand) {
+			h.Write(pickKey(rng))
+		})
+	case "log":
+		return buildObj(cfg, updatec.TextLogObject(), func(h *updatec.TextLog, rng *rand.Rand) {
+			h.Append(pickKey(rng))
+		})
+	case "sequence":
+		return buildObj(cfg, updatec.SequenceObject(), func(h *updatec.Sequence, rng *rand.Rand) {
+			if rng.Intn(4) == 0 {
+				h.DeleteAt(rng.Intn(4))
+			} else {
+				h.InsertAt(rng.Intn(4), pickKey(rng))
+			}
+		})
+	case "graph":
+		return buildObj(cfg, updatec.GraphObject(), func(h *updatec.Graph, rng *rand.Rand) {
+			switch rng.Intn(4) {
+			case 0:
+				h.AddEdge(pickKey(rng), pickKey(rng))
+			case 1:
+				h.RemoveVertex(pickKey(rng))
+			default:
+				h.AddVertex(pickKey(rng))
+			}
+		})
+	case "kv":
+		return buildObj(cfg, updatec.KVObject(), func(h *updatec.KV, rng *rand.Rand) {
+			h.Put(pickKey(rng), pickKey(rng))
+		})
+	case "memory":
+		return buildObj(cfg, updatec.MemoryObject(""), func(h *updatec.Memory, rng *rand.Rand) {
+			h.Write(pickKey(rng), pickKey(rng))
+		})
+	case "countermap":
+		return buildObj(cfg, updatec.CounterMapObject(), func(h *updatec.CounterMap, rng *rand.Rand) {
+			h.Add(pickKey(rng), int64(rng.Intn(5)+1))
+		})
+	default:
+		return nil, fmt.Errorf("chaos: unknown object %q (known: set, counter, register, log, sequence, graph, kv, memory, countermap)", cfg.Object)
+	}
+}
+
+func buildObj[H any](cfg Config, obj updatec.Object[H], mutate func(H, *rand.Rand)) (*harness, error) {
+	opts := []updatec.Option{updatec.WithSeed(cfg.Seed)}
+	if cfg.Shards > 1 {
+		opts = append(opts, updatec.WithShards(cfg.Shards))
+	}
+	if cfg.Record {
+		opts = append(opts, updatec.WithRecording())
+	}
+	cluster, handles, err := updatec.New(cfg.N, obj, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &harness{
+		ctl:    cluster,
+		update: func(p int, rng *rand.Rand) { mutate(handles[p], rng) },
+	}, nil
+}
+
+// Run executes one schedule. The returned error reports harness-level
+// failures (unknown object, invalid option combination, a repair call
+// that errored); a schedule that ran but failed to converge is NOT an
+// error — it is Result.Converged == false, for the caller to assert.
+func Run(cfg Config) (Result, error) {
+	if cfg.N == 0 {
+		cfg.N = 4
+	}
+	if cfg.Ops == 0 {
+		cfg.Ops = 400
+	}
+	if cfg.Events == 0 {
+		cfg.Events = 12
+	}
+	if cfg.Drop == 0 && cfg.Dup == 0 {
+		cfg.Drop, cfg.Dup = 0.2, 0.2
+	}
+	if cfg.N < 2 {
+		return Result{}, fmt.Errorf("chaos: need at least 2 replicas, got %d", cfg.N)
+	}
+	h, err := build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer h.ctl.Close()
+
+	// Three independent deterministic streams: the schedule (which
+	// event fires where), the workload (which replica updates with
+	// what), and the network adversary (inside the cluster, from
+	// cfg.Seed). Separating them keeps the event sequence stable when a
+	// mutator changes how much randomness it consumes.
+	schedRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5c4ed0))
+	workRng := rand.New(rand.NewSource(cfg.Seed ^ 0x0b5e55))
+
+	// Place the fault events uniformly over the update slots.
+	eventAt := make(map[int]int)
+	for e := 0; e < cfg.Events; e++ {
+		eventAt[schedRng.Intn(cfg.Ops)]++
+	}
+	resizeAt := -1
+	if cfg.Resize > 0 {
+		resizeAt = cfg.Ops / 2
+	}
+
+	var res Result
+	crashed := map[int]bool{}
+	partitioned, faulted := false, false
+	trace := func(slot int, format string, args ...any) {
+		res.Trace = append(res.Trace, fmt.Sprintf("op %4d: %s", slot, fmt.Sprintf(format, args...)))
+	}
+
+	fire := func(slot int) error {
+		// Enumerate the feasible actions, then pick uniformly. The
+		// enumeration order is fixed, so the pick is seed-stable.
+		var actions []string
+		if len(crashed) < cfg.N-1 {
+			actions = append(actions, "crash")
+		}
+		if len(crashed) > 0 {
+			actions = append(actions, "recover")
+		}
+		if partitioned {
+			actions = append(actions, "heal")
+		} else if cfg.N >= 2 {
+			actions = append(actions, "partition")
+		}
+		if faulted {
+			actions = append(actions, "unfault")
+		} else {
+			actions = append(actions, "fault")
+		}
+		switch actions[schedRng.Intn(len(actions))] {
+		case "crash":
+			var live []int
+			for p := 0; p < cfg.N; p++ {
+				if !crashed[p] {
+					live = append(live, p)
+				}
+			}
+			p := live[schedRng.Intn(len(live))]
+			if err := h.ctl.Crash(p); err != nil {
+				return err
+			}
+			crashed[p] = true
+			res.Crashes++
+			trace(slot, "crash p%d", p)
+		case "recover":
+			var down []int
+			for p := 0; p < cfg.N; p++ {
+				if crashed[p] {
+					down = append(down, p)
+				}
+			}
+			p := down[schedRng.Intn(len(down))]
+			if err := h.ctl.Recover(p); err != nil {
+				return err
+			}
+			delete(crashed, p)
+			res.Recovers++
+			trace(slot, "recover p%d (anti-entropy pull from reachable peers)", p)
+		case "partition":
+			// A random non-trivial two-sided split.
+			var side []int
+			for p := 0; p < cfg.N; p++ {
+				if schedRng.Intn(2) == 0 {
+					side = append(side, p)
+				}
+			}
+			if len(side) == 0 || len(side) == cfg.N {
+				side = []int{schedRng.Intn(cfg.N)}
+			}
+			if err := h.ctl.Partition(side); err != nil {
+				return err
+			}
+			partitioned = true
+			res.Partitions++
+			trace(slot, "partition %v | rest", side)
+		case "heal":
+			if err := h.ctl.Heal(); err != nil {
+				return err
+			}
+			partitioned = false
+			res.Heals++
+			trace(slot, "heal (automatic digest exchange)")
+		case "fault":
+			if err := h.ctl.FaultAll(cfg.Drop, cfg.Dup); err != nil {
+				return err
+			}
+			faulted = true
+			res.FaultWindows++
+			trace(slot, "fault window open: drop=%.2f dup=%.2f on every link", cfg.Drop, cfg.Dup)
+		case "unfault":
+			if err := h.ctl.FaultAll(0, 0); err != nil {
+				return err
+			}
+			faulted = false
+			trace(slot, "fault window closed")
+		}
+		return nil
+	}
+
+	for i := 0; i < cfg.Ops; i++ {
+		for e := eventAt[i]; e > 0; e-- {
+			if err := fire(i); err != nil {
+				return res, err
+			}
+		}
+		if i == resizeAt {
+			if err := h.ctl.Resize(cfg.Resize); err != nil {
+				return res, err
+			}
+			trace(i, "resize to %d shards (backlog in flight)", cfg.Resize)
+		}
+		p := workRng.Intn(cfg.N)
+		mutRng := rand.New(rand.NewSource(cfg.Seed ^ int64(i)<<20 ^ int64(p)))
+		if !crashed[p] {
+			h.update(p, mutRng)
+			res.Issued++
+		}
+		for d := workRng.Intn(4); d > 0; d-- {
+			if !h.ctl.Deliver() {
+				break
+			}
+		}
+	}
+
+	// Final repair: close the fault window (so the remaining backlog
+	// drains losslessly), heal the partition (automatic digest
+	// exchange), bring every crashed replica back (each rejoins and
+	// pulls what it missed), settle the transport, then one last
+	// all-replica sync round to repair anything the fault window
+	// dropped after the last exchange.
+	if faulted {
+		if err := h.ctl.FaultAll(0, 0); err != nil {
+			return res, err
+		}
+	}
+	if partitioned {
+		if err := h.ctl.Heal(); err != nil {
+			return res, err
+		}
+	}
+	var down []int
+	for p := range crashed {
+		down = append(down, p)
+	}
+	sort.Ints(down)
+	for _, p := range down {
+		if err := h.ctl.Recover(p); err != nil {
+			return res, err
+		}
+	}
+	h.ctl.Settle()
+	if err := h.ctl.Sync(); err != nil {
+		return res, err
+	}
+	res.Trace = append(res.Trace, fmt.Sprintf("repair: heal + recover %v + settle + sync round", down))
+
+	res.Converged = h.ctl.Converged()
+	res.SyncApplied, res.DupDropped = h.ctl.RepairStats()
+	st := h.ctl.Stats()
+	res.DroppedCrash, res.DroppedLink = st.DroppedCrash, st.DroppedLink
+	if cfg.Record {
+		cl, err := h.ctl.Classify()
+		if err != nil {
+			return res, err
+		}
+		res.Classification = &cl
+	}
+	return res, nil
+}

@@ -65,6 +65,15 @@ type Log struct {
 	// such logs get the relaxed below-horizon guard (see belowHorizon);
 	// a base built by this log's own CompactBelow keeps the strict one.
 	seeded bool
+	// merged marks a base installed by MergeSnapshot (anti-entropy's
+	// snapshot fallback). Such a base proves containment at the *donor*:
+	// everything at or below its horizon was delivered there and folded
+	// in, so a later below-horizon arrival here is a redelivery of an
+	// already-folded update — a healed link draining its queue — and is
+	// dropped as a duplicate. Only a base built by this log's own
+	// CompactBelow keeps the below-horizon panic: there, a low arrival
+	// means our own stability tracker declared stability too early.
+	merged bool
 }
 
 // NewLog returns an empty log for the given data type.
@@ -154,9 +163,34 @@ func (l *Log) Reserve(n int) {
 // Inserting an entry at or below the compaction horizon is an invariant
 // violation (it would mean the stability tracker declared stability too
 // early — e.g. GC enabled on a non-FIFO transport) and panics rather
-// than silently corrupting the convergence order.
+// than silently corrupting the convergence order. Insert also panics on
+// a duplicate timestamp; paths that legitimately see redelivery
+// (anti-entropy sync followed by the healed link's own copy, per-link
+// duplication faults) use InsertDedup instead.
 func (l *Log) Insert(e Entry) int {
+	at, ok := l.InsertDedup(e)
+	if !ok {
+		panic(fmt.Sprintf("core: duplicate timestamp %s — broadcast delivered twice?", e.TS))
+	}
+	return at
+}
+
+// InsertDedup is Insert tolerating exact duplicates: inserting an entry
+// whose timestamp (and tie-break key) is already present leaves the log
+// untouched and reports false. Duplicates are a legal event on the
+// repair paths — a partition heals, anti-entropy syncs the missing
+// suffix, and the cut's queued originals still deliver afterwards — and
+// under injected per-link duplication. A duplicate can never take the
+// fast tail path (an equal timestamp is not strictly greater), so the
+// O(1) hot path is untouched.
+func (l *Log) InsertDedup(e Entry) (int, bool) {
 	if l.base != nil && belowHorizon(l, e.TS) {
+		if l.merged {
+			// A merge-installed base provably contains everything under
+			// its horizon (see the merged field): this is a redelivery
+			// of a folded update, not a stability violation.
+			return 0, false
+		}
 		panic(fmt.Sprintf("core: update %s arrived below compaction horizon %s — stability was not honored (is the transport FIFO?)",
 			e.TS, l.baseTS))
 	}
@@ -166,20 +200,29 @@ func (l *Log) Insert(e Entry) int {
 		// Fast tail path: strictly above the current maximum.
 		l.buf = append(l.buf, e)
 		l.version++
-		return n
+		return n, true
 	}
 	at := sort.Search(n, func(i int) bool {
 		return l.less(e, live[i])
 	})
 	if at > 0 && live[at-1].TS == e.TS && !l.less(live[at-1], e) {
-		panic(fmt.Sprintf("core: duplicate timestamp %s — broadcast delivered twice?", e.TS))
+		return at - 1, false
 	}
 	l.buf = append(l.buf, Entry{})
 	live = l.buf[l.head:]
 	copy(live[at+1:], live[at:])
 	live[at] = e
 	l.version++
-	return at
+	return at, true
+}
+
+// Covers reports whether ts is at or below the compaction horizon —
+// i.e. the update carrying it is already folded into the base (the
+// stability argument: everything under the horizon was delivered before
+// compaction). The sync path uses it to skip entries a digest's Base
+// already accounts for.
+func (l *Log) Covers(ts clock.Timestamp) bool {
+	return l.base != nil && belowHorizon(l, ts)
 }
 
 // CompactBelow folds every entry with timestamp clock ≤ horizon into

@@ -147,6 +147,39 @@ func (m *Memory) CellCount() int {
 	return len(m.cells)
 }
 
+// SyncFrom merges the donor's register map into this replica, cell by
+// cell, applying Algorithm 2's receive rule (lines 8–14) in bulk: a
+// donor cell replaces the local one exactly when its timestamp is
+// higher. This is the anti-entropy repair move for the shared memory —
+// a recovered or long-partitioned replica pulls the registers it
+// missed; because each cell already IS the latest-write summary, the
+// register semantics make state transfer the natural digest (there is
+// no log suffix to ship). Returns how many cells changed. A symmetric
+// exchange is two pulls.
+func (m *Memory) SyncFrom(donor *Memory) int {
+	if donor == m {
+		return 0
+	}
+	donor.mu.Lock()
+	cells := make(map[string]memCell, len(donor.cells))
+	for k, c := range donor.cells {
+		cells[k] = c
+	}
+	cl := donor.clk.Now()
+	donor.mu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clk.Observe(cl)
+	applied := 0
+	for k, c := range cells {
+		if cur, ok := m.cells[k]; !ok || cur.ts.Less(c.ts) {
+			m.cells[k] = c
+			applied++
+		}
+	}
+	return applied
+}
+
 // handle implements lines 8–14 of Algorithm 2.
 func (m *Memory) handle(from int, payload []byte) {
 	ts, x, v, err := decodeMemMsg(payload)

@@ -55,6 +55,12 @@ type Replica struct {
 	// work.
 	lateInserts uint64
 	compacted   uint64
+	// dupDrops counts exact-duplicate arrivals skipped by the log
+	// (post-heal redelivery of entries anti-entropy already applied,
+	// injected per-link duplication); syncApplied counts entries landed
+	// by ApplySync/MergeSnapshot.
+	dupDrops    uint64
+	syncApplied uint64
 	// enc is the reusable encode scratch buffer (guarded by mu); the
 	// outgoing payload is the only allocation an Update performs.
 	enc []byte
@@ -404,10 +410,17 @@ func (r *Replica) handle(from int, payload []byte) {
 }
 
 // insertLocked lands a timestamped update in the log, the clock, the
-// origin coverage and the engine. Caller holds the exclusive lock.
-func (r *Replica) insertLocked(ts clock.Timestamp, u spec.Update) {
+// origin coverage and the engine, reporting whether the entry was new.
+// An exact duplicate — legal on the repair paths, see Log.InsertDedup —
+// is counted and skipped: no version bump, no engine notification (the
+// state is unchanged). Caller holds the exclusive lock.
+func (r *Replica) insertLocked(ts clock.Timestamp, u spec.Update) bool {
 	r.clk.Observe(ts.Clock)
-	at := r.log.Insert(Entry{TS: ts, U: u})
+	at, ok := r.log.InsertDedup(Entry{TS: ts, U: u})
+	if !ok {
+		r.dupDrops++
+		return false
+	}
 	if at != r.log.Len()-1 {
 		r.lateInserts++
 	}
@@ -415,6 +428,7 @@ func (r *Replica) insertLocked(ts clock.Timestamp, u spec.Update) {
 		r.originMax[ts.Proc] = ts.Clock
 	}
 	r.engine.Inserted(at)
+	return true
 }
 
 // Absorb inserts an already-timestamped update directly into the
@@ -475,6 +489,10 @@ type Stats struct {
 	// LateInserts counts out-of-order arrivals (they force engine
 	// recomputation).
 	LateInserts uint64
+	// DupDropped counts exact-duplicate arrivals skipped by the log;
+	// SyncApplied counts entries landed by anti-entropy repair.
+	DupDropped  uint64
+	SyncApplied uint64
 	Clock       uint64
 }
 
@@ -487,6 +505,8 @@ func (r *Replica) Stats() Stats {
 		TotalOps:    r.log.TotalLen(),
 		Compacted:   r.compacted,
 		LateInserts: r.lateInserts,
+		DupDropped:  r.dupDrops,
+		SyncApplied: r.syncApplied,
 		Clock:       r.clk.Now(),
 	}
 }

@@ -570,6 +570,8 @@ func (r *ShardedReplica) Stats() Stats {
 		agg.TotalOps += st.TotalOps
 		agg.Compacted += st.Compacted
 		agg.LateInserts += st.LateInserts
+		agg.DupDropped += st.DupDropped
+		agg.SyncApplied += st.SyncApplied
 		if st.Clock > agg.Clock {
 			agg.Clock = st.Clock
 		}

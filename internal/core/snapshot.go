@@ -84,83 +84,115 @@ func (r *Replica) Snapshot() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// snapshotData is a decoded Snapshot; parseSnapshot produces it for
+// Restore (fresh replicas) and MergeSnapshot (recovery with pre-crash
+// state).
+type snapshotData struct {
+	clock   uint64
+	baseLen int
+	base    spec.State // nil when nothing was compacted
+	baseTS  clock.Timestamp
+	entries []Entry
+}
+
+// parseSnapshot decodes a snapshot without touching the replica's
+// state.
+func (r *Replica) parseSnapshot(snap []byte) (snapshotData, error) {
+	var sd snapshotData
+	cl, off := binary.Uvarint(snap)
+	if off <= 0 {
+		return sd, fmt.Errorf("core: malformed snapshot clock")
+	}
+	sd.clock = cl
+	baseLen, n := binary.Uvarint(snap[off:])
+	if n <= 0 {
+		return sd, fmt.Errorf("core: malformed snapshot base length")
+	}
+	sd.baseLen = int(baseLen)
+	off += n
+	if off >= len(snap) {
+		return sd, fmt.Errorf("core: truncated snapshot base flag")
+	}
+	hasBase := snap[off]
+	off++
+	if hasBase > 1 {
+		return sd, fmt.Errorf("core: malformed snapshot base flag %d", hasBase)
+	}
+	if hasBase == 1 {
+		sc, ok := r.adt.(spec.StateCodec)
+		if !ok {
+			return sd, fmt.Errorf("core: snapshot has a base state but %s lacks spec.StateCodec", r.adt.Name())
+		}
+		baseTS, m, err := clock.DecodeTimestamp(snap[off:])
+		if err != nil {
+			return sd, fmt.Errorf("core: malformed snapshot base timestamp: %w", err)
+		}
+		off += m
+		stateLen, m2 := binary.Uvarint(snap[off:])
+		if m2 <= 0 || uint64(len(snap)-off-m2) < stateLen {
+			return sd, fmt.Errorf("core: truncated snapshot base state")
+		}
+		off += m2
+		base, err := sc.DecodeState(snap[off : off+int(stateLen)])
+		if err != nil {
+			return sd, fmt.Errorf("core: decoding snapshot base state: %w", err)
+		}
+		off += int(stateLen)
+		sd.base, sd.baseTS = base, baseTS
+	}
+	count, n := binary.Uvarint(snap[off:])
+	if n <= 0 {
+		return sd, fmt.Errorf("core: malformed snapshot entry count")
+	}
+	off += n
+	sd.entries = make([]Entry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		ts, m, err := clock.DecodeTimestamp(snap[off:])
+		if err != nil {
+			return sd, fmt.Errorf("core: malformed snapshot entry %d: %w", i, err)
+		}
+		off += m
+		opLen, m2 := binary.Uvarint(snap[off:])
+		if m2 <= 0 || uint64(len(snap)-off-m2) < opLen {
+			return sd, fmt.Errorf("core: truncated snapshot entry %d", i)
+		}
+		off += m2
+		u, err := r.codec.DecodeUpdate(snap[off : off+int(opLen)])
+		if err != nil {
+			return sd, fmt.Errorf("core: decoding snapshot entry %d: %w", i, err)
+		}
+		off += int(opLen)
+		sd.entries = append(sd.entries, Entry{TS: ts, U: u})
+	}
+	return sd, nil
+}
+
 // Restore installs a snapshot into a *fresh* replica (no updates
 // observed yet). The replica's clock is lifted to the snapshot clock
-// so its future updates are ordered after everything it absorbed.
+// so its future updates are ordered after everything it absorbed. A
+// replica that already holds state recovers with MergeSnapshot instead.
 func (r *Replica) Restore(snap []byte) error {
+	sd, err := r.parseSnapshot(snap)
+	if err != nil {
+		return err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.log.TotalLen() != 0 {
 		return fmt.Errorf("core: Restore requires a fresh replica (log has %d updates)", r.log.TotalLen())
 	}
-	cl, off := binary.Uvarint(snap)
-	if off <= 0 {
-		return fmt.Errorf("core: malformed snapshot clock")
+	if sd.base != nil {
+		r.log.RestoreBase(sd.base, sd.baseTS, sd.baseLen)
 	}
-	baseLen, n := binary.Uvarint(snap[off:])
-	if n <= 0 {
-		return fmt.Errorf("core: malformed snapshot base length")
-	}
-	off += n
-	if off >= len(snap) {
-		return fmt.Errorf("core: truncated snapshot base flag")
-	}
-	hasBase := snap[off]
-	off++
-	if hasBase > 1 {
-		return fmt.Errorf("core: malformed snapshot base flag %d", hasBase)
-	}
-	if hasBase == 1 {
-		sc, ok := r.adt.(spec.StateCodec)
-		if !ok {
-			return fmt.Errorf("core: snapshot has a base state but %s lacks spec.StateCodec", r.adt.Name())
-		}
-		baseTS, m, err := clock.DecodeTimestamp(snap[off:])
-		if err != nil {
-			return fmt.Errorf("core: malformed snapshot base timestamp: %w", err)
-		}
-		off += m
-		stateLen, m2 := binary.Uvarint(snap[off:])
-		if m2 <= 0 || uint64(len(snap)-off-m2) < stateLen {
-			return fmt.Errorf("core: truncated snapshot base state")
-		}
-		off += m2
-		base, err := sc.DecodeState(snap[off : off+int(stateLen)])
-		if err != nil {
-			return fmt.Errorf("core: decoding snapshot base state: %w", err)
-		}
-		off += int(stateLen)
-		r.log.RestoreBase(base, baseTS, int(baseLen))
-	}
-	count, n := binary.Uvarint(snap[off:])
-	if n <= 0 {
-		return fmt.Errorf("core: malformed snapshot entry count")
-	}
-	off += n
-	for i := uint64(0); i < count; i++ {
-		ts, m, err := clock.DecodeTimestamp(snap[off:])
-		if err != nil {
-			return fmt.Errorf("core: malformed snapshot entry %d: %w", i, err)
-		}
-		off += m
-		opLen, m2 := binary.Uvarint(snap[off:])
-		if m2 <= 0 || uint64(len(snap)-off-m2) < opLen {
-			return fmt.Errorf("core: truncated snapshot entry %d", i)
-		}
-		off += m2
-		u, err := r.codec.DecodeUpdate(snap[off : off+int(opLen)])
-		if err != nil {
-			return fmt.Errorf("core: decoding snapshot entry %d: %w", i, err)
-		}
-		off += int(opLen)
-		r.log.Insert(Entry{TS: ts, U: u})
-		if ts.Proc >= 0 && ts.Proc < len(r.originMax) && ts.Clock > r.originMax[ts.Proc] {
-			r.originMax[ts.Proc] = ts.Clock
+	for _, e := range sd.entries {
+		r.log.Insert(e)
+		if e.TS.Proc >= 0 && e.TS.Proc < len(r.originMax) && e.TS.Clock > r.originMax[e.TS.Proc] {
+			r.originMax[e.TS.Proc] = e.TS.Clock
 		}
 	}
-	r.clk.Observe(cl)
+	r.clk.Observe(sd.clock)
 	if r.stab != nil {
-		r.stab.ObserveSelf(cl)
+		r.stab.ObserveSelf(sd.clock)
 	}
 	r.engine.Bind(r.adt, r.log)
 	return nil

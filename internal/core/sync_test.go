@@ -1,0 +1,291 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"updatec/internal/spec"
+	"updatec/internal/transport"
+)
+
+// referenceKeys runs the same one-sided workload on an unfaulted
+// cluster and returns the converged state key every faulted run must
+// reach. Timestamps are assigned at issue time and the workloads below
+// issue everything before delivering anything, so the faulted runs
+// carry bit-identical updates and must land on bit-identical state.
+func referenceKeys(n, ops int, issue func(reps []*Replica, i int)) string {
+	net := transport.NewSim(transport.SimOptions{N: n, Seed: 7})
+	reps := Cluster(n, spec.Set(), net, ClusterOptions{})
+	for i := 0; i < ops; i++ {
+		issue(reps, i)
+	}
+	net.Quiesce()
+	key := reps[0].StateKey()
+	for _, r := range reps[1:] {
+		if r.StateKey() != key {
+			panic("reference cluster diverged")
+		}
+	}
+	return key
+}
+
+// TestCrashRecoverOneSided is the first acceptance scenario: a replica
+// crashes, misses 10k updates (its inbound messages are dropped, not
+// queued), recovers with its pre-crash state, and one anti-entropy pull
+// lands everything it missed — final state identical to a run with no
+// fault at all.
+func TestCrashRecoverOneSided(t *testing.T) {
+	const ops = 10000
+	issue := func(reps []*Replica, i int) {
+		reps[i%2].Update(spec.Ins{V: fmt.Sprint(i % 257)})
+	}
+	want := referenceKeys(3, ops, issue)
+
+	net := transport.NewSim(transport.SimOptions{N: 3, Seed: 7})
+	reps := Cluster(3, spec.Set(), net, ClusterOptions{})
+	net.Crash(2)
+	for i := 0; i < ops; i++ {
+		issue(reps, i)
+	}
+	net.Quiesce()
+	if reps[2].StateKey() == want {
+		t.Fatal("crashed replica cannot have converged")
+	}
+	net.Recover(2)
+	net.Quiesce() // nothing queued for p2: redelivery alone cannot repair it
+	if reps[2].StateKey() == want {
+		t.Fatal("recovery without anti-entropy repaired nothing-to-redeliver loss")
+	}
+	applied, err := reps[2].SyncFrom(reps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied == 0 {
+		t.Fatal("anti-entropy pull applied nothing")
+	}
+	for p, r := range reps {
+		if r.StateKey() != want {
+			t.Fatalf("p%d did not reach the unfaulted reference state", p)
+		}
+	}
+	if got := reps[2].Stats().SyncApplied; got != uint64(applied) {
+		t.Fatalf("SyncApplied stat = %d, want %d", got, applied)
+	}
+}
+
+// TestPartitionHealOneSided is the second acceptance scenario: one side
+// of a partition issues 10k updates; after healing, digest sync reaches
+// the reference state before a single queued message is redelivered,
+// and the backlog then drains entirely into counted duplicate drops.
+func TestPartitionHealOneSided(t *testing.T) {
+	const ops = 10000
+	issue := func(reps []*Replica, i int) {
+		reps[0].Update(spec.Ins{V: fmt.Sprint(i % 257)})
+	}
+	want := referenceKeys(3, ops, issue)
+
+	net := transport.NewSim(transport.SimOptions{N: 3, Seed: 7})
+	reps := Cluster(3, spec.Set(), net, ClusterOptions{})
+	net.Partition([]int{0}, []int{1, 2})
+	for i := 0; i < ops; i++ {
+		issue(reps, i)
+	}
+	net.Quiesce() // nothing crosses the cut; the backlog queues
+	net.Heal()
+	for _, p := range []int{1, 2} {
+		if _, err := reps[p].SyncFrom(reps[0]); err != nil {
+			t.Fatal(err)
+		}
+		if reps[p].StateKey() != want {
+			t.Fatalf("p%d not at reference state after sync, before backlog drain", p)
+		}
+	}
+	net.Quiesce() // the queued broadcasts arrive late, as duplicates
+	for p, r := range reps {
+		if r.StateKey() != want {
+			t.Fatalf("p%d diverged after the backlog drained", p)
+		}
+	}
+	dups := reps[1].Stats().DupDropped + reps[2].Stats().DupDropped
+	if dups != 2*ops {
+		t.Fatalf("backlog of %d broadcasts x 2 receivers absorbed %d duplicates", ops, dups)
+	}
+}
+
+// TestRecoverySpansResize crashes a sharded replica, reshapes the whole
+// cluster (crashed replica included — a crash suppresses delivery, not
+// routing structure) while 4k updates land elsewhere, then recovers:
+// the per-shard digest pulls must compose with the new shard count.
+func TestRecoverySpansResize(t *testing.T) {
+	const ops = 4000
+	mk := func() ([]*ShardedReplica, *transport.SimNetwork) {
+		net := transport.NewSim(transport.SimOptions{N: 3, Seed: 11})
+		return ShardedCluster(3, 2, spec.CounterMap(), net, ClusterOptions{}), net
+	}
+	issue := func(reps []*ShardedReplica, i int) {
+		reps[i%2].Update(spec.AddKey{K: fmt.Sprintf("k%d", i%64), N: 1})
+	}
+
+	ref, refNet := mk()
+	for i := 0; i < ops; i++ {
+		issue(ref, i)
+	}
+	for _, r := range ref {
+		r.Resize(5)
+	}
+	refNet.Quiesce()
+	want := ref[0].StateKey()
+
+	reps, net := mk()
+	net.Crash(2)
+	for i := 0; i < ops/2; i++ {
+		issue(reps, i)
+	}
+	for _, r := range reps {
+		r.Resize(5)
+	}
+	for i := ops / 2; i < ops; i++ {
+		issue(reps, i)
+	}
+	net.Quiesce()
+	net.Recover(2)
+	net.Quiesce()
+	applied, err := reps[2].SyncFrom(reps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied == 0 {
+		t.Fatal("post-resize anti-entropy pull applied nothing")
+	}
+	for p, r := range reps {
+		if r.NumShards() != 5 {
+			t.Fatalf("p%d at %d shards, want 5", p, r.NumShards())
+		}
+		if r.StateKey() != want {
+			t.Fatalf("p%d did not reach the resized reference state", p)
+		}
+	}
+}
+
+// TestShardedSyncRequiresEqualCounts: a mid-resize or cross-cluster
+// pull is refused rather than guessed at.
+func TestShardedSyncRequiresEqualCounts(t *testing.T) {
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 1})
+	reps := ShardedCluster(2, 2, spec.CounterMap(), net, ClusterOptions{})
+	reps[0].Resize(4)
+	if _, err := reps[1].SyncFrom(reps[0]); err == nil {
+		t.Fatal("expected an error syncing across unequal shard counts")
+	}
+}
+
+// TestSyncReplySendsOnlySuffix checks the wire economy of the digest
+// exchange: a receiver holding exactly the donor's prefix is sent only
+// the missing suffix, not the donor's whole log.
+func TestSyncReplySendsOnlySuffix(t *testing.T) {
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 3})
+	reps := Cluster(2, spec.Set(), net, ClusterOptions{})
+	for i := 0; i < 100; i++ {
+		reps[0].Update(spec.Ins{V: fmt.Sprint(i)})
+	}
+	net.Quiesce() // receiver now holds the first 100 as its prefix
+	net.Partition([]int{0}, []int{1})
+	for i := 100; i < 300; i++ {
+		reps[0].Update(spec.Ins{V: fmt.Sprint(i)})
+	}
+	payload, err := reps[0].SyncReply(reps[1].Digest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, off := binary.Uvarint(payload)
+	if off <= 0 {
+		t.Fatal("malformed sync reply")
+	}
+	if count != 200 {
+		t.Fatalf("donor sent %d frames, want exactly the 200-entry suffix", count)
+	}
+	applied, err := reps[1].ApplySync(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 200 || reps[1].StateKey() != reps[0].StateKey() {
+		t.Fatalf("suffix landed %d entries (want 200), converged=%v",
+			applied, reps[1].StateKey() == reps[0].StateKey())
+	}
+}
+
+// TestSyncFallsBackToSnapshotWhenDonorCompacted restores a replica from
+// a stale backup after the donor (legally, under stability) compacted
+// past what the backup missed: SyncReply refuses with ErrCompacted and
+// SyncFrom repairs through MergeSnapshot instead.
+func TestSyncFallsBackToSnapshotWhenDonorCompacted(t *testing.T) {
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 5, FIFO: true})
+	reps := Cluster(2, spec.Set(), net, ClusterOptions{GC: true, GCEvery: 8})
+	for i := 0; i < 40; i++ {
+		reps[0].Update(spec.Ins{V: fmt.Sprint(i)})
+		reps[1].Update(spec.Ins{V: fmt.Sprint(i + 1000)})
+		net.Quiesce()
+	}
+	stale, err := reps[1].Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 40; i < 120; i++ {
+		reps[0].Update(spec.Ins{V: fmt.Sprint(i)})
+		reps[1].Update(spec.Ins{V: fmt.Sprint(i + 1000)})
+		net.Quiesce()
+	}
+	reps[0].ForceCompact()
+	want := reps[0].StateKey()
+	// Restore the backup into a fresh replica — the restart-from-backup
+	// move — then pull from the donor that has since compacted.
+	restored := NewReplica(Config{
+		ID: 1, N: 2, ADT: spec.Set(),
+		Net: transport.NewSim(transport.SimOptions{N: 2, Seed: 1}),
+	})
+	if err := restored.Restore(stale); err != nil {
+		t.Fatal(err)
+	}
+	if restored.StateKey() == want {
+		t.Fatal("stale restore cannot already match the reference")
+	}
+	if _, err := reps[0].SyncReply(restored.Digest()); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("donor compacted past the backup: want ErrCompacted, got %v", err)
+	}
+	// The donor may have folded everything into its base, so the repair
+	// can arrive as the adopted base rather than as counted entries —
+	// state equality is the contract.
+	if _, err := restored.SyncFrom(reps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if restored.StateKey() != want {
+		t.Fatal("snapshot fallback did not reach the donor's state")
+	}
+}
+
+// TestSyncIsIdempotent: pulling twice from the same donor applies
+// nothing the second time and leaves the state key unchanged.
+func TestSyncIsIdempotent(t *testing.T) {
+	net := transport.NewSim(transport.SimOptions{N: 2, Seed: 9})
+	reps := Cluster(2, spec.Set(), net, ClusterOptions{})
+	net.Crash(1)
+	for i := 0; i < 500; i++ {
+		reps[0].Update(spec.Ins{V: fmt.Sprint(i)})
+	}
+	net.Quiesce()
+	net.Recover(1)
+	first, err := reps[1].SyncFrom(reps[0])
+	if err != nil || first == 0 {
+		t.Fatalf("first pull: applied=%d err=%v", first, err)
+	}
+	key := reps[1].StateKey()
+	second, err := reps[1].SyncFrom(reps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != 0 || reps[1].StateKey() != key {
+		t.Fatalf("second pull applied %d entries and %s the state",
+			second, map[bool]string{true: "kept", false: "changed"}[reps[1].StateKey() == key])
+	}
+}

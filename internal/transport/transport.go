@@ -29,6 +29,7 @@ package transport
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -108,14 +109,21 @@ type ResizableNetwork interface {
 
 // Stats counts network traffic. Broadcasts is the number of broadcast
 // invocations (the unit §VII-C's "a unique message is broadcast for
-// each update" refers to); Sends counts point-to-point transmissions;
-// Bytes counts payload bytes across all sends.
+// each update" refers to); Sends counts point-to-point transmissions
+// that reached a mailbox; Bytes counts payload bytes across all sends.
+// Message loss is attributed: DroppedCrash counts messages lost to
+// crashes (in-flight envelopes discarded when their receiver crashes,
+// sends suppressed while it stays down, and CrashPartialBroadcast's
+// discarded envelopes), DroppedLink counts losses injected by per-link
+// faults (SetLinkFault). Partitions drop nothing — cut messages stay
+// queued until Heal.
 type Stats struct {
-	Broadcasts uint64
-	Sends      uint64
-	Delivered  uint64
-	Dropped    uint64
-	Bytes      uint64
+	Broadcasts   uint64
+	Sends        uint64
+	Delivered    uint64
+	DroppedCrash uint64
+	DroppedLink  uint64
+	Bytes        uint64
 }
 
 // envelope is one in-flight point-to-point message. The payload slice
@@ -147,10 +155,30 @@ type SimOptions struct {
 	FIFO bool
 	// DuplicateProb re-enqueues a delivered message with this
 	// probability, modeling at-least-once channels. Incompatible with
-	// FIFO (a duplicate is inherently out of order). Algorithm 1
+	// FIFO (a duplicate is inherently out of order; per-link in-order
+	// duplication is available via SetLinkFault instead). Algorithm 1
 	// assumes exactly-once delivery; layer NewURB (which deduplicates)
 	// between a duplicating network and the replicas.
 	DuplicateProb float64
+}
+
+// LinkFault injects per-link message faults, beyond the adversary's
+// reordering: each message sent on the link is lost with probability
+// Drop (decided at send time, before the link sequence advances, so a
+// FIFO link never waits on a message that was never sent), and each
+// delivered message is re-enqueued once at the link tail with
+// probability Dup — an in-order duplicate carrying a fresh sequence
+// number, so FIFO delivery order is preserved while the receiver sees
+// the same frame again later, exercising the dedup layers above (URB's
+// seen-set, the core replica's duplicate-tolerant insert).
+//
+// Faults do NOT compose with stability GC: the horizon argument assumes
+// every sent message is delivered exactly once on its FIFO link. Run
+// fault schedules against GC-less replicas and repair the losses with
+// anti-entropy (core digest sync) instead.
+type LinkFault struct {
+	Drop float64
+	Dup  float64
 }
 
 // SimNetwork is the deterministic simulator. It is not safe for
@@ -189,7 +217,10 @@ type SimNetwork struct {
 	linkQ       []linkQueue
 	anyCrashed  bool
 	partitioned bool
-	stats       Stats
+	// faults, when non-nil, holds the per-link fault configuration
+	// indexed like linkSeq (from*N+to); see LinkFault.
+	faults []LinkFault
+	stats  Stats
 }
 
 // NewSim returns a deterministic network for opts.N processes.
@@ -283,7 +314,22 @@ func (n *SimNetwork) BroadcastShardEpoch(from, shard, epoch int, payload []byte)
 		if to == from {
 			continue
 		}
+		if n.crashed[to] {
+			// A crashed process has no mailbox: the message is lost, not
+			// queued for its return — rejoining with a complete log is
+			// the anti-entropy layer's job, not the transport's. Decided
+			// before the link sequence advances, so the link stays
+			// contiguous for a later Recover.
+			n.stats.DroppedCrash++
+			continue
+		}
 		link := n.link(from, to)
+		if n.faults != nil {
+			if f := n.faults[link]; f.Drop > 0 && n.rng.Float64() < f.Drop {
+				n.stats.DroppedLink++
+				continue
+			}
+		}
 		n.linkSeq[link]++
 		// The payload slice is shared, never copied per recipient.
 		e := envelope{
@@ -347,6 +393,23 @@ func (n *SimNetwork) Step() bool {
 		n.stats.Sends++
 		n.stats.Bytes += uint64(len(e.payload))
 	}
+	if n.faults != nil {
+		link := n.link(e.from, e.to)
+		if f := n.faults[link]; f.Dup > 0 && n.rng.Float64() < f.Dup {
+			// Re-enqueue at the link tail with a fresh sequence number:
+			// an in-order duplicate, sound even on FIFO links.
+			dup := e
+			dup.id = n.nextID
+			n.nextID++
+			if n.opts.FIFO {
+				n.linkSeq[link]++
+				dup.seq = n.linkSeq[link]
+			}
+			n.enqueue(dup)
+			n.stats.Sends++
+			n.stats.Bytes += uint64(len(e.payload))
+		}
+	}
 	n.stats.Delivered++
 	n.deliver(e.to, e.from, e.shard, e.epoch, e.payload)
 	return true
@@ -374,23 +437,123 @@ func (n *SimNetwork) Quiesce() {
 // blocked by partitions or addressed to crashed processes).
 func (n *SimNetwork) Pending() int { return len(n.pending) }
 
-// Crash halts a process: it never receives another message and its
-// future broadcasts are suppressed. Messages it already sent remain in
-// flight (they were handed to the network).
+// Crash halts a process: it stops receiving (its in-flight inbound
+// messages are dropped, and sends to it are suppressed while it stays
+// down) and its future broadcasts are suppressed. Messages it already
+// sent remain in flight (they were handed to the network). A crash is
+// not necessarily forever: Recover brings the process back with its
+// local state intact.
 func (n *SimNetwork) Crash(id int) {
+	if n.crashed[id] {
+		return
+	}
 	n.crashed[id] = true
 	n.anyCrashed = true
 	keep := n.pending[:0]
 	for _, e := range n.pending {
 		if e.to == id {
-			n.stats.Dropped++
+			n.stats.DroppedCrash++
 			continue
 		}
 		keep = append(keep, e)
 	}
 	clearTail(n.pending, len(keep))
 	n.pending = keep
+	if n.opts.FIFO {
+		// Everything ever sent to id is now delivered or dropped, and
+		// nothing new is queued while it is down; declaring the inbound
+		// links contiguous keeps them unjammed for a later Recover.
+		for from := 0; from < n.opts.N; from++ {
+			l := n.link(from, id)
+			n.nextSeq[l] = n.linkSeq[l]
+		}
+	}
 	n.rebuildIndex()
+}
+
+// Recover brings a crashed process back: it keeps its pre-crash local
+// state (the attached replica is untouched) and resumes sending and
+// receiving. Messages addressed to it while it was down are gone —
+// catching up on the missed suffix is the anti-entropy layer's job
+// (core digest sync), not the transport's. Recovering a process that
+// is not crashed is a no-op.
+func (n *SimNetwork) Recover(id int) {
+	if !n.crashed[id] {
+		return
+	}
+	n.crashed[id] = false
+	n.anyCrashed = false
+	for _, c := range n.crashed {
+		if c {
+			n.anyCrashed = true
+			break
+		}
+	}
+	if n.opts.FIFO {
+		n.repairLinks(id)
+	}
+	n.rebuildIndex()
+}
+
+// repairLinks renumbers the pending envelopes on every link touching id
+// so each link's sequence numbers are contiguous again: crashes drop
+// messages without delivering them (and CrashPartialBroadcast discards
+// a random subset of the crashed sender's in-flight messages), leaving
+// sequence holes that would jam FIFO eligibility forever after a
+// Recover. Relative order per link is preserved, so FIFO semantics
+// among the surviving messages are untouched.
+func (n *SimNetwork) repairLinks(id int) {
+	type slot struct {
+		idx int
+		seq uint64
+	}
+	perLink := map[int][]slot{}
+	for i := range n.pending {
+		e := &n.pending[i]
+		if e.from != id && e.to != id {
+			continue
+		}
+		l := n.link(e.from, e.to)
+		perLink[l] = append(perLink[l], slot{idx: i, seq: e.seq})
+	}
+	for peer := 0; peer < n.opts.N; peer++ {
+		for _, l := range []int{n.link(id, peer), n.link(peer, id)} {
+			slots := perLink[l]
+			sort.Slice(slots, func(a, b int) bool { return slots[a].seq < slots[b].seq })
+			seq := n.nextSeq[l]
+			for _, s := range slots {
+				seq++
+				n.pending[s.idx].seq = seq
+			}
+			n.linkSeq[l] = seq
+		}
+	}
+}
+
+// SetLinkFault configures fault injection on the directed link
+// from → to; see LinkFault. A zero LinkFault clears the link's faults.
+func (n *SimNetwork) SetLinkFault(from, to int, f LinkFault) {
+	if from < 0 || from >= n.opts.N || to < 0 || to >= n.opts.N || from == to {
+		panic("transport: SetLinkFault needs two distinct process ids in range")
+	}
+	if f.Drop < 0 || f.Drop >= 1 || f.Dup < 0 || f.Dup >= 1 {
+		panic("transport: LinkFault probabilities must be in [0, 1)")
+	}
+	if n.faults == nil {
+		n.faults = make([]LinkFault, n.opts.N*n.opts.N)
+	}
+	n.faults[n.link(from, to)] = f
+}
+
+// SetLinkFaultAll applies f to every cross-process link.
+func (n *SimNetwork) SetLinkFaultAll(f LinkFault) {
+	for from := 0; from < n.opts.N; from++ {
+		for to := 0; to < n.opts.N; to++ {
+			if from != to {
+				n.SetLinkFault(from, to, f)
+			}
+		}
+	}
 }
 
 // clearTail zeroes the slots past length so dropped payloads become
@@ -411,7 +574,7 @@ func (n *SimNetwork) CrashPartialBroadcast(id int, keepProb float64) {
 	keep := n.pending[:0]
 	for _, e := range n.pending {
 		if e.from == id && n.rng.Float64() >= keepProb {
-			n.stats.Dropped++
+			n.stats.DroppedCrash++
 			continue
 		}
 		keep = append(keep, e)
@@ -423,6 +586,15 @@ func (n *SimNetwork) CrashPartialBroadcast(id int, keepProb float64) {
 
 // Crashed reports whether id has crashed.
 func (n *SimNetwork) Crashed(id int) bool { return n.crashed[id] }
+
+// Reachable reports whether messages currently flow from a to b: both
+// alive, and not separated by a partition. The anti-entropy layer uses
+// it to keep digest exchanges honest — a recovering replica pulls only
+// from peers it could actually talk to, and cross-cut repair waits for
+// Heal.
+func (n *SimNetwork) Reachable(a, b int) bool {
+	return !n.crashed[a] && !n.crashed[b] && n.group[a] == n.group[b]
+}
 
 // Partition splits the processes into groups; messages only flow within
 // a group. Messages already in flight across the cut stay queued until
@@ -484,7 +656,11 @@ type LiveNetwork struct {
 	crashedProc []bool
 	mu          sync.Mutex
 	stats       Stats
-	closed      bool
+	// droppedCrash counts messages the dispatchers discarded because
+	// their process was crashed; atomic because dispatchers bump it
+	// outside mu.
+	droppedCrash atomic.Uint64
+	closed       bool
 }
 
 type liveNode struct {
@@ -500,9 +676,12 @@ type liveNode struct {
 	// takes effect mid-backlog without reintroducing a lock round-trip
 	// per envelope.
 	crashed atomic.Bool
-	closed  bool
-	busy    bool // dispatcher is executing a handler
-	done    chan struct{}
+	// drops points at the owning network's crash-drop counter; the
+	// dispatcher bumps it for every message it discards while crashed.
+	drops  *atomic.Uint64
+	closed bool
+	busy   bool // dispatcher is executing a handler
+	done   chan struct{}
 }
 
 // NewLive returns a live network for n processes with a single shard
@@ -521,15 +700,15 @@ func NewLiveSharded(n, shards int) *LiveNetwork {
 	for i := range nodes {
 		nodes[i] = make([]*liveNode, shards)
 		for s := range nodes[i] {
-			nodes[i][s] = newLiveNode()
+			nodes[i][s] = newLiveNode(&ln.droppedCrash)
 		}
 	}
 	ln.nodes.Store(&nodes)
 	return ln
 }
 
-func newLiveNode() *liveNode {
-	node := &liveNode{done: make(chan struct{})}
+func newLiveNode(drops *atomic.Uint64) *liveNode {
+	node := &liveNode{drops: drops, done: make(chan struct{})}
 	node.cond = sync.NewCond(&node.mu)
 	go node.run()
 	return node
@@ -557,7 +736,7 @@ func (ln *LiveNetwork) EnsureShards(shards int) {
 		row := make([]*liveNode, shards)
 		copy(row, old[i])
 		for s := ln.shards; s < shards; s++ {
-			node := newLiveNode()
+			node := newLiveNode(&ln.droppedCrash)
 			if rt := ln.routers[i]; rt != nil {
 				node.mu.Lock()
 				node.route = rt
@@ -611,6 +790,7 @@ func (nd *liveNode) run() {
 		if h != nil || rt != nil {
 			for i := range batch {
 				if nd.crashed.Load() {
+					nd.drops.Add(uint64(len(batch) - i))
 					break // a crash mid-batch drops the rest
 				}
 				if rt != nil {
@@ -710,6 +890,22 @@ func (ln *LiveNetwork) Crash(id int) {
 	}
 }
 
+// Recover brings a crashed process back on every shard channel,
+// including ones EnsureShards added while it was down. Messages the
+// dispatchers dropped during the crash are lost; anything still queued
+// at recovery time delivers normally (indistinguishable from in-flight
+// delay — the live transport's crash drop is inherently racy). State
+// repair is the anti-entropy layer's job, not the transport's.
+func (ln *LiveNetwork) Recover(id int) {
+	ln.mu.Lock()
+	ln.crashedProc[id] = false
+	nodes := *ln.nodes.Load()
+	ln.mu.Unlock()
+	for _, nd := range nodes[id] {
+		nd.crashed.Store(false)
+	}
+}
+
 // Close stops all dispatchers after draining their queues and waits for
 // them to exit.
 func (ln *LiveNetwork) Close() {
@@ -764,8 +960,10 @@ func (ln *LiveNetwork) Drain() {
 // Stats returns a copy of the traffic counters.
 func (ln *LiveNetwork) Stats() Stats {
 	ln.mu.Lock()
-	defer ln.mu.Unlock()
-	return ln.stats
+	s := ln.stats
+	ln.mu.Unlock()
+	s.DroppedCrash += ln.droppedCrash.Load()
+	return s
 }
 
 var (
@@ -776,6 +974,6 @@ var (
 
 // String renders traffic counters for experiment tables.
 func (s Stats) String() string {
-	return fmt.Sprintf("broadcasts=%d sends=%d delivered=%d dropped=%d bytes=%d",
-		s.Broadcasts, s.Sends, s.Delivered, s.Dropped, s.Bytes)
+	return fmt.Sprintf("broadcasts=%d sends=%d delivered=%d dropped_crash=%d dropped_link=%d bytes=%d",
+		s.Broadcasts, s.Sends, s.Delivered, s.DroppedCrash, s.DroppedLink, s.Bytes)
 }

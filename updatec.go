@@ -143,12 +143,14 @@ type Cluster[H any] struct {
 	memories []*core.Memory         // Algorithm 2 (nil otherwise)
 	rec      *history.Recorder
 	omega    func(p int)
-	crashed  map[int]bool
-	// mu guards the mutable control fields below — Resize and Close
-	// run concurrently with Shards() readers on a live cluster.
-	mu     sync.Mutex
-	shards int
-	closed bool
+	gc       bool
+	// mu guards the mutable control fields below — Crash/Recover,
+	// Resize and Close run concurrently with Shards()/Converged()
+	// readers on a live cluster.
+	mu      sync.Mutex
+	crashed map[int]bool
+	shards  int
+	closed  bool
 }
 
 // NetworkStats summarizes transport traffic.
@@ -158,6 +160,12 @@ type NetworkStats struct {
 	// Sends and Bytes count point-to-point transmissions and payload
 	// bytes.
 	Sends, Bytes uint64
+	// DroppedCrash and DroppedLink attribute message loss: envelopes
+	// lost to crashed receivers (in flight when the crash hit, or sent
+	// while the process stayed down) versus losses injected by per-link
+	// faults (FaultLink). Partitions drop nothing — cut messages stay
+	// queued until Heal.
+	DroppedCrash, DroppedLink uint64
 }
 
 // New builds n replicas of the object described by obj and returns the
@@ -204,7 +212,7 @@ func New[H any](n int, obj Object[H], opts ...Option) (*Cluster[H], []H, error) 
 	if cfg.gc && cfg.simulated && !cfg.fifo {
 		return nil, nil, fmt.Errorf("updatec: WithGC on a simulated network requires WithFIFO")
 	}
-	cl := &Cluster[H]{n: n, obj: obj, shards: cfg.shards}
+	cl := &Cluster[H]{n: n, obj: obj, shards: cfg.shards, gc: cfg.gc, crashed: map[int]bool{}}
 	var net transport.Network
 	if cfg.simulated {
 		cl.sim = transport.NewSim(transport.SimOptions{N: n, Seed: cfg.seed, FIFO: cfg.fifo})
@@ -430,20 +438,217 @@ func (c *Cluster[H]) Settle() {
 	c.live.Drain()
 }
 
-// Crash halts a replica: it stops receiving (on every shard) and its
-// broadcasts are suppressed. Survivors keep operating — wait-freedom.
-// Crashed replicas are excluded from Converged and from recorded ω
-// queries.
-func (c *Cluster[H]) Crash(p int) {
-	if c.crashed == nil {
-		c.crashed = map[int]bool{}
+// Crash halts a replica: it stops receiving (on every shard, with
+// messages addressed to it dropped while it is down) and its broadcasts
+// are suppressed. Survivors keep operating — wait-freedom. Crashed
+// replicas are excluded from Converged, from recorded ω queries, and
+// from anti-entropy rounds until they Recover. Crashing an id that is
+// out of range or already crashed is an error on both backends — the
+// sim and live transports used to diverge here (silent no-op versus
+// index panic), and Recover needs the crash set to be exact.
+func (c *Cluster[H]) Crash(p int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p < 0 || p >= c.n {
+		return fmt.Errorf("updatec: Crash(%d): replica id out of range [0,%d)", p, c.n)
+	}
+	if c.crashed[p] {
+		return fmt.Errorf("updatec: Crash(%d): replica is already crashed", p)
 	}
 	c.crashed[p] = true
 	if c.sim != nil {
 		c.sim.Crash(p)
-		return
+		return nil
 	}
 	c.live.Crash(p)
+	return nil
+}
+
+// Recover brings a crashed replica back. Its pre-crash local state is
+// intact — a crash stops the transport, not the replica — but every
+// message addressed to it while it was down is gone, so after resuming
+// delivery the replica runs anti-entropy: it pulls the missing log
+// suffix from each live, reachable peer (digest → encoded suffix →
+// dedup'd insert; peers across an open partition wait for Heal's
+// round), then every peer pulls from it, repairing updates the crashed
+// replica had broadcast but that were lost with its in-flight messages.
+// When a peer has compacted past what the recovering replica missed,
+// the pull falls back to snapshot transfer. Recovery composes with
+// Resize: a cluster resized while p was down resizes p's routing too
+// (crash suppresses delivery, not structure), so the rejoin syncs per
+// shard at the current count.
+func (c *Cluster[H]) Recover(p int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p < 0 || p >= c.n {
+		return fmt.Errorf("updatec: Recover(%d): replica id out of range [0,%d)", p, c.n)
+	}
+	if !c.crashed[p] {
+		return fmt.Errorf("updatec: Recover(%d): replica is not crashed", p)
+	}
+	if c.sim != nil {
+		c.sim.Recover(p)
+	} else {
+		c.live.Recover(p)
+	}
+	delete(c.crashed, p)
+	return c.syncHubLocked(p)
+}
+
+// Partition splits a simulated cluster's processes into groups;
+// messages flow only within a group, and messages already in flight
+// across the cut stay queued until Heal. Unmentioned processes form
+// group 0. Requires WithSeed — a live cluster's in-process mailboxes
+// cannot partition.
+func (c *Cluster[H]) Partition(groups ...[]int) error {
+	if c.sim == nil {
+		return fmt.Errorf("updatec: Partition requires WithSeed (simulated transport)")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, g := range groups {
+		for _, id := range g {
+			if id < 0 || id >= c.n {
+				return fmt.Errorf("updatec: Partition: replica id %d out of range [0,%d)", id, c.n)
+			}
+		}
+	}
+	c.sim.Partition(groups...)
+	return nil
+}
+
+// Heal removes all partitions and immediately runs one anti-entropy
+// round among the live replicas, so the sides exchange the update
+// suffixes they missed without waiting for the queued cross-cut
+// backlog to redeliver — the backlog then drains as counted duplicate
+// drops. This is the partitionable-systems demonstration: update
+// consistency survives the partition, and digest sync makes the repair
+// a single exchange instead of a replay.
+func (c *Cluster[H]) Heal() error {
+	if c.sim == nil {
+		return fmt.Errorf("updatec: Heal requires WithSeed (simulated transport)")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sim.Heal()
+	return c.syncAllLocked()
+}
+
+// Sync runs one full anti-entropy round among the live replicas: every
+// replica ends up holding the union of what the group held, without any
+// rebroadcast. Useful after fault injection (FaultLink) has dropped
+// messages the transport will never redeliver; Heal and Recover run it
+// automatically.
+func (c *Cluster[H]) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.syncAllLocked()
+}
+
+// syncAllLocked runs one gather/scatter anti-entropy round with the
+// lowest live id as the hub.
+func (c *Cluster[H]) syncAllLocked() error {
+	for p := 0; p < c.n; p++ {
+		if !c.crashed[p] {
+			return c.syncHubLocked(p)
+		}
+	}
+	return nil
+}
+
+// syncHubLocked runs a symmetric digest exchange between hub and every
+// live peer: the hub first pulls each peer's missing suffix — after
+// which it holds the union of everything the live group has — then
+// every peer pulls from the hub. 2(n-1) pulls, no broadcast traffic.
+func (c *Cluster[H]) syncHubLocked(hub int) error {
+	for pass := 0; pass < 2; pass++ {
+		for q := 0; q < c.n; q++ {
+			if q == hub || c.crashed[q] {
+				continue
+			}
+			if c.sim != nil && !c.sim.Reachable(hub, q) {
+				// Digest exchange is honest about partitions: a replica
+				// syncs only with peers it could actually talk to.
+				// Cross-cut repair happens in Heal's round.
+				continue
+			}
+			dst, src := hub, q
+			if pass == 1 {
+				dst, src = q, hub
+			}
+			if err := c.syncPair(dst, src); err != nil {
+				return fmt.Errorf("updatec: anti-entropy pull %d<-%d: %w", dst, src, err)
+			}
+		}
+	}
+	return nil
+}
+
+// syncPair runs one anti-entropy pull dst<-src.
+func (c *Cluster[H]) syncPair(dst, src int) error {
+	if c.memories != nil {
+		c.memories[dst].SyncFrom(c.memories[src])
+		return nil
+	}
+	_, err := c.replicas[dst].SyncFrom(c.replicas[src])
+	return err
+}
+
+// FaultLink injects message faults on the directed link from→to of a
+// simulated cluster: each sent message is lost with probability drop,
+// and each delivered message is re-delivered once more, in order, with
+// probability dup. Dropped messages are gone for good — the simulator
+// has no retransmission — so convergence then needs an anti-entropy
+// round (Sync, or the automatic one in Heal/Recover); duplicates are
+// absorbed by the replica's dedup'd insert and show up in RepairStats.
+// Zero probabilities clear the link's faults. Requires WithSeed, and
+// refuses WithGC clusters: stability-based compaction assumes
+// exactly-once FIFO delivery, which injected faults break.
+func (c *Cluster[H]) FaultLink(from, to int, drop, dup float64) error {
+	if c.sim == nil {
+		return fmt.Errorf("updatec: FaultLink requires WithSeed (simulated transport)")
+	}
+	if c.gc {
+		return fmt.Errorf("updatec: FaultLink on a WithGC cluster would break stability-based compaction")
+	}
+	if from < 0 || from >= c.n || to < 0 || to >= c.n || from == to {
+		return fmt.Errorf("updatec: FaultLink(%d, %d): need two distinct replica ids in [0,%d)", from, to, c.n)
+	}
+	if drop < 0 || drop >= 1 || dup < 0 || dup >= 1 {
+		return fmt.Errorf("updatec: FaultLink probabilities must be in [0, 1), got drop=%v dup=%v", drop, dup)
+	}
+	c.sim.SetLinkFault(from, to, transport.LinkFault{Drop: drop, Dup: dup})
+	return nil
+}
+
+// FaultAll applies FaultLink to every cross-replica link.
+func (c *Cluster[H]) FaultAll(drop, dup float64) error {
+	for from := 0; from < c.n; from++ {
+		for to := 0; to < c.n; to++ {
+			if from == to {
+				continue
+			}
+			if err := c.FaultLink(from, to, drop, dup); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RepairStats sums the repair counters over every replica and shard:
+// entries landed by anti-entropy (sync rounds and snapshot fallbacks)
+// and exact-duplicate arrivals the log dropped (post-heal redelivery of
+// already-synced entries, injected duplication). Zero for MemoryObject
+// clusters — Algorithm 2's cells merge idempotently, so there is
+// nothing to count.
+func (c *Cluster[H]) RepairStats() (syncApplied, dupDropped uint64) {
+	for _, r := range c.replicas {
+		st := r.Stats()
+		syncApplied += st.SyncApplied
+		dupDropped += st.DupDropped
+	}
+	return syncApplied, dupDropped
 }
 
 // Close releases transport resources (a no-op for simulated clusters).
@@ -468,13 +673,17 @@ func (c *Cluster[H]) Stats() NetworkStats {
 	} else {
 		s = c.live.Stats()
 	}
-	return NetworkStats{Broadcasts: s.Broadcasts, Sends: s.Sends, Bytes: s.Bytes}
+	return NetworkStats{
+		Broadcasts: s.Broadcasts, Sends: s.Sends, Bytes: s.Bytes,
+		DroppedCrash: s.DroppedCrash, DroppedLink: s.DroppedLink,
+	}
 }
 
 // Converged reports whether all surviving (non-crashed) replicas
 // currently have identical states (call Settle first for a meaningful
 // answer). On a sharded cluster the comparison covers every shard.
 func (c *Cluster[H]) Converged() bool {
+	crashed := c.crashedSet()
 	key := func(p int) string {
 		if c.memories != nil {
 			return c.memories[p].StateKey()
@@ -483,7 +692,7 @@ func (c *Cluster[H]) Converged() bool {
 	}
 	want, first := "", true
 	for p := 0; p < c.n; p++ {
-		if c.crashed[p] {
+		if crashed[p] {
 			continue
 		}
 		if first {
@@ -535,12 +744,24 @@ func (c *Cluster[H]) recorded() (*history.History, error) {
 	}
 	c.Settle()
 	if c.omega != nil {
+		crashed := c.crashedSet()
 		for p := 0; p < c.n; p++ {
-			if !c.crashed[p] {
+			if !crashed[p] {
 				c.omega(p)
 			}
 		}
 		c.omega = nil // record ω queries only once
 	}
 	return c.rec.History()
+}
+
+// crashedSet snapshots the crashed ids under the control mutex.
+func (c *Cluster[H]) crashedSet() map[int]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]bool, len(c.crashed))
+	for p := range c.crashed {
+		out[p] = true
+	}
+	return out
 }

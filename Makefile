@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt verify examples bench bench-quick bench-json bench-shards bench-read bench-resize bench-recovery test-resize test-chaos
+.PHONY: build test vet fmt verify examples bench bench-quick bench-json bench-shards bench-read bench-resize bench-recovery bench-scenario test-resize test-chaos test-parallel-sim
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,19 @@ bench-resize:
 bench-recovery:
 	$(GO) run ./cmd/ucbench -exp recovery
 
+# bench-scenario prints the E19 table: scenario generator at scale,
+# parallel adversary steps/sec vs worker count (critical-path basis).
+bench-scenario:
+	$(GO) run ./cmd/ucbench -exp scenario
+
+# test-parallel-sim runs the parallel-adversary suite under the race
+# detector: the transport's sharded stepper vs the sequential one, the
+# every-object-kind property test at 2/4/8 workers, the public-API
+# determinism regression (plain/sharded/mid-resize clusters), and the
+# scenario DSL edge cases — all schedule-reproducibility gates.
+test-parallel-sim:
+	$(GO) test -race -run 'Parallel|Workers|Scenario|Scale' ./internal/transport/ ./internal/core/ ./internal/sim/ ./internal/chaos/ .
+
 # test-resize runs the resharding test suite (core protocol + public
 # API) under the race detector; CI's race job covers the same tests.
 test-resize:
@@ -67,10 +80,10 @@ test-chaos:
 	$(GO) test -race -run 'Sync|Recover|Crash|PartitionHeal|Heal|Fault|URB' ./internal/core/ ./internal/transport/ .
 
 # bench-json refreshes the recorded perf trajectory (hot paths, shard
-# scaling, read caches, adversary step, live resharding, recovery).
-# Set LABEL to this PR's entry; the matching entry in the trajectory's
-# runs array is replaced, the rest are preserved and kept sorted by
-# label.
+# scaling, read caches, adversary step, live resharding, recovery,
+# scenario scaling). Set LABEL to this PR's entry; the matching entry
+# in the trajectory's runs array is replaced, the rest are preserved
+# and kept sorted by label.
 LABEL ?= dev
 bench-json:
-	$(GO) run ./cmd/ucbench -exp hotpath,shards,readmostly,stepbacklog,resize,recovery -json BENCH_ucbench.json -label $(LABEL)
+	$(GO) run ./cmd/ucbench -exp hotpath,shards,readmostly,stepbacklog,resize,recovery,scenario -json BENCH_ucbench.json -label $(LABEL)

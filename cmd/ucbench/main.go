@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath|shards|readmostly|stepbacklog|resize|recovery]
+//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath|shards|readmostly|stepbacklog|resize|recovery|scenario]
 //	        [-quick] [-runs n] [-shards list] [-json path] [-label name]
 //
 // -exp accepts a comma-separated list (e.g. -exp hotpath,shards) so one
@@ -42,27 +42,28 @@ import (
 // report is one labeled entry of the trajectory file: the
 // machine-readable results of every experiment the invocation ran.
 type report struct {
-	Label       string                   `json:"label,omitempty"`
-	Experiment  string                   `json:"experiment"`
-	Quick       bool                     `json:"quick"`
-	GoVersion   string                   `json:"go_version"`
-	Figures     *bench.FiguresResult     `json:"figures,omitempty"`
-	Prop1       *bench.Prop1Result       `json:"prop1,omitempty"`
-	Prop2       *bench.Prop2Result       `json:"prop2,omitempty"`
-	Prop3       *bench.Prop3Result       `json:"prop3,omitempty"`
-	Prop4       *bench.Prop4Result       `json:"prop4,omitempty"`
-	Sets        []bench.SetsResult       `json:"sets,omitempty"`
-	Complexity  *bench.ComplexityResult  `json:"complexity,omitempty"`
-	Memory      *bench.MemoryResult      `json:"memory,omitempty"`
-	Partition   *bench.PartitionResult   `json:"partition,omitempty"`
-	Latency     *bench.LatencyResult     `json:"latency,omitempty"`
-	Join        *bench.JoinResult        `json:"join,omitempty"`
-	HotPath     *bench.PerfResult        `json:"hotpath,omitempty"`
-	Shards      *bench.ShardResult       `json:"shards,omitempty"`
-	ReadMostly  *bench.ReadMostlyResult  `json:"readmostly,omitempty"`
-	StepBacklog *bench.StepBacklogResult `json:"stepbacklog,omitempty"`
-	Reshard     *bench.ReshardResult     `json:"reshard,omitempty"`
-	Recovery    *bench.RecoveryResult    `json:"recovery,omitempty"`
+	Label       string                     `json:"label,omitempty"`
+	Experiment  string                     `json:"experiment"`
+	Quick       bool                       `json:"quick"`
+	GoVersion   string                     `json:"go_version"`
+	Figures     *bench.FiguresResult       `json:"figures,omitempty"`
+	Prop1       *bench.Prop1Result         `json:"prop1,omitempty"`
+	Prop2       *bench.Prop2Result         `json:"prop2,omitempty"`
+	Prop3       *bench.Prop3Result         `json:"prop3,omitempty"`
+	Prop4       *bench.Prop4Result         `json:"prop4,omitempty"`
+	Sets        []bench.SetsResult         `json:"sets,omitempty"`
+	Complexity  *bench.ComplexityResult    `json:"complexity,omitempty"`
+	Memory      *bench.MemoryResult        `json:"memory,omitempty"`
+	Partition   *bench.PartitionResult     `json:"partition,omitempty"`
+	Latency     *bench.LatencyResult       `json:"latency,omitempty"`
+	Join        *bench.JoinResult          `json:"join,omitempty"`
+	HotPath     *bench.PerfResult          `json:"hotpath,omitempty"`
+	Shards      *bench.ShardResult         `json:"shards,omitempty"`
+	ReadMostly  *bench.ReadMostlyResult    `json:"readmostly,omitempty"`
+	StepBacklog *bench.StepBacklogResult   `json:"stepbacklog,omitempty"`
+	Reshard     *bench.ReshardResult       `json:"reshard,omitempty"`
+	Recovery    *bench.RecoveryResult      `json:"recovery,omitempty"`
+	Scenario    *bench.ScenarioScaleResult `json:"scenario,omitempty"`
 }
 
 // trajectory is the BENCH_ucbench.json shape: one entry per recorded
@@ -179,7 +180,7 @@ func parseShardCounts(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath, shards, readmostly, stepbacklog, resize, recovery")
+	exp := flag.String("exp", "all", "comma-separated experiments: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath, shards, readmostly, stepbacklog, resize, recovery, scenario")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	runs := flag.Int("runs", 400, "randomized-history runs for prop2/prop3")
 	shardsFlag := flag.String("shards", "1,2,4,8", "shard counts for the E14 shard-scaling experiment")
@@ -226,6 +227,8 @@ func main() {
 			rep.Reshard = &reshard
 			recovery := bench.Recovery(w, *quick)
 			rep.Recovery = &recovery
+			scenario := bench.ScenarioScale(w, *quick)
+			rep.Scenario = &scenario
 		case "fig1", "fig2":
 			if rep.Figures == nil {
 				res := bench.Figures(w)
@@ -325,6 +328,11 @@ func main() {
 			if rep.Reshard == nil {
 				res := bench.Reshard(w, *quick)
 				rep.Reshard = &res
+			}
+		case "scenario":
+			if rep.Scenario == nil {
+				res := bench.ScenarioScale(w, *quick)
+				rep.Scenario = &res
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "ucbench: unknown experiment %q\n", name)

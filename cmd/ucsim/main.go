@@ -20,6 +20,17 @@
 //	      [-resize s'] [-recover]
 //	ucsim -chaos 12 [-obj set] [-n 4] [-ops 400] [-seed 1] [-shards s]
 //	      [-resize s'] [-classify]
+//	ucsim -scenario churn|flash|zipf-hot|regions|skew|mixed [-obj set] [-n 8]
+//	      [-ops 400] [-seed 1] [-shards s] [-workers w] [-classify]
+//
+// -scenario name compiles a declarative scenario (internal/sim DSL) —
+// churn (join/retire waves), flash crowds, zipf-skewed key popularity,
+// regional partitions with partial heals, clock-skewed sessions, or all
+// of them at once (mixed) — into a deterministic fault/workload
+// timeline and replays it against a real cluster. -workers w runs the
+// delivery adversary sharded across w workers; the same (seed, workers)
+// pair reproduces the identical schedule, and the schedule fingerprint
+// is printed so reruns can be compared.
 //
 // -resize s' (generic object mode, partitionable objects) resizes the
 // cluster live to s' shards halfway through the workload, with the
@@ -64,8 +75,27 @@ func main() {
 	fig2 := flag.Bool("fig2", false, "run the Figure 2 workload under a full partition")
 	recoverFlag := flag.Bool("recover", false, "with -crash p: recover the crashed replica at the 3/4 mark (anti-entropy rejoin)")
 	chaosEvents := flag.Int("chaos", 0, "run a seeded chaos schedule with this many fault events")
+	scenario := flag.String("scenario", "", "run a generated scenario preset: "+presetList())
+	workers := flag.Int("workers", 1, "shard the delivery adversary across this many deterministic workers")
 	flag.Parse()
 
+	if *scenario != "" {
+		implSet := false
+		flag.Visit(func(f *flag.Flag) { implSet = implSet || f.Name == "impl" })
+		if implSet || *fig2 || *crash >= 0 || *recoverFlag || *chaosEvents > 0 || *resize != 0 {
+			fmt.Fprintf(os.Stderr, "ucsim: -scenario schedules its own faults and workload; it cannot be combined with -impl, -fig2, -crash, -recover, -chaos or -resize\n")
+			os.Exit(2)
+		}
+		object := *obj
+		if object == "" {
+			object = "set"
+		}
+		if err := runScenario(*scenario, object, *n, *shards, *workers, *ops, *seed, *fifo, *classify); err != nil {
+			fmt.Fprintf(os.Stderr, "ucsim: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 	if *chaosEvents > 0 {
 		implSet := false
 		flag.Visit(func(f *flag.Flag) { implSet = implSet || f.Name == "impl" })
@@ -98,7 +128,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ucsim: -obj cannot be combined with -impl or -fig2 (they select the set comparison harness)\n")
 			os.Exit(2)
 		}
-		if err := runObject(*obj, *n, *shards, *resize, *ops, *seed, *crash, *fifo, *classify, *recoverFlag); err != nil {
+		if err := runObject(*obj, *n, *shards, *resize, *workers, *ops, *seed, *crash, *fifo, *classify, *recoverFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "ucsim: %v\n", err)
 			os.Exit(2)
 		}
@@ -160,12 +190,12 @@ func main() {
 // Each object kind supplies a mutator that issues one random update on
 // a handle; the scenario loop (crash injection, adversarial partial
 // deliveries, settle, convergence report) is shared.
-func runObject(name string, n, shards, resize int, ops int, seed int64, crash int, fifo, classify, recoverCrashed bool) error {
+func runObject(name string, n, shards, resize, workers int, ops int, seed int64, crash int, fifo, classify, recoverCrashed bool) error {
 	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
 	pick := func(rng *rand.Rand) string { return keys[rng.Intn(len(keys))] }
 	switch name {
 	case "set":
-		return runGeneric(updatec.SetObject(), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
+		return runGeneric(updatec.SetObject(), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.Set, rng *rand.Rand) {
 				if rng.Intn(3) == 0 {
 					h.Delete(pick(rng))
@@ -174,16 +204,16 @@ func runObject(name string, n, shards, resize int, ops int, seed int64, crash in
 				}
 			})
 	case "counter":
-		return runGeneric(updatec.CounterObject(), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
+		return runGeneric(updatec.CounterObject(), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.Counter, rng *rand.Rand) { h.Add(int64(rng.Intn(9) - 4)) })
 	case "register":
-		return runGeneric(updatec.RegisterObject(""), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
+		return runGeneric(updatec.RegisterObject(""), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.Register, rng *rand.Rand) { h.Write(pick(rng)) })
 	case "log":
-		return runGeneric(updatec.TextLogObject(), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
+		return runGeneric(updatec.TextLogObject(), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.TextLog, rng *rand.Rand) { h.Append(pick(rng)) })
 	case "sequence":
-		return runGeneric(updatec.SequenceObject(), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
+		return runGeneric(updatec.SequenceObject(), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.Sequence, rng *rand.Rand) {
 				if rng.Intn(4) == 0 {
 					h.DeleteAt(rng.Intn(4))
@@ -192,7 +222,7 @@ func runObject(name string, n, shards, resize int, ops int, seed int64, crash in
 				}
 			})
 	case "graph":
-		return runGeneric(updatec.GraphObject(), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
+		return runGeneric(updatec.GraphObject(), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.Graph, rng *rand.Rand) {
 				switch rng.Intn(4) {
 				case 0:
@@ -204,21 +234,24 @@ func runObject(name string, n, shards, resize int, ops int, seed int64, crash in
 				}
 			})
 	case "kv":
-		return runGeneric(updatec.KVObject(), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
+		return runGeneric(updatec.KVObject(), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.KV, rng *rand.Rand) { h.Put(pick(rng), pick(rng)) })
 	case "memory":
-		return runGeneric(updatec.MemoryObject(""), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
+		return runGeneric(updatec.MemoryObject(""), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.Memory, rng *rand.Rand) { h.Write(pick(rng), pick(rng)) })
 	case "countermap":
-		return runGeneric(updatec.CounterMapObject(), n, shards, resize, ops, seed, crash, fifo, classify, recoverCrashed,
+		return runGeneric(updatec.CounterMapObject(), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
 			func(h *updatec.CounterMap, rng *rand.Rand) { h.Add(pick(rng), int64(rng.Intn(5)+1)) })
 	default:
 		return fmt.Errorf("unknown object %q (known: set, counter, register, log, sequence, graph, kv, memory, countermap)", name)
 	}
 }
 
-func runGeneric[H any](obj updatec.Object[H], n, shards, resize int, ops int, seed int64, crash int, fifo, classify, recoverCrashed bool, mutate func(H, *rand.Rand)) error {
+func runGeneric[H any](obj updatec.Object[H], n, shards, resize, workers int, ops int, seed int64, crash int, fifo, classify, recoverCrashed bool, mutate func(H, *rand.Rand)) error {
 	opts := []updatec.Option{updatec.WithSeed(seed)}
+	if workers > 1 {
+		opts = append(opts, updatec.WithWorkers(workers))
+	}
 	if fifo {
 		opts = append(opts, updatec.WithFIFO())
 	}
@@ -327,6 +360,56 @@ func runChaos(object string, n, shards, resize, ops int, seed int64, events int,
 		os.Exit(1)
 	}
 	return nil
+}
+
+// runScenario compiles a scenario preset into its deterministic
+// timeline, replays it against a real cluster via the chaos executor,
+// and reports the event trace, fault/repair counters, the schedule
+// fingerprint and convergence.
+func runScenario(preset, object string, n, shards, workers, ops int, seed int64, fifo, classify bool) error {
+	spec, ok := sim.Presets()[preset]
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (known: %s)", preset, presetList())
+	}
+	spec.N, spec.Ops, spec.Seed, spec.FIFO = n, ops, seed, fifo
+	res, err := chaos.RunScenario(chaos.ScenarioConfig{
+		Object: object, Shards: shards, Workers: workers, Record: classify, Spec: spec,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario: %s   object=%s n=%d ops=%d seed=%d shards=%d workers=%d\n",
+		preset, object, n, ops, seed, shards, workers)
+	for _, line := range res.Trace {
+		fmt.Printf("  %s\n", line)
+	}
+	fmt.Printf("issued: %d updates   events: %d retires, %d rejoins, %d partitions, %d partial heals, %d heals, %d fault windows\n",
+		res.Issued, res.Retires, res.Rejoins, res.Partitions, res.PartialHeals, res.Heals, res.FaultWindows)
+	fmt.Printf("loss: %d dropped to crashed replicas, %d dropped/duplicated on faulty links\n",
+		res.DroppedCrash, res.DroppedLink)
+	fmt.Printf("repair: %d entries landed by anti-entropy, %d duplicate arrivals absorbed\n",
+		res.SyncApplied, res.DupDropped)
+	fmt.Printf("schedule fingerprint: %016x (same seed+workers reproduces it)\n", res.Fingerprint)
+	if res.Classification != nil {
+		c := res.Classification
+		fmt.Printf("classification: EC=%v SEC=%v UC=%v SUC=%v PC=%v\n",
+			c.EventuallyConsistent, c.StrongEventuallyConsistent,
+			c.UpdateConsistent, c.StrongUpdateConsistent, c.PipelinedConsistent)
+	}
+	fmt.Printf("converged: %v\n", res.Converged)
+	if !res.Converged {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func presetList() string {
+	names := make([]string, 0)
+	for name := range sim.Presets() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
 }
 
 func kindList() string {

@@ -53,6 +53,13 @@ type Config struct {
 	// the schedule midpoint — recovery and repair must compose with
 	// epoch-tagged routing.
 	Resize int
+	// Workers, when above 1, runs the cluster on the parallel sharded
+	// adversary (updatec.WithWorkers): deliveries happen in
+	// deterministic parallel rounds instead of one message at a time.
+	// The schedule is then defined by (Seed, Workers) — still
+	// bit-for-bit reproducible, but a different (equally valid)
+	// adversary than the sequential one.
+	Workers int
 	// Record records the run's history and classifies it under the
 	// paper's criteria. Keep Ops small (the deciders solve NP-complete
 	// problems).
@@ -101,14 +108,17 @@ type control interface {
 	Stats() updatec.NetworkStats
 	RepairStats() (uint64, uint64)
 	Classify() (updatec.Classification, error)
+	ScheduleFingerprint() uint64
 	Close()
 }
 
 // harness pairs the type-erased cluster control with a mutator that
-// issues one random update on a given replica's typed handle.
+// issues one update on a given replica's typed handle, keyed by the
+// schedule's chosen key (so workload generators control key
+// popularity); any secondary randomness comes from the rng.
 type harness struct {
 	ctl    control
-	update func(p int, rng *rand.Rand)
+	update func(p int, key string, rng *rand.Rand)
 }
 
 var chaosKeys = []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"}
@@ -119,65 +129,68 @@ func pickKey(rng *rand.Rand) string { return chaosKeys[rng.Intn(len(chaosKeys))]
 func build(cfg Config) (*harness, error) {
 	switch cfg.Object {
 	case "set":
-		return buildObj(cfg, updatec.SetObject(), func(h *updatec.Set, rng *rand.Rand) {
+		return buildObj(cfg, updatec.SetObject(), func(h *updatec.Set, key string, rng *rand.Rand) {
 			if rng.Intn(3) == 0 {
-				h.Delete(pickKey(rng))
+				h.Delete(key)
 			} else {
-				h.Insert(pickKey(rng))
+				h.Insert(key)
 			}
 		})
 	case "counter":
-		return buildObj(cfg, updatec.CounterObject(), func(h *updatec.Counter, rng *rand.Rand) {
+		return buildObj(cfg, updatec.CounterObject(), func(h *updatec.Counter, _ string, rng *rand.Rand) {
 			h.Add(int64(rng.Intn(9) - 4))
 		})
 	case "register":
-		return buildObj(cfg, updatec.RegisterObject(""), func(h *updatec.Register, rng *rand.Rand) {
-			h.Write(pickKey(rng))
+		return buildObj(cfg, updatec.RegisterObject(""), func(h *updatec.Register, key string, _ *rand.Rand) {
+			h.Write(key)
 		})
 	case "log":
-		return buildObj(cfg, updatec.TextLogObject(), func(h *updatec.TextLog, rng *rand.Rand) {
-			h.Append(pickKey(rng))
+		return buildObj(cfg, updatec.TextLogObject(), func(h *updatec.TextLog, key string, _ *rand.Rand) {
+			h.Append(key)
 		})
 	case "sequence":
-		return buildObj(cfg, updatec.SequenceObject(), func(h *updatec.Sequence, rng *rand.Rand) {
+		return buildObj(cfg, updatec.SequenceObject(), func(h *updatec.Sequence, key string, rng *rand.Rand) {
 			if rng.Intn(4) == 0 {
 				h.DeleteAt(rng.Intn(4))
 			} else {
-				h.InsertAt(rng.Intn(4), pickKey(rng))
+				h.InsertAt(rng.Intn(4), key)
 			}
 		})
 	case "graph":
-		return buildObj(cfg, updatec.GraphObject(), func(h *updatec.Graph, rng *rand.Rand) {
+		return buildObj(cfg, updatec.GraphObject(), func(h *updatec.Graph, key string, rng *rand.Rand) {
 			switch rng.Intn(4) {
 			case 0:
-				h.AddEdge(pickKey(rng), pickKey(rng))
+				h.AddEdge(key, pickKey(rng))
 			case 1:
-				h.RemoveVertex(pickKey(rng))
+				h.RemoveVertex(key)
 			default:
-				h.AddVertex(pickKey(rng))
+				h.AddVertex(key)
 			}
 		})
 	case "kv":
-		return buildObj(cfg, updatec.KVObject(), func(h *updatec.KV, rng *rand.Rand) {
-			h.Put(pickKey(rng), pickKey(rng))
+		return buildObj(cfg, updatec.KVObject(), func(h *updatec.KV, key string, rng *rand.Rand) {
+			h.Put(key, pickKey(rng))
 		})
 	case "memory":
-		return buildObj(cfg, updatec.MemoryObject(""), func(h *updatec.Memory, rng *rand.Rand) {
-			h.Write(pickKey(rng), pickKey(rng))
+		return buildObj(cfg, updatec.MemoryObject(""), func(h *updatec.Memory, key string, rng *rand.Rand) {
+			h.Write(key, pickKey(rng))
 		})
 	case "countermap":
-		return buildObj(cfg, updatec.CounterMapObject(), func(h *updatec.CounterMap, rng *rand.Rand) {
-			h.Add(pickKey(rng), int64(rng.Intn(5)+1))
+		return buildObj(cfg, updatec.CounterMapObject(), func(h *updatec.CounterMap, key string, rng *rand.Rand) {
+			h.Add(key, int64(rng.Intn(5)+1))
 		})
 	default:
 		return nil, fmt.Errorf("chaos: unknown object %q (known: set, counter, register, log, sequence, graph, kv, memory, countermap)", cfg.Object)
 	}
 }
 
-func buildObj[H any](cfg Config, obj updatec.Object[H], mutate func(H, *rand.Rand)) (*harness, error) {
+func buildObj[H any](cfg Config, obj updatec.Object[H], mutate func(H, string, *rand.Rand)) (*harness, error) {
 	opts := []updatec.Option{updatec.WithSeed(cfg.Seed)}
 	if cfg.Shards > 1 {
 		opts = append(opts, updatec.WithShards(cfg.Shards))
+	}
+	if cfg.Workers > 1 {
+		opts = append(opts, updatec.WithWorkers(cfg.Workers))
 	}
 	if cfg.Record {
 		opts = append(opts, updatec.WithRecording())
@@ -188,8 +201,44 @@ func buildObj[H any](cfg Config, obj updatec.Object[H], mutate func(H, *rand.Ran
 	}
 	return &harness{
 		ctl:    cluster,
-		update: func(p int, rng *rand.Rand) { mutate(handles[p], rng) },
+		update: func(p int, key string, rng *rand.Rand) { mutate(handles[p], key, rng) },
 	}, nil
+}
+
+// finalRepair is the harness's repair protocol, shared by the chaos
+// schedule and the scenario executor: close any open fault window (so
+// the remaining backlog drains losslessly), heal the partition
+// (automatic digest exchange), bring every crashed replica back in id
+// order (each rejoins and pulls what it missed), settle the transport,
+// then one last all-replica sync round to repair anything the fault
+// window dropped after the last exchange. Returns the replicas it
+// recovered.
+func finalRepair(ctl control, crashed map[int]bool, partitioned, faulted bool) ([]int, error) {
+	if faulted {
+		if err := ctl.FaultAll(0, 0); err != nil {
+			return nil, err
+		}
+	}
+	if partitioned {
+		if err := ctl.Heal(); err != nil {
+			return nil, err
+		}
+	}
+	var down []int
+	for p := range crashed {
+		down = append(down, p)
+	}
+	sort.Ints(down)
+	for _, p := range down {
+		if err := ctl.Recover(p); err != nil {
+			return down, err
+		}
+	}
+	ctl.Settle()
+	if err := ctl.Sync(); err != nil {
+		return down, err
+	}
+	return down, nil
 }
 
 // Run executes one schedule. The returned error reports harness-level
@@ -348,7 +397,7 @@ func Run(cfg Config) (Result, error) {
 		p := workRng.Intn(cfg.N)
 		mutRng := rand.New(rand.NewSource(cfg.Seed ^ int64(i)<<20 ^ int64(p)))
 		if !crashed[p] {
-			h.update(p, mutRng)
+			h.update(p, pickKey(mutRng), mutRng)
 			res.Issued++
 		}
 		for d := workRng.Intn(4); d > 0; d-- {
@@ -358,34 +407,8 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
-	// Final repair: close the fault window (so the remaining backlog
-	// drains losslessly), heal the partition (automatic digest
-	// exchange), bring every crashed replica back (each rejoins and
-	// pulls what it missed), settle the transport, then one last
-	// all-replica sync round to repair anything the fault window
-	// dropped after the last exchange.
-	if faulted {
-		if err := h.ctl.FaultAll(0, 0); err != nil {
-			return res, err
-		}
-	}
-	if partitioned {
-		if err := h.ctl.Heal(); err != nil {
-			return res, err
-		}
-	}
-	var down []int
-	for p := range crashed {
-		down = append(down, p)
-	}
-	sort.Ints(down)
-	for _, p := range down {
-		if err := h.ctl.Recover(p); err != nil {
-			return res, err
-		}
-	}
-	h.ctl.Settle()
-	if err := h.ctl.Sync(); err != nil {
+	down, err := finalRepair(h.ctl, crashed, partitioned, faulted)
+	if err != nil {
 		return res, err
 	}
 	res.Trace = append(res.Trace, fmt.Sprintf("repair: heal + recover %v + settle + sync round", down))

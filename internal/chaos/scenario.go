@@ -1,0 +1,174 @@
+package chaos
+
+// The correctness backend of the scenario DSL (internal/sim): execute
+// a compiled scenario timeline — churn, flash crowds, zipf-hot keys,
+// regional partitions with partial heals, clock-skewed sessions,
+// fault windows — against a real replicated-object cluster built
+// through the public updatec API, then run the chaos harness's final
+// repair and report convergence. The run is deterministic in
+// (ScenarioConfig): the compiled timeline fixes the workload and fault
+// schedule, the cluster seed (with the worker count) fixes the
+// adversary's delivery schedule.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"updatec"
+	"updatec/internal/sim"
+)
+
+// ScenarioConfig names the object under test and the scenario to run
+// it through.
+type ScenarioConfig struct {
+	// Object is the replicated data type, as in chaos.Config.
+	Object string
+	// Shards runs partitionable objects key-sharded; Workers > 1 runs
+	// the parallel sharded adversary (updatec.WithWorkers).
+	Shards, Workers int
+	// Record records and classifies the run (keep Spec.Ops small).
+	Record bool
+	// Spec is the scenario; its N/Ops/Seed/sub-specs drive everything.
+	Spec sim.ScenarioSpec
+}
+
+// ScenarioResult reports one scenario run.
+type ScenarioResult struct {
+	// Converged is the acceptance bar: all replicas agree after final
+	// repair.
+	Converged bool
+	// Issued counts updates actually issued (slots whose issuer was
+	// retired issue nothing — during a zero-replica churn window, no
+	// one does).
+	Issued int
+	// Event counts, as executed.
+	Retires, Rejoins, Partitions, PartialHeals, Heals, FaultWindows int
+	// Repair and loss attribution, as in chaos.Result.
+	SyncApplied, DupDropped   uint64
+	DroppedCrash, DroppedLink uint64
+	// Fingerprint pins the adversary's delivery schedule — equal
+	// configs must reproduce it bit for bit.
+	Fingerprint uint64
+	// Classification is set when Record was on.
+	Classification *updatec.Classification
+	// Trace is the executed event narrative.
+	Trace []string
+}
+
+// keyName maps a timeline key index to the cluster key space.
+func keyName(i int) string { return fmt.Sprintf("k%d", i) }
+
+// RunScenario executes one scenario. Like chaos.Run, a run that
+// completed but failed to converge is not an error — it is
+// Result.Converged == false, for the caller to assert.
+func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
+	tl := cfg.Spec.Compile()
+	s := tl.Spec
+	if s.N < 2 {
+		return ScenarioResult{}, fmt.Errorf("chaos: scenario needs at least 2 replicas, got %d", s.N)
+	}
+	h, err := build(Config{
+		Object:  cfg.Object,
+		N:       s.N,
+		Shards:  cfg.Shards,
+		Workers: cfg.Workers,
+		Seed:    s.Seed,
+		Record:  cfg.Record,
+	})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	defer h.ctl.Close()
+
+	var res ScenarioResult
+	trace := func(format string, args ...any) {
+		res.Trace = append(res.Trace, fmt.Sprintf(format, args...))
+	}
+	// Delivery pacing gets its own stream, like the chaos schedule's,
+	// so it stays stable when a mutator changes its randomness use.
+	delRng := rand.New(rand.NewSource(s.Seed ^ 0xde11))
+
+	crashed := map[int]bool{}
+	partitioned, faulted := false, false
+	for slot := 0; slot < s.Ops; slot++ {
+		for _, ev := range tl.EventsAt(slot) {
+			switch ev.Kind {
+			case sim.EvRetire:
+				if err := h.ctl.Crash(ev.Proc); err != nil {
+					return res, err
+				}
+				crashed[ev.Proc] = true
+				res.Retires++
+			case sim.EvRejoin:
+				if err := h.ctl.Recover(ev.Proc); err != nil {
+					return res, err
+				}
+				delete(crashed, ev.Proc)
+				res.Rejoins++
+			case sim.EvPartition:
+				if err := h.ctl.Partition(ev.Groups...); err != nil {
+					return res, err
+				}
+				partitioned = true
+				res.Partitions++
+			case sim.EvPartialHeal:
+				if err := h.ctl.Partition(ev.Groups...); err != nil {
+					return res, err
+				}
+				res.PartialHeals++
+			case sim.EvHeal:
+				// Note this may fire inside an open fault window: the
+				// heal-round digest pulls then run over lossy links, and
+				// the final repair must still close the gap.
+				if err := h.ctl.Heal(); err != nil {
+					return res, err
+				}
+				partitioned = false
+				res.Heals++
+			case sim.EvFaultOpen:
+				if err := h.ctl.FaultAll(ev.Drop, ev.Dup); err != nil {
+					return res, err
+				}
+				faulted = true
+				res.FaultWindows++
+			case sim.EvFaultClose:
+				if err := h.ctl.FaultAll(0, 0); err != nil {
+					return res, err
+				}
+				faulted = false
+			}
+			trace("%s", ev)
+		}
+		p := tl.Issuer[slot]
+		if !crashed[p] {
+			mutRng := rand.New(rand.NewSource(s.Seed ^ int64(slot)<<20 ^ int64(p)))
+			h.update(p, keyName(tl.Key[slot]), mutRng)
+			res.Issued++
+		}
+		for d := delRng.Intn(4); d > 0; d-- {
+			if !h.ctl.Deliver() {
+				break
+			}
+		}
+	}
+
+	down, err := finalRepair(h.ctl, crashed, partitioned, faulted)
+	if err != nil {
+		return res, err
+	}
+	trace("repair: heal + recover %v + settle + sync round", down)
+
+	res.Converged = h.ctl.Converged()
+	res.SyncApplied, res.DupDropped = h.ctl.RepairStats()
+	st := h.ctl.Stats()
+	res.DroppedCrash, res.DroppedLink = st.DroppedCrash, st.DroppedLink
+	res.Fingerprint = h.ctl.ScheduleFingerprint()
+	if cfg.Record {
+		cl, err := h.ctl.Classify()
+		if err != nil {
+			return res, err
+		}
+		res.Classification = &cl
+	}
+	return res, nil
+}

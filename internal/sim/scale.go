@@ -1,0 +1,171 @@
+package sim
+
+// The capacity backend: execute a compiled scenario timeline against a
+// bare transport.SimNetwork with synthetic constant-work replicas, at
+// populations far beyond what full Algorithm-1 clusters can hold
+// (10⁴–10⁶ simulated replicas). Each replica keeps an FNV state chain
+// and a Lamport-style clock — a stand-in for "apply one update to a
+// log" that costs O(1) per delivery — so the measurement isolates the
+// adversary itself: eligibility bookkeeping, index maintenance, pick
+// arbitration.
+//
+// Throughput is reported as critical-path (span) steps per second,
+// measured by the transport's serial-instrumented timing mode: per
+// round, the slowest worker's time accrues to the span and the
+// coordinator tail to the serial residue. On a many-core host the
+// wall clock approaches span + serial; on any host the ratio
+// span(1 worker) / span(w workers) is the honest parallel speedup of
+// the schedule, independent of how many cores the measuring machine
+// happens to have.
+
+import (
+	"encoding/binary"
+	"time"
+
+	"updatec/internal/transport"
+)
+
+// ScaleOptions tunes the capacity run.
+type ScaleOptions struct {
+	// Workers is the adversary worker count (default 1).
+	Workers int
+	// Batch is the picks per parallel round (default 1024 per worker).
+	Batch int
+	// MaxBacklog caps the in-flight envelope count; broadcasts are
+	// thinned to keep a spec with many slots within the budget
+	// (default 1<<20 envelopes — at ~100 bytes each, about 100 MB).
+	MaxBacklog int
+}
+
+// ScaleResult reports one capacity run.
+type ScaleResult struct {
+	// Replicas/Workers echo the run shape; Broadcasts counts the
+	// update broadcasts actually issued (after backlog thinning).
+	Replicas, Workers, Broadcasts int
+	// Delivered is the total point-to-point deliveries — the "steps".
+	Delivered uint64
+	// Rounds is the number of timed parallel rounds.
+	Rounds int
+	// Span is the critical path (slowest worker per round, summed);
+	// Serial is the coordinator residue (fan-out replay, stat merges).
+	Span, Serial time.Duration
+	// StepsPerSec is Delivered over (Span + Serial) — the
+	// critical-path throughput.
+	StepsPerSec float64
+	// Fingerprint pins the delivery schedule: equal specs and worker
+	// counts must reproduce it exactly.
+	Fingerprint uint64
+}
+
+// RunScale executes the spec's timeline on a bare simulated network
+// with synthetic replicas and returns the throughput measurement. The
+// run is deterministic in (spec, opts): same inputs, same schedule,
+// same fingerprint.
+func RunScale(spec ScenarioSpec, o ScaleOptions) ScaleResult {
+	tl := spec.Compile()
+	s := tl.Spec
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.Batch <= 0 {
+		o.Batch = 1024 * o.Workers
+	}
+	if o.MaxBacklog <= 0 {
+		o.MaxBacklog = 1 << 20
+	}
+
+	net := transport.NewSim(transport.SimOptions{N: s.N, Seed: s.Seed, FIFO: s.FIFO, Workers: o.Workers})
+	net.SetSpanTiming(true)
+
+	// Synthetic replicas: a state hash chain and a clock cell per
+	// replica. Handlers run on the worker owning the destination, and
+	// touch only their own cells — the same ownership discipline real
+	// replicas obey.
+	state := make([]uint64, s.N)
+	clock := make([]uint64, s.N)
+	for i := 0; i < s.N; i++ {
+		to := i
+		net.Attach(i, func(from int, payload []byte) {
+			ts := binary.LittleEndian.Uint64(payload)
+			if ts > clock[to] {
+				clock[to] = ts
+			}
+			clock[to]++
+			h := state[to] ^ ts ^ uint64(from)<<32
+			h *= 0x100000001b3
+			state[to] = h
+		})
+	}
+
+	// Thin the broadcasts to the backlog budget: at most one broadcast
+	// per `stride` slots, so a million-replica spec stays inside
+	// MaxBacklog envelopes in flight.
+	maxB := o.MaxBacklog / s.N
+	if maxB < 1 {
+		maxB = 1
+	}
+	stride := 1
+	if s.Ops > maxB {
+		stride = (s.Ops + maxB - 1) / maxB
+	}
+
+	res := ScaleResult{Replicas: s.N, Workers: o.Workers}
+	var issueClock uint64
+	payload := make([]byte, 16)
+	for slot := 0; slot < s.Ops; slot++ {
+		for _, ev := range tl.EventsAt(slot) {
+			switch ev.Kind {
+			case EvRetire:
+				if !net.Crashed(ev.Proc) {
+					net.Crash(ev.Proc)
+				}
+			case EvRejoin:
+				if net.Crashed(ev.Proc) {
+					net.Recover(ev.Proc)
+				}
+			case EvPartition, EvPartialHeal:
+				net.Partition(ev.Groups...)
+			case EvHeal:
+				net.Heal()
+			case EvFaultOpen:
+				net.SetLinkFaultAll(transport.LinkFault{Drop: ev.Drop, Dup: ev.Dup})
+			case EvFaultClose:
+				net.SetLinkFaultAll(transport.LinkFault{})
+			}
+		}
+		if slot%stride != 0 {
+			continue
+		}
+		from := tl.Issuer[slot]
+		if net.Crashed(from) {
+			continue
+		}
+		issueClock++
+		binary.LittleEndian.PutUint64(payload, issueClock)
+		binary.LittleEndian.PutUint64(payload[8:], uint64(tl.Key[slot]))
+		buf := make([]byte, 16)
+		copy(buf, payload)
+		net.Broadcast(from, buf)
+		res.Broadcasts++
+		net.StepParallel(o.Batch)
+	}
+
+	// Final repair mirror: close faults, heal, rejoin, then drain the
+	// standing backlog — the bulk of the measured work.
+	net.SetLinkFaultAll(transport.LinkFault{})
+	net.Heal()
+	for p := 0; p < s.N; p++ {
+		if net.Crashed(p) {
+			net.Recover(p)
+		}
+	}
+	net.QuiesceParallel(o.Batch)
+
+	res.Delivered = net.Stats().Delivered
+	res.Span, res.Serial, res.Rounds = net.SpanStats()
+	if cp := res.Span + res.Serial; cp > 0 {
+		res.StepsPerSec = float64(res.Delivered) / cp.Seconds()
+	}
+	res.Fingerprint = net.ScheduleFingerprint()
+	return res
+}

@@ -12,9 +12,10 @@ import (
 // drives a SimNetwork without maintaining the index (which the
 // determinism tests never consult on the reference instance).
 func refStep(n *SimNetwork) bool {
+	sh := &n.shards[0] // the reference is sequential: a single shard
 	var candidates []int
-	for i := range n.pending {
-		if n.eligible(&n.pending[i]) {
+	for i := range sh.pending {
+		if n.eligible(&sh.pending[i]) {
 			candidates = append(candidates, i)
 		}
 	}
@@ -22,11 +23,11 @@ func refStep(n *SimNetwork) bool {
 		return false
 	}
 	at := candidates[n.rng.Intn(len(candidates))]
-	e := n.pending[at]
-	last := len(n.pending) - 1
-	n.pending[at] = n.pending[last]
-	n.pending[last] = envelope{}
-	n.pending = n.pending[:last]
+	e := sh.pending[at]
+	last := len(sh.pending) - 1
+	sh.pending[at] = sh.pending[last]
+	sh.pending[last] = envelope{}
+	sh.pending = sh.pending[:last]
 	if n.opts.FIFO {
 		n.nextSeq[n.link(e.from, e.to)] = e.seq
 	}
@@ -34,7 +35,7 @@ func refStep(n *SimNetwork) bool {
 		dup := e
 		dup.id = n.nextID
 		n.nextID++
-		n.pending = append(n.pending, dup)
+		sh.pending = append(sh.pending, dup)
 		n.stats.Sends++
 		n.stats.Bytes += uint64(len(e.payload))
 	}
@@ -197,59 +198,73 @@ func TestSimStepSameSeedSameSchedule(t *testing.T) {
 // sequence order with back-pointers intact.
 func checkIndex(t *testing.T, n *SimNetwork) {
 	t.Helper()
-	count := 0
-	var want []int
-	for i := range n.pending {
-		e := &n.pending[i]
-		if e.elig != n.eligible(e) {
-			t.Fatalf("pending[%d] elig bit %v, eligible() %v", i, e.elig, n.eligible(e))
+	for s := range n.shards {
+		sh := &n.shards[s]
+		count := 0
+		var want []int
+		for i := range sh.pending {
+			e := &sh.pending[i]
+			if e.to%n.nshards != s {
+				t.Fatalf("shard %d holds envelope to %d (owner %d)", s, e.to, e.to%n.nshards)
+			}
+			if e.elig != n.eligible(e) {
+				t.Fatalf("shard %d pending[%d] elig bit %v, eligible() %v", s, i, e.elig, n.eligible(e))
+			}
+			if e.elig {
+				count++
+				want = append(want, i)
+			}
 		}
-		if e.elig {
-			count++
-			want = append(want, i)
+		if count != sh.eligCount {
+			t.Fatalf("shard %d eligCount %d, actual eligible %d", s, sh.eligCount, count)
 		}
-	}
-	if count != n.eligCount {
-		t.Fatalf("eligCount %d, actual eligible %d", n.eligCount, count)
-	}
-	if !n.uniform() {
-		for k, pos := range want {
-			if got := n.idx.selectK(k); got != pos {
-				t.Fatalf("selectK(%d) = %d, want %d", k, got, pos)
+		if !n.uniform() {
+			for k, pos := range want {
+				if got := sh.idx.selectK(k); got != pos {
+					t.Fatalf("shard %d selectK(%d) = %d, want %d", s, k, got, pos)
+				}
 			}
 		}
 	}
 	if !n.opts.FIFO {
 		return
 	}
-	seen := make(map[int]bool)
+	// seen[shard] maps pending positions covered by the link queues.
+	seen := make([]map[int]bool, n.nshards)
+	for s := range seen {
+		seen[s] = make(map[int]bool)
+	}
 	for l := range n.linkQ {
 		lq := &n.linkQ[l]
+		s := (l % n.opts.N) % n.nshards // link (from,to): shard of `to`
+		sh := &n.shards[s]
 		var prev uint64
 		for pos := lq.head; pos < len(lq.q); pos++ {
 			p := lq.q[pos]
-			if p < 0 || p >= len(n.pending) {
-				t.Fatalf("link %d queue points at %d, pending has %d", l, p, len(n.pending))
+			if p < 0 || p >= len(sh.pending) {
+				t.Fatalf("link %d queue points at %d, shard %d pending has %d", l, p, s, len(sh.pending))
 			}
-			e := &n.pending[p]
+			e := &sh.pending[p]
 			if n.link(e.from, e.to) != l {
 				t.Fatalf("link %d queue holds envelope of link %d", l, n.link(e.from, e.to))
 			}
 			if e.lpos != pos {
-				t.Fatalf("pending[%d].lpos = %d, queue position %d", p, e.lpos, pos)
+				t.Fatalf("shard %d pending[%d].lpos = %d, queue position %d", s, p, e.lpos, pos)
 			}
 			if e.seq <= prev && pos > lq.head {
 				t.Fatalf("link %d queue out of seq order: %d after %d", l, e.seq, prev)
 			}
 			prev = e.seq
-			if seen[p] {
-				t.Fatalf("pending[%d] appears in two link queue slots", p)
+			if seen[s][p] {
+				t.Fatalf("shard %d pending[%d] appears in two link queue slots", s, p)
 			}
-			seen[p] = true
+			seen[s][p] = true
 		}
 	}
-	if len(seen) != len(n.pending) {
-		t.Fatalf("link queues hold %d envelopes, pending %d", len(seen), len(n.pending))
+	for s := range n.shards {
+		if len(seen[s]) != len(n.shards[s].pending) {
+			t.Fatalf("shard %d link queues hold %d envelopes, pending %d", s, len(seen[s]), len(n.shards[s].pending))
+		}
 	}
 }
 
@@ -334,7 +349,7 @@ func TestSimCrashDropKeepsBucketsConsistent(t *testing.T) {
 	}
 	// Quiescence means the eligible set is empty even though blocked
 	// envelopes (dropped-seq FIFO suffixes) may remain pending.
-	if net.eligCount != 0 {
-		t.Fatalf("quiesced network still reports %d eligible of %d pending", net.eligCount, net.Pending())
+	if net.Eligible() != 0 {
+		t.Fatalf("quiesced network still reports %d eligible of %d pending", net.Eligible(), net.Pending())
 	}
 }

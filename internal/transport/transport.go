@@ -4,13 +4,16 @@
 // message transfer delays.
 //
 // Two implementations are provided. SimNetwork is a deterministic,
-// seeded, single-goroutine simulator in which asynchrony is modeled by
-// adversarially (pseudo-randomly) choosing which in-flight message to
-// deliver next; it supports crash faults, network partitions and
-// per-link FIFO control, and is what the experiment harness uses for
-// reproducible runs. LiveNetwork delivers messages with real goroutines
-// and per-process mailboxes and is used by the examples and the
-// race-detector tests.
+// seeded simulator in which asynchrony is modeled by adversarially
+// (pseudo-randomly) choosing which in-flight message to deliver next;
+// it supports crash faults, network partitions and per-link FIFO
+// control, and is what the experiment harness uses for reproducible
+// runs. Its backlog is partitioned into per-worker shards (by
+// destination process), so the adversary can also run as a parallel
+// round-based stepper (StepParallel, see simparallel.go) whose schedule
+// is a pure function of (seed, workers, batch). LiveNetwork delivers
+// messages with real goroutines and per-process mailboxes and is used
+// by the examples and the race-detector tests.
 //
 // Both networks implement the broadcast contract of Algorithm 1: a
 // broadcast is delivered to the sender instantaneously (the handler is
@@ -126,6 +129,16 @@ type Stats struct {
 	Bytes        uint64
 }
 
+// add accumulates a delta (a worker round's per-shard counters) into s.
+func (s *Stats) add(d Stats) {
+	s.Broadcasts += d.Broadcasts
+	s.Sends += d.Sends
+	s.Delivered += d.Delivered
+	s.DroppedCrash += d.DroppedCrash
+	s.DroppedLink += d.DroppedLink
+	s.Bytes += d.Bytes
+}
+
 // envelope is one in-flight point-to-point message. The payload slice
 // is immutable and shared by every envelope of one broadcast — the
 // transport never copies message bytes per recipient.
@@ -134,8 +147,8 @@ type envelope struct {
 	shard    int // destination shard of a ShardedNetwork broadcast
 	epoch    int // sender's routing epoch (ResizableNetwork broadcasts)
 	payload  []byte
-	seq      uint64 // per-(from,to) link sequence, for FIFO
-	id       uint64 // global tie-break id
+	seq      uint64 // per-(from,to) link sequence, for FIFO (zero otherwise)
+	id       uint64 // tie-break id, unique per coordinator/worker stream
 	// elig and lpos belong to SimNetwork's eligible index (simindex.go):
 	// elig mirrors eligible(), lpos is the envelope's position in its
 	// link's FIFO queue. LiveNetwork leaves both zero.
@@ -151,7 +164,9 @@ type SimOptions struct {
 	Seed int64
 	// FIFO restricts delivery to per-link FIFO order (the assumption
 	// pipelined consistency needs). When false the adversary may
-	// reorder messages arbitrarily, which Algorithm 1 tolerates.
+	// reorder messages arbitrarily, which Algorithm 1 tolerates. FIFO
+	// allocates dense O(N²) per-link tables; leave it off for very
+	// large simulations (the N-independent structures are all O(N)).
 	FIFO bool
 	// DuplicateProb re-enqueues a delivered message with this
 	// probability, modeling at-least-once channels. Incompatible with
@@ -160,6 +175,16 @@ type SimOptions struct {
 	// assumes exactly-once delivery; layer NewURB (which deduplicates)
 	// between a duplicating network and the replicas.
 	DuplicateProb float64
+	// Workers shards the adversary: the backlog is partitioned by
+	// destination process (to mod workers) and each shard picks with
+	// its own seeded PRNG, merged by deterministic round-robin
+	// arbitration (StepParallel, simparallel.go). 0 and 1 both keep a
+	// single shard driven by the root PRNG, so the sequential Step and
+	// the workers=1 parallel stepper reproduce the identical schedule.
+	// With Workers > 1 the sequential Step/StepN/Quiesce panic — the
+	// schedule is defined per (seed, workers, batch), not per seed
+	// alone — and StepParallel/QuiesceParallel must be used instead.
+	Workers int
 }
 
 // LinkFault injects per-link message faults, beyond the adversary's
@@ -181,10 +206,29 @@ type LinkFault struct {
 	Dup  float64
 }
 
+// IndexRepairStats counts the index-maintenance work done by the
+// structural fault operations (Crash, CrashPartialBroadcast, Recover,
+// Partition, Heal). The counters exist so tests can pin the repair
+// cost: a crash must repair only the links touching the crashed
+// process (O(N) of them), never rescan and re-sort every link's FIFO
+// queue (O(N²) — the historical rebuild-on-crash behavior).
+type IndexRepairStats struct {
+	// LinksRepaired counts non-empty per-link queue operations:
+	// queues cleared (crashed receiver), filtered (partial-broadcast
+	// drops) or renumbered (Recover's sequence repair).
+	LinksRepaired uint64
+	// Refreshes counts whole-backlog eligibility recomputes (bits +
+	// Fenwick trees, O(pending) — no per-link work).
+	Refreshes uint64
+}
+
 // SimNetwork is the deterministic simulator. It is not safe for
 // concurrent use: the simulation harness alternates process steps and
 // network steps in one goroutine, which is exactly what makes runs
-// reproducible.
+// reproducible. (StepParallel internally fans a round out to worker
+// goroutines, but the call itself is still one-at-a-time from the
+// driving goroutine, and structural operations — Crash, Partition,
+// Broadcast from the driver — happen between rounds.)
 type SimNetwork struct {
 	opts SimOptions
 	rng  *rand.Rand
@@ -198,29 +242,45 @@ type SimNetwork struct {
 	routers []EpochHandler
 	crashed []bool
 	group   []int // partition group per process
-	// pending holds in-flight envelopes in no particular order;
-	// removal is an O(1) swap with the last element (delivery order is
-	// the adversary's choice anyway, so pending needs no structure).
-	pending []envelope
+	// shards partitions the in-flight backlog by destination process
+	// (to mod len(shards)): each shard owns its pending array, its
+	// Fenwick eligible index and (during parallel rounds) its own PRNG
+	// and stat deltas. With Workers <= 1 there is exactly one shard and
+	// its PRNG is the root rng, reproducing the historical sequential
+	// adversary bit for bit.
+	shards  []simShard
+	nshards int
+	// inRound is true while worker picks are executing: handler
+	// broadcasts are then buffered per shard (self-delivery inline) and
+	// fanned out by the coordinator after the round (simparallel.go).
+	inRound bool
 	// linkSeq and nextSeq are dense per-link sequence tables indexed by
 	// from*N+to: the last sequence number issued on the link and the
-	// last one delivered (for FIFO eligibility).
+	// last one delivered (for FIFO eligibility). Allocated only in FIFO
+	// mode — the unordered adversary never consults sequence numbers,
+	// and the O(N²) tables would dominate memory at large N.
 	linkSeq []uint64
 	nextSeq []uint64
 	nextID  uint64
-	// The eligible index (simindex.go): eligCount eligible envelopes,
-	// located through the Fenwick tree idx and, in FIFO mode, the
-	// per-link readiness queues linkQ. anyCrashed and partitioned flag
-	// the regimes in which eligibility is non-trivial.
-	eligCount   int
-	idx         fenwick
+	// linkQ holds the per-link FIFO readiness queues (simindex.go),
+	// FIFO mode only. Queue entries are positions into the owning
+	// shard's pending array (a link's receiver fixes its shard).
 	linkQ       []linkQueue
 	anyCrashed  bool
 	partitioned bool
-	// faults, when non-nil, holds the per-link fault configuration
-	// indexed like linkSeq (from*N+to); see LinkFault.
-	faults []LinkFault
-	stats  Stats
+	// Link faults: faultAll applies to every link, faultMap overrides
+	// individual links (including with a zero fault). hasFaults caches
+	// "any fault configured" for the per-delivery check.
+	faultAll  LinkFault
+	faultMap  map[int]LinkFault
+	hasFaults bool
+	stats     Stats
+	idxRepair IndexRepairStats
+	// Span-timing instrumentation for parallel rounds (simparallel.go).
+	timing   bool
+	spanNS   int64
+	serialNS int64
+	rounds   int
 }
 
 // NewSim returns a deterministic network for opts.N processes.
@@ -234,6 +294,13 @@ func NewSim(opts SimOptions) *SimNetwork {
 	if opts.DuplicateProb >= 1 {
 		panic("transport: DuplicateProb must be below 1 or delivery never quiesces")
 	}
+	if opts.Workers < 0 {
+		panic("transport: SimOptions.Workers must be non-negative")
+	}
+	nsh := opts.Workers
+	if nsh < 1 {
+		nsh = 1
+	}
 	n := &SimNetwork{
 		opts:     opts,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
@@ -241,17 +308,41 @@ func NewSim(opts SimOptions) *SimNetwork {
 		routers:  make([]EpochHandler, opts.N),
 		crashed:  make([]bool, opts.N),
 		group:    make([]int, opts.N),
-		linkSeq:  make([]uint64, opts.N*opts.N),
-		nextSeq:  make([]uint64, opts.N*opts.N),
+		shards:   make([]simShard, nsh),
+		nshards:  nsh,
+	}
+	for w := range n.shards {
+		n.shards[w].self = w
+	}
+	if opts.Workers > 1 {
+		// Each worker draws from its own stream, derived from the seed
+		// so (seed, workers) fixes every per-shard pick sequence. The
+		// root rng stays the coordinator's (drop draws, structural ops).
+		for w := range n.shards {
+			n.shards[w].rng = rand.New(rand.NewSource(int64(workerSeed(uint64(opts.Seed), w))))
+		}
+	} else {
+		// One shard: the parallel stepper and the sequential Step share
+		// the root PRNG, so both reproduce the historical schedule.
+		n.shards[0].rng = n.rng
 	}
 	if opts.FIFO {
 		n.linkQ = make([]linkQueue, opts.N*opts.N)
+		n.linkSeq = make([]uint64, opts.N*opts.N)
+		n.nextSeq = make([]uint64, opts.N*opts.N)
 	}
 	return n
 }
 
 // link indexes the dense per-link tables.
 func (n *SimNetwork) link(from, to int) int { return from*n.opts.N + to }
+
+// shardOf returns the shard owning deliveries to process `to`.
+func (n *SimNetwork) shardOf(to int) *simShard { return &n.shards[to%n.nshards] }
+
+// Workers reports the number of adversary shards (1 for the sequential
+// configuration).
+func (n *SimNetwork) Workers() int { return n.nshards }
 
 // Attach implements Network.
 func (n *SimNetwork) Attach(id int, h Handler) { n.AttachShard(id, 0, h) }
@@ -294,11 +385,33 @@ func (n *SimNetwork) deliver(to, from, shard, epoch int, payload []byte) {
 	n.handlers[to][shard](from, payload)
 }
 
+// fault returns the fault configuration of a link: the per-link
+// override when one is set (even a zero one), the global fault
+// otherwise.
+func (n *SimNetwork) fault(link int) LinkFault {
+	if n.faultMap != nil {
+		if f, ok := n.faultMap[link]; ok {
+			return f
+		}
+	}
+	return n.faultAll
+}
+
 // BroadcastShardEpoch implements ResizableNetwork: each queued envelope
 // is tagged with the shard and the sender's routing epoch, and delivery
 // invokes the receiver's router (or, without one, the handler attached
 // for (to, shard)).
+//
+// During a parallel round (StepParallel) a handler's broadcast is
+// buffered instead: the sender's own copy is still delivered inline on
+// the worker that owns it — handlers may only broadcast as the process
+// they are attached to — and the remote fan-out replays after the
+// round, in deterministic worker order, on the coordinator.
 func (n *SimNetwork) BroadcastShardEpoch(from, shard, epoch int, payload []byte) {
+	if n.inRound {
+		n.bufferBroadcast(from, shard, epoch, payload)
+		return
+	}
 	if n.crashed[from] {
 		return
 	}
@@ -309,7 +422,13 @@ func (n *SimNetwork) BroadcastShardEpoch(from, shard, epoch int, payload []byte)
 	n.stats.Delivered++
 	n.stats.Bytes += uint64(len(payload))
 	n.deliver(from, from, shard, epoch, payload)
-	uni := n.uniform()
+	n.fanOut(from, shard, epoch, payload)
+}
+
+// fanOut queues one envelope per live remote process, drawing the
+// per-link drop decisions from the coordinator rng. It is the remote
+// half of a broadcast — the caller has already handled self-delivery.
+func (n *SimNetwork) fanOut(from, shard, epoch int, payload []byte) {
 	for to := 0; to < n.opts.N; to++ {
 		if to == from {
 			continue
@@ -324,27 +443,22 @@ func (n *SimNetwork) BroadcastShardEpoch(from, shard, epoch int, payload []byte)
 			continue
 		}
 		link := n.link(from, to)
-		if n.faults != nil {
-			if f := n.faults[link]; f.Drop > 0 && n.rng.Float64() < f.Drop {
+		if n.hasFaults {
+			if f := n.fault(link); f.Drop > 0 && n.rng.Float64() < f.Drop {
 				n.stats.DroppedLink++
 				continue
 			}
 		}
-		n.linkSeq[link]++
 		// The payload slice is shared, never copied per recipient.
 		e := envelope{
 			from: from, to: to, shard: shard, epoch: epoch, payload: payload,
-			seq: n.linkSeq[link], id: n.nextID,
+			id: n.nextID,
 		}
-		if uni {
-			// Unrestricted regime: eligible by construction, and the
-			// tree is not consulted (see simindex.go).
-			e.elig = true
-			n.pending = append(n.pending, e)
-			n.eligCount++
-		} else {
-			n.enqueue(e)
+		if n.opts.FIFO {
+			n.linkSeq[link]++
+			e.seq = n.linkSeq[link]
 		}
+		n.enqueueShard(n.shardOf(to), e)
 		n.nextID++
 		n.stats.Sends++
 		n.stats.Bytes += uint64(len(payload))
@@ -375,27 +489,35 @@ func (n *SimNetwork) eligible(e *envelope) bool {
 // schedule — but it is answered by the eligible index (simindex.go):
 // O(1) when everything is eligible, O(log pending) otherwise, never a
 // walk over the backlog.
+//
+// Step is the sequential adversary and requires Workers <= 1; with
+// more shards the schedule is defined by the round-based parallel
+// stepper, so use StepParallel instead.
 func (n *SimNetwork) Step() bool {
-	if n.eligCount == 0 {
+	if n.nshards > 1 {
+		panic("transport: Step is sequential; use StepParallel with Workers > 1")
+	}
+	sh := &n.shards[0]
+	if sh.eligCount == 0 {
 		return false
 	}
-	k := n.rng.Intn(n.eligCount)
+	k := n.rng.Intn(sh.eligCount)
 	at := k
-	if n.eligCount != len(n.pending) {
-		at = n.idx.selectK(k)
+	if sh.eligCount != len(sh.pending) {
+		at = sh.idx.selectK(k)
 	}
-	e := n.remove(at)
+	e := n.removeFrom(sh, at)
 	if n.opts.DuplicateProb > 0 && n.rng.Float64() < n.opts.DuplicateProb {
 		dup := e
 		dup.id = n.nextID
 		n.nextID++
-		n.enqueue(dup)
+		n.enqueueShard(sh, dup)
 		n.stats.Sends++
 		n.stats.Bytes += uint64(len(e.payload))
 	}
-	if n.faults != nil {
+	if n.hasFaults {
 		link := n.link(e.from, e.to)
-		if f := n.faults[link]; f.Dup > 0 && n.rng.Float64() < f.Dup {
+		if f := n.fault(link); f.Dup > 0 && n.rng.Float64() < f.Dup {
 			// Re-enqueue at the link tail with a fresh sequence number:
 			// an in-order duplicate, sound even on FIFO links.
 			dup := e
@@ -405,12 +527,14 @@ func (n *SimNetwork) Step() bool {
 				n.linkSeq[link]++
 				dup.seq = n.linkSeq[link]
 			}
-			n.enqueue(dup)
+			n.enqueueShard(sh, dup)
 			n.stats.Sends++
 			n.stats.Bytes += uint64(len(e.payload))
 		}
 	}
 	n.stats.Delivered++
+	sh.picks++
+	sh.fp = fpMix(sh.fp, uint64(e.from), uint64(e.to))
 	n.deliver(e.to, e.from, e.shard, e.epoch, e.payload)
 	return true
 }
@@ -435,7 +559,22 @@ func (n *SimNetwork) Quiesce() {
 
 // Pending returns the number of in-flight messages (including ones
 // blocked by partitions or addressed to crashed processes).
-func (n *SimNetwork) Pending() int { return len(n.pending) }
+func (n *SimNetwork) Pending() int {
+	total := 0
+	for i := range n.shards {
+		total += len(n.shards[i].pending)
+	}
+	return total
+}
+
+// Eligible returns the number of in-flight messages deliverable now.
+func (n *SimNetwork) Eligible() int {
+	total := 0
+	for i := range n.shards {
+		total += n.shards[i].eligCount
+	}
+	return total
+}
 
 // Crash halts a process: it stops receiving (its in-flight inbound
 // messages are dropped, and sends to it are suppressed while it stays
@@ -443,32 +582,35 @@ func (n *SimNetwork) Pending() int { return len(n.pending) }
 // sent remain in flight (they were handed to the network). A crash is
 // not necessarily forever: Recover brings the process back with its
 // local state intact.
+//
+// Only the crashed process's own links are repaired: its inbound
+// envelopes live in one shard (the one owning deliveries to it), whose
+// pending array is compacted in place, and only its N inbound FIFO
+// queues are cleared — the other links' queues keep their order and
+// merely have their stored positions re-pointed. Eligibility bits and
+// trees are then refreshed, with no per-link scan.
 func (n *SimNetwork) Crash(id int) {
 	if n.crashed[id] {
 		return
 	}
 	n.crashed[id] = true
 	n.anyCrashed = true
-	keep := n.pending[:0]
-	for _, e := range n.pending {
-		if e.to == id {
-			n.stats.DroppedCrash++
-			continue
-		}
-		keep = append(keep, e)
-	}
-	clearTail(n.pending, len(keep))
-	n.pending = keep
+	n.dropInbound(id)
 	if n.opts.FIFO {
 		// Everything ever sent to id is now delivered or dropped, and
 		// nothing new is queued while it is down; declaring the inbound
-		// links contiguous keeps them unjammed for a later Recover.
+		// links contiguous keeps them unjammed for a later Recover. The
+		// inbound queues (whose envelopes were all just dropped) reset.
 		for from := 0; from < n.opts.N; from++ {
 			l := n.link(from, id)
 			n.nextSeq[l] = n.linkSeq[l]
+			if lq := &n.linkQ[l]; len(lq.q) > 0 || lq.head > 0 {
+				lq.q, lq.head = lq.q[:0], 0
+				n.idxRepair.LinksRepaired++
+			}
 		}
 	}
-	n.rebuildIndex()
+	n.refreshEligibility()
 }
 
 // Recover brings a crashed process back: it keeps its pre-crash local
@@ -492,7 +634,7 @@ func (n *SimNetwork) Recover(id int) {
 	if n.opts.FIFO {
 		n.repairLinks(id)
 	}
-	n.rebuildIndex()
+	n.refreshEligibility()
 }
 
 // repairLinks renumbers the pending envelopes on every link touching id
@@ -501,29 +643,36 @@ func (n *SimNetwork) Recover(id int) {
 // a random subset of the crashed sender's in-flight messages), leaving
 // sequence holes that would jam FIFO eligibility forever after a
 // Recover. Relative order per link is preserved, so FIFO semantics
-// among the surviving messages are untouched.
+// among the surviving messages are untouched — and so the links' FIFO
+// queues stay valid without a rebuild.
 func (n *SimNetwork) repairLinks(id int) {
 	type slot struct {
-		idx int
-		seq uint64
+		sh, idx int
+		seq     uint64
 	}
 	perLink := map[int][]slot{}
-	for i := range n.pending {
-		e := &n.pending[i]
-		if e.from != id && e.to != id {
-			continue
+	for s := range n.shards {
+		sh := &n.shards[s]
+		for i := range sh.pending {
+			e := &sh.pending[i]
+			if e.from != id && e.to != id {
+				continue
+			}
+			l := n.link(e.from, e.to)
+			perLink[l] = append(perLink[l], slot{sh: s, idx: i, seq: e.seq})
 		}
-		l := n.link(e.from, e.to)
-		perLink[l] = append(perLink[l], slot{idx: i, seq: e.seq})
 	}
 	for peer := 0; peer < n.opts.N; peer++ {
 		for _, l := range []int{n.link(id, peer), n.link(peer, id)} {
 			slots := perLink[l]
+			if len(slots) > 0 {
+				n.idxRepair.LinksRepaired++
+			}
 			sort.Slice(slots, func(a, b int) bool { return slots[a].seq < slots[b].seq })
 			seq := n.nextSeq[l]
 			for _, s := range slots {
 				seq++
-				n.pending[s.idx].seq = seq
+				n.shards[s.sh].pending[s.idx].seq = seq
 			}
 			n.linkSeq[l] = seq
 		}
@@ -531,28 +680,32 @@ func (n *SimNetwork) repairLinks(id int) {
 }
 
 // SetLinkFault configures fault injection on the directed link
-// from → to; see LinkFault. A zero LinkFault clears the link's faults.
+// from → to; see LinkFault. A zero LinkFault clears the link's faults
+// (overriding a global SetLinkFaultAll for that link).
 func (n *SimNetwork) SetLinkFault(from, to int, f LinkFault) {
 	if from < 0 || from >= n.opts.N || to < 0 || to >= n.opts.N || from == to {
 		panic("transport: SetLinkFault needs two distinct process ids in range")
 	}
-	if f.Drop < 0 || f.Drop >= 1 || f.Dup < 0 || f.Dup >= 1 {
-		panic("transport: LinkFault probabilities must be in [0, 1)")
+	checkFault(f)
+	if n.faultMap == nil {
+		n.faultMap = make(map[int]LinkFault)
 	}
-	if n.faults == nil {
-		n.faults = make([]LinkFault, n.opts.N*n.opts.N)
-	}
-	n.faults[n.link(from, to)] = f
+	n.faultMap[n.link(from, to)] = f
+	n.hasFaults = true
 }
 
-// SetLinkFaultAll applies f to every cross-process link.
+// SetLinkFaultAll applies f to every cross-process link (clearing any
+// per-link overrides), without materializing per-link state.
 func (n *SimNetwork) SetLinkFaultAll(f LinkFault) {
-	for from := 0; from < n.opts.N; from++ {
-		for to := 0; to < n.opts.N; to++ {
-			if from != to {
-				n.SetLinkFault(from, to, f)
-			}
-		}
+	checkFault(f)
+	n.faultAll = f
+	n.faultMap = nil
+	n.hasFaults = f != LinkFault{}
+}
+
+func checkFault(f LinkFault) {
+	if f.Drop < 0 || f.Drop >= 1 || f.Dup < 0 || f.Dup >= 1 {
+		panic("transport: LinkFault probabilities must be in [0, 1)")
 	}
 }
 
@@ -570,18 +723,21 @@ func clearTail(s []envelope, length int) {
 // keepProb. With best-effort broadcast this can leave correct processes
 // disagreeing about the crashed process's updates; the URB wrapper
 // exists to repair exactly this.
+//
+// Survival draws come from the coordinator rng in shard-major,
+// ascending-position order (the historical global-array order when
+// there is one shard).
 func (n *SimNetwork) CrashPartialBroadcast(id int, keepProb float64) {
-	keep := n.pending[:0]
-	for _, e := range n.pending {
-		if e.from == id && n.rng.Float64() >= keepProb {
-			n.stats.DroppedCrash++
-			continue
-		}
-		keep = append(keep, e)
+	already := n.crashed[id]
+	for s := range n.shards {
+		n.dropOutboundPartial(&n.shards[s], id, keepProb)
 	}
-	clearTail(n.pending, len(keep))
-	n.pending = keep
-	n.Crash(id) // rebuilds the eligible index
+	if already {
+		// Crash below would no-op; the compaction still moved envelopes.
+		n.refreshEligibility()
+		return
+	}
+	n.Crash(id) // refreshes eligibility
 }
 
 // Crashed reports whether id has crashed.
@@ -598,7 +754,8 @@ func (n *SimNetwork) Reachable(a, b int) bool {
 
 // Partition splits the processes into groups; messages only flow within
 // a group. Messages already in flight across the cut stay queued until
-// Heal. Unmentioned processes form group 0.
+// Heal. Unmentioned processes form group 0. Partitions edit no queues
+// and move no envelopes: only the eligibility bits and trees refresh.
 func (n *SimNetwork) Partition(groups ...[]int) {
 	for i := range n.group {
 		n.group[i] = 0
@@ -610,7 +767,7 @@ func (n *SimNetwork) Partition(groups ...[]int) {
 			n.partitioned = true
 		}
 	}
-	n.rebuildIndex()
+	n.refreshEligibility()
 }
 
 // Heal removes all partitions.
@@ -619,11 +776,14 @@ func (n *SimNetwork) Heal() {
 		n.group[i] = 0
 	}
 	n.partitioned = false
-	n.rebuildIndex()
+	n.refreshEligibility()
 }
 
 // Stats returns a copy of the traffic counters.
 func (n *SimNetwork) Stats() Stats { return n.stats }
+
+// IndexRepair returns the cumulative index-repair work counters.
+func (n *SimNetwork) IndexRepair() IndexRepairStats { return n.idxRepair }
 
 var (
 	_ Network          = (*SimNetwork)(nil)

@@ -83,6 +83,7 @@ type config struct {
 	engineSet bool
 	record    bool
 	shards    int
+	workers   int
 }
 
 // Option configures a cluster.
@@ -121,6 +122,18 @@ func WithEngine(k EngineKind) Option {
 // NP-complete search problems.
 func WithRecording() Option { return func(c *config) { c.record = true } }
 
+// WithWorkers shards the simulated adversary across w parallel worker
+// shards: the in-flight backlog is partitioned by destination replica,
+// each worker picks from its own shard with its own seeded PRNG, and
+// Deliver/Settle drive rounds whose schedule is a pure function of
+// (seed, workers) — reproducible bit for bit across runs, regardless
+// of GOMAXPROCS or machine. It requires WithSeed; one worker (the
+// default) is the classic sequential adversary. Note that different
+// worker counts are different (equally valid) adversaries: changing w
+// changes which schedule the seed denotes, not whether it is
+// deterministic.
+func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
 // WithShards runs each replica as s key shards — one instance of
 // Algorithm 1 (log, Lamport clock, query engine, transport channel)
 // per shard, updates routed to the shard owning their key. It requires
@@ -150,6 +163,7 @@ type Cluster[H any] struct {
 	mu      sync.Mutex
 	crashed map[int]bool
 	shards  int
+	workers int
 	closed  bool
 }
 
@@ -212,10 +226,19 @@ func New[H any](n int, obj Object[H], opts ...Option) (*Cluster[H], []H, error) 
 	if cfg.gc && cfg.simulated && !cfg.fifo {
 		return nil, nil, fmt.Errorf("updatec: WithGC on a simulated network requires WithFIFO")
 	}
+	if cfg.workers < 0 {
+		return nil, nil, fmt.Errorf("updatec: WithWorkers needs a non-negative worker count, got %d", cfg.workers)
+	}
+	if cfg.workers > 1 && !cfg.simulated {
+		return nil, nil, fmt.Errorf("updatec: WithWorkers requires WithSeed (the parallel adversary shards the simulated transport)")
+	}
 	cl := &Cluster[H]{n: n, obj: obj, shards: cfg.shards, gc: cfg.gc, crashed: map[int]bool{}}
+	if cl.workers = cfg.workers; cl.workers < 1 {
+		cl.workers = 1
+	}
 	var net transport.Network
 	if cfg.simulated {
-		cl.sim = transport.NewSim(transport.SimOptions{N: n, Seed: cfg.seed, FIFO: cfg.fifo})
+		cl.sim = transport.NewSim(transport.SimOptions{N: n, Seed: cfg.seed, FIFO: cfg.fifo, Workers: cfg.workers})
 		net = cl.sim
 	} else {
 		cl.live = transport.NewLiveSharded(n, cfg.shards)
@@ -416,26 +439,52 @@ func (c *Cluster[H]) CacheStats() (hits, misses uint64) {
 	return hits, misses
 }
 
-// Deliver delivers one in-flight message on a simulated cluster,
-// reporting whether anything was deliverable. It panics on a live
-// cluster (delivery is autonomous there).
+// Deliver delivers in-flight messages on a simulated cluster,
+// reporting whether anything was deliverable: one message on a
+// sequential cluster, one parallel round (up to one pick per worker)
+// under WithWorkers. It panics on a live cluster (delivery is
+// autonomous there).
 func (c *Cluster[H]) Deliver() bool {
 	if c.sim == nil {
 		panic("updatec: Deliver is only meaningful with WithSeed (simulated transport)")
+	}
+	if c.workers > 1 {
+		return c.sim.StepParallel(c.workers) > 0
 	}
 	return c.sim.Step()
 }
 
 // Settle delivers every in-flight message: on a simulated cluster it
-// runs the adversary to quiescence; on a live cluster it waits for all
-// mailboxes to drain. After Settle (and absent new updates) all
-// replicas have applied the same update set and therefore agree.
+// runs the adversary to quiescence (in parallel rounds under
+// WithWorkers); on a live cluster it waits for all mailboxes to drain.
+// After Settle (and absent new updates) all replicas have applied the
+// same update set and therefore agree.
 func (c *Cluster[H]) Settle() {
 	if c.sim != nil {
+		if c.workers > 1 {
+			c.sim.QuiesceParallel(4 * c.workers)
+			return
+		}
 		c.sim.Quiesce()
 		return
 	}
 	c.live.Drain()
+}
+
+// Workers reports the adversary worker count (1 unless WithWorkers).
+func (c *Cluster[H]) Workers() int { return c.workers }
+
+// ScheduleFingerprint returns a hash pinning the delivery schedule the
+// simulated adversary has executed so far: two runs with the same
+// seed, worker count and driver call sequence produce identical
+// fingerprints, and any divergence in which message was delivered when
+// changes the value. It is the determinism regression gate's
+// observable. Requires WithSeed.
+func (c *Cluster[H]) ScheduleFingerprint() uint64 {
+	if c.sim == nil {
+		panic("updatec: ScheduleFingerprint requires WithSeed (simulated transport)")
+	}
+	return c.sim.ScheduleFingerprint()
 }
 
 // Crash halts a replica: it stops receiving (on every shard, with

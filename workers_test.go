@@ -1,0 +1,126 @@
+package updatec
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestWithWorkersValidation pins the option's contract: the parallel
+// adversary shards the simulated transport, so it requires WithSeed.
+func TestWithWorkersValidation(t *testing.T) {
+	if _, _, err := New(3, SetObject(), WithWorkers(4)); err == nil {
+		t.Fatal("WithWorkers without WithSeed did not error")
+	}
+	if _, _, err := New(3, SetObject(), WithSeed(1), WithWorkers(-1)); err == nil {
+		t.Fatal("negative WithWorkers did not error")
+	}
+	cluster, _, err := New(3, SetObject(), WithSeed(1), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if got := cluster.Workers(); got != 4 {
+		t.Fatalf("Workers() = %d, want 4", got)
+	}
+}
+
+// TestWorkersDeterminismRegression is the determinism gate at the
+// public API: the same (seed, workers) pair must yield the identical
+// delivery schedule (ScheduleFingerprint) and the identical final
+// transport Stats across fresh runs — three runs each for a plain
+// cluster, a key-sharded cluster, and a cluster resized mid-run with
+// the backlog in flight, at one and at four workers, through a
+// workload that also crashes, partitions, heals and recovers.
+func TestWorkersDeterminismRegression(t *testing.T) {
+	type snap struct {
+		fp        uint64
+		stats     NetworkStats
+		converged bool
+	}
+	run := func(shards, resize, workers int) snap {
+		opts := []Option{WithSeed(31), WithWorkers(workers)}
+		if shards > 1 {
+			opts = append(opts, WithShards(shards))
+		}
+		cluster, sets, err := New(4, SetObject(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		crashed := false
+		for k := 0; k < 120; k++ {
+			switch k {
+			case 30:
+				if err := cluster.Crash(2); err != nil {
+					t.Fatal(err)
+				}
+				crashed = true
+			case 40:
+				if err := cluster.Partition([]int{0, 1}); err != nil {
+					t.Fatal(err)
+				}
+			case 60:
+				if err := cluster.Heal(); err != nil {
+					t.Fatal(err)
+				}
+			case 70:
+				if err := cluster.Recover(2); err != nil {
+					t.Fatal(err)
+				}
+				crashed = false
+			}
+			if resize > 0 && k == 55 {
+				if err := cluster.Resize(resize); err != nil {
+					t.Fatal(err)
+				}
+			}
+			p := k % 4
+			if p == 2 && crashed {
+				continue
+			}
+			if k%5 == 0 {
+				sets[p].Delete(fmt.Sprintf("v%d", k%9))
+			} else {
+				sets[p].Insert(fmt.Sprintf("v%d", k%9))
+			}
+			cluster.Deliver()
+		}
+		cluster.Settle()
+		if err := cluster.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		cluster.Settle()
+		return snap{fp: cluster.ScheduleFingerprint(), stats: cluster.Stats(), converged: cluster.Converged()}
+	}
+	variants := []struct {
+		name   string
+		shards int
+		resize int
+	}{
+		{"plain", 1, 0},
+		{"sharded", 4, 0},
+		{"resize", 2, 5},
+	}
+	for _, v := range variants {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", v.name, workers), func(t *testing.T) {
+				first := run(v.shards, v.resize, workers)
+				if !first.converged {
+					t.Fatalf("run 0 did not converge")
+				}
+				for r := 1; r < 3; r++ {
+					got := run(v.shards, v.resize, workers)
+					if got.fp != first.fp {
+						t.Fatalf("run %d schedule fingerprint %x, run 0 %x", r, got.fp, first.fp)
+					}
+					if got.stats != first.stats {
+						t.Fatalf("run %d stats %+v, run 0 %+v", r, got.stats, first.stats)
+					}
+					if !got.converged {
+						t.Fatalf("run %d did not converge", r)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt verify examples bench bench-quick bench-json bench-shards bench-read bench-resize bench-recovery bench-scenario test-resize test-chaos test-parallel-sim
+.PHONY: build test vet fmt verify examples bench bench-quick bench-json bench-shards bench-read bench-resize bench-recovery bench-scenario bench-writers test-resize test-chaos test-parallel-sim test-lockfree
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,13 @@ bench-recovery:
 bench-scenario:
 	$(GO) run ./cmd/ucbench -exp scenario
 
+# bench-writers prints the E20 table: single-replica update throughput
+# under 1/2/4/8 in-process writers, mutex engine vs the lock-free
+# intake (WithLockFreeWriters), plus the contended-update Go benchmarks.
+bench-writers:
+	$(GO) run ./cmd/ucbench -exp writers
+	$(GO) test -run xxx -bench ContendedUpdate -benchmem .
+
 # test-parallel-sim runs the parallel-adversary suite under the race
 # detector: the transport's sharded stepper vs the sequential one, the
 # every-object-kind property test at 2/4/8 workers, the public-API
@@ -71,6 +78,14 @@ test-parallel-sim:
 # API) under the race detector; CI's race job covers the same tests.
 test-resize:
 	$(GO) test -race -run 'Resize|Reshard' ./internal/core/ ./internal/bench/ .
+
+# test-lockfree runs the lock-free writer-path suite under the race
+# detector: the mutex-oracle equivalence tests (deterministic and
+# concurrent, every object kind), epoch-reclamation boundedness, the
+# flush-on-read and session guarantees, and the public-API option
+# gates.
+test-lockfree:
+	$(GO) test -race -run 'LockFree|Loopback|TickN' ./internal/core/ ./internal/clock/ .
 
 # test-chaos runs the seeded chaos schedules (crash/recover/partition/
 # heal/lossy links against every object kind) plus the recovery and
@@ -86,4 +101,4 @@ test-chaos:
 # and kept sorted by label.
 LABEL ?= dev
 bench-json:
-	$(GO) run ./cmd/ucbench -exp hotpath,shards,readmostly,stepbacklog,resize,recovery,scenario -json BENCH_ucbench.json -label $(LABEL)
+	$(GO) run ./cmd/ucbench -exp hotpath,shards,readmostly,stepbacklog,resize,recovery,scenario,writers -json BENCH_ucbench.json -label $(LABEL)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath|shards|readmostly|stepbacklog|resize|recovery|scenario]
+//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath|shards|readmostly|stepbacklog|resize|recovery|scenario|writers]
 //	        [-quick] [-runs n] [-shards list] [-json path] [-label name]
 //
 // -exp accepts a comma-separated list (e.g. -exp hotpath,shards) so one
@@ -64,6 +64,7 @@ type report struct {
 	Reshard     *bench.ReshardResult       `json:"reshard,omitempty"`
 	Recovery    *bench.RecoveryResult      `json:"recovery,omitempty"`
 	Scenario    *bench.ScenarioScaleResult `json:"scenario,omitempty"`
+	Writers     *bench.WritersResult       `json:"writers,omitempty"`
 }
 
 // trajectory is the BENCH_ucbench.json shape: one entry per recorded
@@ -180,7 +181,7 @@ func parseShardCounts(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath, shards, readmostly, stepbacklog, resize, recovery, scenario")
+	exp := flag.String("exp", "all", "comma-separated experiments: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath, shards, readmostly, stepbacklog, resize, recovery, scenario, writers")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	runs := flag.Int("runs", 400, "randomized-history runs for prop2/prop3")
 	shardsFlag := flag.String("shards", "1,2,4,8", "shard counts for the E14 shard-scaling experiment")
@@ -229,6 +230,8 @@ func main() {
 			rep.Recovery = &recovery
 			scenario := bench.ScenarioScale(w, *quick)
 			rep.Scenario = &scenario
+			writers := bench.Writers(w, *quick)
+			rep.Writers = &writers
 		case "fig1", "fig2":
 			if rep.Figures == nil {
 				res := bench.Figures(w)
@@ -333,6 +336,11 @@ func main() {
 			if rep.Scenario == nil {
 				res := bench.ScenarioScale(w, *quick)
 				rep.Scenario = &res
+			}
+		case "writers":
+			if rep.Writers == nil {
+				res := bench.Writers(w, *quick)
+				rep.Writers = &res
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "ucbench: unknown experiment %q\n", name)

@@ -74,6 +74,20 @@ type Replica struct {
 	// (spec.QueryKeyer); it enables the query-output cache below.
 	qkeyer spec.QueryKeyer
 	qc     queryCache
+	// lf is the lock-free ingestion engine (Config.LockFree); nil on
+	// the default mutex path. See lockfree.go.
+	lf *lfIntake
+	// selfTS/selfU/selfPayload stash the last update issued by
+	// UpdateTimestamped (guarded by mu): the transport's inline
+	// self-delivery re-enters handle with the very payload just
+	// encoded, and matching it here by slice identity skips the
+	// redundant decode — and its allocation — on every update's write
+	// path. A concurrent writer overwriting the stash before the
+	// self-delivery lands merely forces that delivery onto the decode
+	// fallback.
+	selfTS      clock.Timestamp
+	selfU       spec.Update
+	selfPayload []byte
 }
 
 // maxQueryCacheEntries bounds the per-replica query-output cache; when
@@ -158,6 +172,14 @@ type Config struct {
 	// Recorder, when set, records this replica's operations for the
 	// consistency deciders.
 	Recorder *history.Recorder
+	// LockFree replaces the mutex ingestion path with the lock-free
+	// intake/drain engine (see lockfree.go): local appends become a
+	// fetch-add claim plus an atomic publish, and whichever writer
+	// holds the drain token folds every published update into the log
+	// and broadcast machinery in batches. Requires a transport that is
+	// safe for concurrent Broadcast calls (the live transport is; the
+	// simulated one is single-driver by design).
+	LockFree bool
 }
 
 // NewReplica builds the replica and attaches it to the transport.
@@ -189,6 +211,9 @@ func NewReplica(cfg Config) *Replica {
 	}
 	r.acodec, _ = codec.(spec.AppendCodec)
 	r.qkeyer, _ = cfg.ADT.(spec.QueryKeyer)
+	if cfg.LockFree {
+		r.lf = newLFIntake()
+	}
 	if cfg.GC {
 		r.stab = clock.NewStability(cfg.N, cfg.ID)
 	}
@@ -204,10 +229,19 @@ func (r *Replica) ID() int { return r.id }
 func (r *Replica) ADT() spec.UQADT { return r.adt }
 
 // Update implements lines 4–7 of Algorithm 1: stamp the update with
-// (clock+1, id) and reliably broadcast it. The state change lands via
-// the broadcast's self-delivery, which the transports perform inline,
-// so the update is locally visible when Update returns.
+// (clock+1, id) and reliably broadcast it. On the mutex engine the
+// state change lands via the broadcast's self-delivery, so the update
+// is locally visible when Update returns. On the lock-free engine
+// (Config.LockFree) Update announces and returns — the fold happens in
+// a deferred, batched drain — and local visibility is guaranteed at
+// the next read instead, which flushes the intake first; callers that
+// need the fold completed (and its timestamp) before proceeding use
+// UpdateTimestamped.
 func (r *Replica) Update(u spec.Update) {
+	if r.lf != nil {
+		r.updateLockFreeAsync(u)
+		return
+	}
 	r.UpdateTimestamped(u)
 }
 
@@ -240,6 +274,7 @@ func (r *Replica) Query(in spec.QueryInput) spec.QueryOutput {
 // (cacheable) query share one lock acquisition, so a covered session
 // read costs a raw read.
 func (r *Replica) queryCovered(cover clock.Vector, in spec.QueryInput) (spec.QueryOutput, bool) {
+	r.flushIntake()
 	key, cacheable := spec.QueryCacheKey{}, false
 	if r.qkeyer != nil {
 		key, cacheable = r.qkeyer.QueryInputKey(in)
@@ -342,6 +377,7 @@ func (r *Replica) ReadState(f func(spec.State)) {
 // pair is consistent. The sharded merged-state cache keys each shard's
 // cached contribution on it.
 func (r *Replica) ReadStateAt(f func(s spec.State, ver uint64)) {
+	r.flushIntake()
 	r.mu.RLock()
 	if s, ok := r.engine.StateConcurrent(); ok {
 		f(s, r.log.Version())
@@ -359,6 +395,7 @@ func (r *Replica) ReadStateAt(f func(s spec.State, ver uint64)) {
 // log). Two equal Version results bracket a window with no log
 // mutation.
 func (r *Replica) Version() uint64 {
+	r.flushIntake()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.log.Version()
@@ -368,6 +405,7 @@ func (r *Replica) Version() uint64 {
 // converged (ω) observation. The simulation harness calls it once per
 // replica after quiescence.
 func (r *Replica) QueryOmega(in spec.QueryInput) spec.QueryOutput {
+	r.flushIntake()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.clk.Tick()
@@ -388,12 +426,51 @@ func (r *Replica) QueryOmega(in spec.QueryInput) spec.QueryOutput {
 // messages on our link, which would let the horizon pass an update
 // that has not arrived yet.
 func (r *Replica) handle(from int, payload []byte) {
+	if r.lf != nil {
+		// Lock-free mode: every broadcast is a drain's batch frame. The
+		// replica's own frames carry nothing new — the drain inserted
+		// their entries (and fed the stability tracker) before
+		// broadcasting.
+		if from != r.id {
+			r.handleBatch(from, payload)
+		}
+		return
+	}
+	if from == r.id && r.handleLoopback(payload) {
+		return
+	}
 	ts, u, err := r.decode(payload)
 	if err != nil {
 		panic(fmt.Sprintf("core: replica %d: corrupt update message: %v", r.id, err))
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.deliverLocked(ts, u)
+}
+
+// handleLoopback serves a self-delivery from the loopback stash: when
+// the payload is the very slice UpdateTimestamped just encoded (slice
+// identity — the transports hand the sender's copy back verbatim), the
+// stashed timestamp and update are used directly and the write path
+// skips re-decoding the message it produced microseconds earlier. A
+// mismatch (another writer overwrote the stash in between) reports
+// false and the caller decodes as usual.
+func (r *Replica) handleLoopback(payload []byte) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.selfU == nil || len(payload) == 0 || len(r.selfPayload) != len(payload) ||
+		&r.selfPayload[0] != &payload[0] {
+		return false
+	}
+	ts, u := r.selfTS, r.selfU
+	r.selfU, r.selfPayload = nil, nil
+	r.deliverLocked(ts, u)
+	return true
+}
+
+// deliverLocked is the shared tail of every delivery: the insert plus
+// the stability/GC bookkeeping. Caller holds the exclusive lock.
+func (r *Replica) deliverLocked(ts clock.Timestamp, u spec.Update) {
 	r.insertLocked(ts, u)
 	if r.stab != nil {
 		r.stab.ObservePeer(ts.Proc, ts.Clock)
@@ -518,6 +595,7 @@ func (r *Replica) Stats() Stats {
 // cluster costs one version compare per call instead of a full state
 // serialization.
 func (r *Replica) StateKey() string {
+	r.flushIntake()
 	r.mu.RLock()
 	if r.fpOK && r.fpVer == r.log.Version() {
 		k := r.fpKey
@@ -538,8 +616,13 @@ func (r *Replica) StateKey() string {
 }
 
 // UpdateTimestamped is Update returning the timestamp assigned to the
-// update; sessions use it to record their own writes.
+// update; sessions use it to record their own writes. On a lock-free
+// replica (Config.LockFree) it routes through the intake/drain engine;
+// the returned timestamp is the one the drain assigned.
 func (r *Replica) UpdateTimestamped(u spec.Update) clock.Timestamp {
+	if r.lf != nil {
+		return r.updateLockFree(u)
+	}
 	r.mu.Lock()
 	cl := r.clk.Tick()
 	if r.stab != nil {
@@ -547,11 +630,13 @@ func (r *Replica) UpdateTimestamped(u spec.Update) clock.Timestamp {
 	}
 	ts := clock.Timestamp{Clock: cl, Proc: r.id}
 	payload := r.encode(ts, u)
+	r.selfTS, r.selfU, r.selfPayload = ts, u, payload
 	if r.rec != nil {
 		r.rec.Update(r.id, u)
 	}
 	r.mu.Unlock()
-	// Broadcast outside the lock: self-delivery re-enters handle.
+	// Broadcast outside the lock: self-delivery re-enters handle,
+	// which serves it from the loopback stash set above.
 	r.net.Broadcast(r.id, payload)
 	return ts
 }
@@ -566,24 +651,31 @@ func (r *Replica) UpdateTimestamped(u spec.Update) clock.Timestamp {
 // (caller holds the lock); only the final payload — which the
 // transport retains until delivery — is allocated.
 func (r *Replica) encode(ts clock.Timestamp, u spec.Update) []byte {
-	scratch := ts.Encode(r.enc[:0])
-	if r.acodec != nil {
-		var err error
-		scratch, err = r.acodec.AppendUpdate(scratch, u)
-		if err != nil {
-			panic(fmt.Sprintf("core: cannot encode update: %v", err))
-		}
-	} else {
-		op, err := r.codec.EncodeUpdate(u)
-		if err != nil {
-			panic(fmt.Sprintf("core: cannot encode update: %v", err))
-		}
-		scratch = append(scratch, op...)
-	}
+	scratch := r.appendMessage(r.enc[:0], ts, u)
 	r.enc = scratch[:0]
 	payload := make([]byte, len(scratch))
 	copy(payload, scratch)
 	return payload
+}
+
+// appendMessage appends the wire encoding of message(ts, id, u) to dst
+// and returns the extended slice; encode and the lock-free drain (which
+// stages a whole batch in one buffer) share it.
+func (r *Replica) appendMessage(dst []byte, ts clock.Timestamp, u spec.Update) []byte {
+	dst = ts.Encode(dst)
+	if r.acodec != nil {
+		var err error
+		dst, err = r.acodec.AppendUpdate(dst, u)
+		if err != nil {
+			panic(fmt.Sprintf("core: cannot encode update: %v", err))
+		}
+		return dst
+	}
+	op, err := r.codec.EncodeUpdate(u)
+	if err != nil {
+		panic(fmt.Sprintf("core: cannot encode update: %v", err))
+	}
+	return append(dst, op...)
 }
 
 // decode parses an update message.
@@ -611,7 +703,7 @@ func Cluster(n int, adt spec.UQADT, net transport.Network, opt ClusterOptions) [
 		reps[i] = NewReplica(Config{
 			ID: i, N: n, ADT: adt, Net: net,
 			Engine: eng, GC: opt.GC, GCEvery: opt.GCEvery,
-			Recorder: opt.Recorder,
+			Recorder: opt.Recorder, LockFree: opt.LockFree,
 		})
 	}
 	return reps
@@ -627,4 +719,6 @@ type ClusterOptions struct {
 	GCEvery int
 	// Recorder records all replicas' operations when set.
 	Recorder *history.Recorder
+	// LockFree selects the lock-free writer engine (Config.LockFree).
+	LockFree bool
 }

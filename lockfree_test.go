@@ -1,0 +1,281 @@
+package updatec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWithLockFreeWritersValidation pins the option's contract at the
+// public surface: the lock-free intake rides the live transport's
+// concurrent broadcasts, so it refuses the single-goroutine simulated
+// adversary, and it replaces Algorithm 1's ingestion mutex, so it
+// refuses the Algorithm 2 memory object that has none.
+func TestWithLockFreeWritersValidation(t *testing.T) {
+	if _, _, err := New(3, SetObject(), WithSeed(7), WithLockFreeWriters()); err == nil {
+		t.Fatal("WithLockFreeWriters with WithSeed did not error")
+	} else if !strings.Contains(err.Error(), "WithLockFreeWriters") {
+		t.Fatalf("error does not name the offending option: %v", err)
+	}
+	if _, _, err := New(3, MemoryObject(""), WithLockFreeWriters()); err == nil {
+		t.Fatal("WithLockFreeWriters on MemoryObject did not error")
+	} else if !strings.Contains(err.Error(), "WithLockFreeWriters") {
+		t.Fatalf("error does not name the offending option: %v", err)
+	}
+	plain, _, err := New(3, CounterObject(), WithLockFreeWriters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Close()
+	sharded, _, err := New(3, CounterMapObject(), WithShards(4), WithLockFreeWriters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded.Close()
+	gc, _, err := New(3, CounterObject(), WithGC(), WithLockFreeWriters())
+	if err != nil {
+		t.Fatalf("WithGC + WithLockFreeWriters should compose: %v", err)
+	}
+	gc.Close()
+}
+
+// TestLockFreeAllObjectKindsConverge drives every generic object kind
+// through a lock-free cluster with concurrent writers on every handle
+// and requires convergence after Settle — the public-API analogue of
+// the core package's oracle tests, run under -race in CI.
+func TestLockFreeAllObjectKindsConverge(t *testing.T) {
+	const n = 3
+	// Each case builds its own cluster so the handle types stay
+	// concrete; the workload shape is shared: every replica's handle is
+	// driven from its own goroutine.
+	drive := func(t *testing.T, perHandle int, work func(i, k int), settle func() bool) {
+		t.Helper()
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for k := 0; k < perHandle; k++ {
+					work(i, k)
+				}
+			}(i)
+		}
+		wg.Wait()
+		if !settle() {
+			t.Fatal("cluster did not converge")
+		}
+	}
+
+	t.Run("set", func(t *testing.T) {
+		cluster, hs, err := New(n, SetObject(), WithLockFreeWriters())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		drive(t, 40, func(i, k int) {
+			hs[i].Insert(fmt.Sprint(k % 7))
+			if k%3 == 0 {
+				hs[i].Delete(fmt.Sprint((k + i) % 7))
+			}
+		}, func() bool { cluster.Settle(); return cluster.Converged() })
+	})
+	t.Run("counter", func(t *testing.T) {
+		cluster, hs, err := New(n, CounterObject(), WithLockFreeWriters())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		drive(t, 40, func(i, k int) { hs[i].Add(int64(k%5 - 2)) },
+			func() bool { cluster.Settle(); return cluster.Converged() })
+	})
+	t.Run("register", func(t *testing.T) {
+		cluster, hs, err := New(n, RegisterObject("r0"), WithLockFreeWriters())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		drive(t, 40, func(i, k int) { hs[i].Write(fmt.Sprintf("p%d-%d", i, k)) },
+			func() bool { cluster.Settle(); return cluster.Converged() })
+	})
+	t.Run("textlog", func(t *testing.T) {
+		cluster, hs, err := New(n, TextLogObject(), WithLockFreeWriters())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		drive(t, 40, func(i, k int) { hs[i].Append(fmt.Sprintf("p%d line %d", i, k)) },
+			func() bool { cluster.Settle(); return cluster.Converged() })
+	})
+	t.Run("graph", func(t *testing.T) {
+		cluster, hs, err := New(n, GraphObject(), WithLockFreeWriters())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		drive(t, 40, func(i, k int) {
+			u, v := fmt.Sprint(k%4), fmt.Sprint((k+1)%4)
+			switch k % 4 {
+			case 0:
+				hs[i].AddVertex(u)
+			case 1:
+				hs[i].AddEdge(u, v)
+			case 2:
+				hs[i].RemoveEdge(u, v)
+			default:
+				hs[i].RemoveVertex(v)
+			}
+		}, func() bool { cluster.Settle(); return cluster.Converged() })
+	})
+	t.Run("sequence", func(t *testing.T) {
+		cluster, hs, err := New(n, SequenceObject(), WithLockFreeWriters())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		drive(t, 40, func(i, k int) {
+			if k%4 == 3 {
+				hs[i].DeleteAt(k % 3)
+			} else {
+				hs[i].InsertAt(k%3, fmt.Sprintf("p%d", i))
+			}
+		}, func() bool { cluster.Settle(); return cluster.Converged() })
+	})
+	t.Run("kv", func(t *testing.T) {
+		cluster, hs, err := New(n, KVObject(), WithLockFreeWriters())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		drive(t, 40, func(i, k int) { hs[i].Put(fmt.Sprint(k%9), fmt.Sprintf("p%d-%d", i, k)) },
+			func() bool { cluster.Settle(); return cluster.Converged() })
+	})
+	t.Run("countermap", func(t *testing.T) {
+		cluster, hs, err := New(n, CounterMapObject(), WithLockFreeWriters())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		drive(t, 40, func(i, k int) { hs[i].Add(fmt.Sprint(k%9), int64(i+1)) },
+			func() bool { cluster.Settle(); return cluster.Converged() })
+	})
+}
+
+// TestLockFreeCounterSumOracle is the public-API exact oracle: with
+// concurrent writers on every replica of both engines, the counter
+// must converge to the same known sum — nothing announced may be lost,
+// duplicated, or misfolded by the lock-free intake.
+func TestLockFreeCounterSumOracle(t *testing.T) {
+	const n, perHandle = 3, 300
+	run := func(opts ...Option) int64 {
+		cluster, hs, err := New(n, CounterObject(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for k := 0; k < perHandle; k++ {
+					hs[i].Add(int64(i + 1))
+				}
+			}(i)
+		}
+		wg.Wait()
+		cluster.Settle()
+		if !cluster.Converged() {
+			t.Fatal("cluster did not converge")
+		}
+		return hs[0].Value()
+	}
+	want := int64(perHandle * (1 + 2 + 3))
+	if got := run(WithLockFreeWriters()); got != want {
+		t.Fatalf("lock-free sum %d, want %d", got, want)
+	}
+	if got := run(); got != want {
+		t.Fatalf("mutex sum %d, want %d", got, want)
+	}
+}
+
+// TestLockFreeShardedResize drives a sharded lock-free cluster with
+// concurrent writers while the shard count changes mid-stream: the
+// resize must flush every shard's intake before moving entries, so the
+// final per-key sums stay exact.
+func TestLockFreeShardedResize(t *testing.T) {
+	const n, perHandle, keys = 3, 200, 8
+	cluster, hs, err := New(n, CounterMapObject(), WithShards(2), WithLockFreeWriters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < perHandle; k++ {
+				hs[i].Add(fmt.Sprint(k%keys), 1)
+			}
+		}(i)
+	}
+	// Resize concurrently with the writers, both directions.
+	if err := cluster.Resize(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Resize(3); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	cluster.Settle()
+	if !cluster.Converged() {
+		t.Fatal("sharded lock-free cluster did not converge after resizes")
+	}
+	var total int64
+	for k := 0; k < keys; k++ {
+		total += hs[0].Value(fmt.Sprint(k))
+	}
+	if want := int64(n * perHandle); total != want {
+		t.Fatalf("sum over keys %d, want %d", total, want)
+	}
+}
+
+// TestLockFreeSessionGuarantees checks that sessions (which use the
+// synchronous, timestamp-returning update path) compose with the
+// lock-free engine: a session write is immediately readable through
+// the session, and after failing over to a settled replica the
+// session's reads still cover everything it wrote.
+func TestLockFreeSessionGuarantees(t *testing.T) {
+	cluster, _, err := New(3, CounterObject(), WithLockFreeWriters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	sess, err := cluster.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		sess.Handle().Inc()
+		var got int64
+		if !sess.TryQuery(func(c *Counter) { got = c.Value() }) {
+			t.Fatalf("read-your-writes: session read %d not served on the issuing replica", i)
+		}
+		if got < int64(i) {
+			t.Fatalf("session read %d after %d session writes", got, i)
+		}
+	}
+	cluster.Settle()
+	sess.Switch(2)
+	if !sess.Covered() {
+		t.Fatal("settled replica does not cover the session")
+	}
+	var got int64
+	if !sess.TryQuery(func(c *Counter) { got = c.Value() }) {
+		t.Fatal("session read not served after failover to a settled replica")
+	}
+	if got != 10 {
+		t.Fatalf("post-failover session read %d, want 10", got)
+	}
+}

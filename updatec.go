@@ -84,6 +84,7 @@ type config struct {
 	record    bool
 	shards    int
 	workers   int
+	lockfree  bool
 }
 
 // Option configures a cluster.
@@ -133,6 +134,24 @@ func WithRecording() Option { return func(c *config) { c.record = true } }
 // changes which schedule the seed denotes, not whether it is
 // deterministic.
 func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
+// WithLockFreeWriters replaces each replica's mutex ingestion path with
+// the lock-free intake/drain engine: concurrent writers on one handle
+// announce their updates with a single fetch-add each and never block
+// on one another; whichever writer holds the drain token folds every
+// announced update — its own and stalled peers' (helping) — into the
+// log and broadcast machinery in one batch. Choose it for the
+// in-process many-core regime, where many goroutines write through the
+// same replica handle; with one writer per handle the mutex engine is
+// just as fast and remains the reference implementation.
+//
+// It composes with WithShards (each per-shard replica gets its own
+// intake), WithGC, WithEngine and Resize. It requires the live
+// transport — the simulated adversary (WithSeed) is driven by a single
+// goroutine and cannot accept broadcasts from concurrent writers — and
+// an object built on the generic construction (MemoryObject's
+// Algorithm 2 has no ingestion mutex to replace).
+func WithLockFreeWriters() Option { return func(c *config) { c.lockfree = true } }
 
 // WithShards runs each replica as s key shards — one instance of
 // Algorithm 1 (log, Lamport clock, query engine, transport channel)
@@ -232,6 +251,14 @@ func New[H any](n int, obj Object[H], opts ...Option) (*Cluster[H], []H, error) 
 	if cfg.workers > 1 && !cfg.simulated {
 		return nil, nil, fmt.Errorf("updatec: WithWorkers requires WithSeed (the parallel adversary shards the simulated transport)")
 	}
+	if cfg.lockfree {
+		if obj.alg2 {
+			return nil, nil, fmt.Errorf("updatec: %s does not support WithLockFreeWriters: Algorithm 2 has no ingestion mutex to replace", obj.name)
+		}
+		if cfg.simulated {
+			return nil, nil, fmt.Errorf("updatec: WithLockFreeWriters requires the live transport; the simulated adversary (WithSeed) is single-goroutine")
+		}
+	}
 	cl := &Cluster[H]{n: n, obj: obj, shards: cfg.shards, gc: cfg.gc, crashed: map[int]bool{}}
 	if cl.workers = cfg.workers; cl.workers < 1 {
 		cl.workers = 1
@@ -270,7 +297,7 @@ func New[H any](n int, obj Object[H], opts ...Option) (*Cluster[H], []H, error) 
 	case Undo:
 		mkEngine = func() core.Engine { return core.NewUndoEngine() }
 	}
-	copt := core.ClusterOptions{NewEngine: mkEngine, GC: cfg.gc}
+	copt := core.ClusterOptions{NewEngine: mkEngine, GC: cfg.gc, LockFree: cfg.lockfree}
 	if cfg.shards == 1 {
 		// One shard is exactly the unsharded construction, so recording
 		// can live inside the replica (one clock per process).
@@ -467,6 +494,11 @@ func (c *Cluster[H]) Settle() {
 		}
 		c.sim.Quiesce()
 		return
+	}
+	// Lock-free replicas defer drains; fold and broadcast everything
+	// announced so the Drain below really settles the cluster.
+	for _, r := range c.replicas {
+		r.FlushIntake()
 	}
 	c.live.Drain()
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt verify examples bench bench-quick bench-json bench-shards bench-read bench-resize bench-recovery bench-scenario bench-writers test-resize test-chaos test-parallel-sim test-lockfree
+.PHONY: build test vet fmt verify examples bench bench-quick bench-json bench-shards bench-read bench-resize bench-recovery bench-scenario bench-writers bench-wire test-resize test-chaos test-parallel-sim test-lockfree test-wire fuzz
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,28 @@ bench-writers:
 	$(GO) run ./cmd/ucbench -exp writers
 	$(GO) test -run xxx -bench ContendedUpdate -benchmem .
 
+# bench-wire prints the E21 table: the insert workload on real ucserve
+# daemon processes over loopback TCP (batching off and at the default
+# threshold) against the in-process LiveNetwork baseline.
+bench-wire:
+	$(GO) run ./cmd/ucbench -exp wire
+
+# test-wire runs the loopback wire-transport suite under the race
+# detector: the TCP transport and mailbox unit tests, the byte-level
+# anti-entropy exchange, in-process daemon clusters for every object
+# kind, the client protocol and garbage-frame rejection, and the real
+# multi-process ucserve suite (three object kinds, CLI client, and
+# kill -9 + restart repaired by the on-connect digest exchange).
+test-wire:
+	$(GO) test -race -run 'TestTCP|TestMailbox|Wire' ./internal/transport/ ./internal/core/ .
+
+# fuzz runs a short coverage-guided pass over the byte-level decoders
+# that face the network: the wire-frame envelope codec and the batch
+# frame iterator. The seed corpora also run under plain `go test`.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzEnvelopeDecode -fuzztime 10s ./internal/transport/
+	$(GO) test -run '^$$' -fuzz FuzzBatchFrame -fuzztime 10s ./internal/core/
+
 # test-parallel-sim runs the parallel-adversary suite under the race
 # detector: the transport's sharded stepper vs the sequential one, the
 # every-object-kind property test at 2/4/8 workers, the public-API
@@ -101,4 +123,4 @@ test-chaos:
 # and kept sorted by label.
 LABEL ?= dev
 bench-json:
-	$(GO) run ./cmd/ucbench -exp hotpath,shards,readmostly,stepbacklog,resize,recovery,scenario,writers -json BENCH_ucbench.json -label $(LABEL)
+	$(GO) run ./cmd/ucbench -exp hotpath,shards,readmostly,stepbacklog,resize,recovery,scenario,writers,wire -json BENCH_ucbench.json -label $(LABEL)

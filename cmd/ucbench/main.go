@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath|shards|readmostly|stepbacklog|resize|recovery|scenario|writers]
+//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath|shards|readmostly|stepbacklog|resize|recovery|scenario|writers|wire]
 //	        [-quick] [-runs n] [-shards list] [-json path] [-label name]
 //
 // -exp accepts a comma-separated list (e.g. -exp hotpath,shards) so one
@@ -65,6 +65,7 @@ type report struct {
 	Recovery    *bench.RecoveryResult      `json:"recovery,omitempty"`
 	Scenario    *bench.ScenarioScaleResult `json:"scenario,omitempty"`
 	Writers     *bench.WritersResult       `json:"writers,omitempty"`
+	Wire        *bench.WireResult          `json:"wire,omitempty"`
 }
 
 // trajectory is the BENCH_ucbench.json shape: one entry per recorded
@@ -181,7 +182,7 @@ func parseShardCounts(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath, shards, readmostly, stepbacklog, resize, recovery, scenario, writers")
+	exp := flag.String("exp", "all", "comma-separated experiments: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath, shards, readmostly, stepbacklog, resize, recovery, scenario, writers, wire")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	runs := flag.Int("runs", 400, "randomized-history runs for prop2/prop3")
 	shardsFlag := flag.String("shards", "1,2,4,8", "shard counts for the E14 shard-scaling experiment")
@@ -232,6 +233,8 @@ func main() {
 			rep.Scenario = &scenario
 			writers := bench.Writers(w, *quick)
 			rep.Writers = &writers
+			wire := bench.Wire(w, *quick)
+			rep.Wire = &wire
 		case "fig1", "fig2":
 			if rep.Figures == nil {
 				res := bench.Figures(w)
@@ -341,6 +344,11 @@ func main() {
 			if rep.Writers == nil {
 				res := bench.Writers(w, *quick)
 				rep.Writers = &res
+			}
+		case "wire":
+			if rep.Wire == nil {
+				res := bench.Wire(w, *quick)
+				rep.Wire = &res
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "ucbench: unknown experiment %q\n", name)

@@ -1,0 +1,335 @@
+// Command ucserve runs one replica of a wire-distributed updatec
+// cluster as a daemon, or acts as a client to a running daemon.
+//
+// Daemon:
+//
+//	ucserve -id 0 -listen :7001 -peers :7001,:7002,:7003 -obj set [-shards 4] [-gc]
+//	        [-batch bytes] [-queue len] [-drop] [-v]
+//
+// Every process of the cluster runs the same -peers list (index =
+// replica id) with its own -id. The daemon serves replication traffic
+// to its peers and the framed client protocol on the same port. A
+// kill -9'd daemon can simply be restarted: the on-connect digest
+// exchange pulls everything it missed from its peers. SIGUSR1 dumps
+// stats to stderr; SIGINT/SIGTERM flush the send queues and exit.
+//
+// Client:
+//
+//	ucserve -client ADDR -obj set insert x insert y elems
+//	ucserve -client ADDR statekey
+//	ucserve -client ADDR stats
+//
+// Each remaining argument is one command. Protocol-level commands
+// (statekey, stats, ping) work for any object; data commands depend on
+// -obj:
+//
+//	set:        insert V | delete V | elems
+//	counter:    add N | value
+//	countermap: add K N | value K | all
+//	register:   write V | read
+//	log:        append V | read
+//	kv:         put K V | get K
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"updatec"
+)
+
+func main() {
+	var (
+		id     = flag.Int("id", 0, "replica id (index into -peers)")
+		listen = flag.String("listen", "", "listen address (default: the -peers entry for -id)")
+		peers  = flag.String("peers", "", "comma-separated cluster addresses, one per replica id")
+		obj    = flag.String("obj", "set", "object kind: set|counter|countermap|register|log|kv|graph|sequence")
+		shards = flag.Int("shards", 1, "key shards per replica (partitionable objects)")
+		gc     = flag.Bool("gc", false, "enable stability-based log compaction")
+		batch  = flag.Int("batch", 0, "outbound batch coalescing threshold in bytes (default 64KiB; 1 disables)")
+		queue  = flag.Int("queue", 0, "per-peer send queue bound in envelopes (default 4096)")
+		drop   = flag.Bool("drop", false, "drop on full send queue instead of blocking (backpressure policy)")
+		client = flag.String("client", "", "run as client against the given daemon address")
+		verb   = flag.Bool("v", false, "log connection lifecycle events")
+	)
+	flag.Parse()
+
+	if *client != "" {
+		if err := runClient(*client, *obj, flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "ucserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *peers == "" {
+		fmt.Fprintln(os.Stderr, "ucserve: -peers is required in daemon mode")
+		os.Exit(2)
+	}
+	cfg := updatec.WireConfig{
+		ID:         *id,
+		Peers:      strings.Split(*peers, ","),
+		Listen:     *listen,
+		Shards:     *shards,
+		GC:         *gc,
+		BatchBytes: *batch,
+		QueueLen:   *queue,
+		DropOnFull: *drop,
+	}
+	if *verb {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ucserve[%d]: "+format+"\n", append([]any{*id}, args...)...)
+		}
+	}
+	node, err := serve(*obj, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ucserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ucserve: replica %d serving %s on %s\n", *id, *obj, node.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGUSR1)
+	for sig := range sigs {
+		if sig == syscall.SIGUSR1 {
+			fmt.Fprint(os.Stderr, node.StatsText())
+			continue
+		}
+		// Graceful shutdown: drain the send queues so peers receive
+		// everything this replica broadcast, then close.
+		node.Flush(5 * time.Second)
+		node.Close()
+		return
+	}
+}
+
+// wireServer is the object-independent daemon surface — each object
+// kind instantiates the generic WireNode behind it.
+type wireServer interface {
+	Addr() string
+	StateKey() string
+	StatsText() string
+	Flush(time.Duration) error
+	Close() error
+}
+
+// serve starts the daemon for the named object kind.
+func serve(obj string, cfg updatec.WireConfig) (wireServer, error) {
+	switch obj {
+	case "set":
+		return updatec.ListenAndServe(updatec.SetObject(), cfg)
+	case "counter":
+		return updatec.ListenAndServe(updatec.CounterObject(), cfg)
+	case "countermap":
+		return updatec.ListenAndServe(updatec.CounterMapObject(), cfg)
+	case "register":
+		return updatec.ListenAndServe(updatec.RegisterObject(""), cfg)
+	case "log":
+		return updatec.ListenAndServe(updatec.TextLogObject(), cfg)
+	case "kv":
+		return updatec.ListenAndServe(updatec.KVObject(), cfg)
+	case "graph":
+		return updatec.ListenAndServe(updatec.GraphObject(), cfg)
+	case "sequence":
+		return updatec.ListenAndServe(updatec.SequenceObject(), cfg)
+	default:
+		return nil, fmt.Errorf("unknown object kind %q", obj)
+	}
+}
+
+// runClient executes the argument commands against a daemon, printing
+// one line per query result.
+func runClient(addr, obj string, cmds []string) error {
+	if len(cmds) == 0 {
+		return fmt.Errorf("no commands; try: ucserve -client %s statekey", addr)
+	}
+	switch obj {
+	case "set":
+		return clientLoop(updatec.SetObject(), addr, cmds, func(h *updatec.Set, verb string, args []string) (string, bool, error) {
+			switch verb {
+			case "insert":
+				if len(args) != 1 {
+					return "", false, fmt.Errorf("insert needs one value")
+				}
+				h.Insert(args[0])
+				return "", false, nil
+			case "delete":
+				if len(args) != 1 {
+					return "", false, fmt.Errorf("delete needs one value")
+				}
+				h.Delete(args[0])
+				return "", false, nil
+			case "elems":
+				return fmt.Sprint(h.Elements()), true, nil
+			}
+			return "", false, errUnknown(verb)
+		})
+	case "counter":
+		return clientLoop(updatec.CounterObject(), addr, cmds, func(h *updatec.Counter, verb string, args []string) (string, bool, error) {
+			switch verb {
+			case "add":
+				if len(args) != 1 {
+					return "", false, fmt.Errorf("add needs one integer")
+				}
+				n, err := strconv.ParseInt(args[0], 10, 64)
+				if err != nil {
+					return "", false, err
+				}
+				h.Add(n)
+				return "", false, nil
+			case "value":
+				return fmt.Sprint(h.Value()), true, nil
+			}
+			return "", false, errUnknown(verb)
+		})
+	case "countermap":
+		return clientLoop(updatec.CounterMapObject(), addr, cmds, func(h *updatec.CounterMap, verb string, args []string) (string, bool, error) {
+			switch verb {
+			case "add":
+				if len(args) != 2 {
+					return "", false, fmt.Errorf("add needs a key and an integer")
+				}
+				n, err := strconv.ParseInt(args[1], 10, 64)
+				if err != nil {
+					return "", false, err
+				}
+				h.Add(args[0], n)
+				return "", false, nil
+			case "value":
+				if len(args) != 1 {
+					return "", false, fmt.Errorf("value needs a key")
+				}
+				return fmt.Sprint(h.Value(args[0])), true, nil
+			case "all":
+				return fmt.Sprint(h.All()), true, nil
+			}
+			return "", false, errUnknown(verb)
+		})
+	case "register":
+		return clientLoop(updatec.RegisterObject(""), addr, cmds, func(h *updatec.Register, verb string, args []string) (string, bool, error) {
+			switch verb {
+			case "write":
+				if len(args) != 1 {
+					return "", false, fmt.Errorf("write needs one value")
+				}
+				h.Write(args[0])
+				return "", false, nil
+			case "read":
+				return h.Read(), true, nil
+			}
+			return "", false, errUnknown(verb)
+		})
+	case "log":
+		return clientLoop(updatec.TextLogObject(), addr, cmds, func(h *updatec.TextLog, verb string, args []string) (string, bool, error) {
+			switch verb {
+			case "append":
+				if len(args) != 1 {
+					return "", false, fmt.Errorf("append needs one value")
+				}
+				h.Append(args[0])
+				return "", false, nil
+			case "read":
+				return fmt.Sprint(h.Lines()), true, nil
+			}
+			return "", false, errUnknown(verb)
+		})
+	case "kv":
+		return clientLoop(updatec.KVObject(), addr, cmds, func(h *updatec.KV, verb string, args []string) (string, bool, error) {
+			switch verb {
+			case "put":
+				if len(args) != 2 {
+					return "", false, fmt.Errorf("put needs a key and a value")
+				}
+				h.Put(args[0], args[1])
+				return "", false, nil
+			case "get":
+				if len(args) != 1 {
+					return "", false, fmt.Errorf("get needs a key")
+				}
+				return h.Get(args[0]), true, nil
+			}
+			return "", false, errUnknown(verb)
+		})
+	default:
+		return fmt.Errorf("client mode does not support object kind %q", obj)
+	}
+}
+
+func errUnknown(verb string) error {
+	return fmt.Errorf("unknown command %q (protocol commands: statekey, stats, ping)", verb)
+}
+
+// arity maps data-command verbs to their argument counts per object,
+// so a flat argument list splits into commands unambiguously.
+var arity = map[string]map[string]int{
+	"set":        {"insert": 1, "delete": 1, "elems": 0},
+	"counter":    {"add": 1, "value": 0},
+	"countermap": {"add": 2, "value": 1, "all": 0},
+	"register":   {"write": 1, "read": 0},
+	"log":        {"append": 1, "read": 0},
+	"kv":         {"put": 2, "get": 1},
+}
+
+// clientLoop dials, splits the flat argument list into commands using
+// the object's arity table, and executes them in order.
+func clientLoop[H any](obj updatec.Object[H], addr string, cmds []string, run func(h H, verb string, args []string) (string, bool, error)) error {
+	c, err := updatec.Dial(obj, addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	h := c.Handle()
+	ar := arity[obj.Name()]
+	for i := 0; i < len(cmds); {
+		verb := cmds[i]
+		i++
+		switch verb {
+		case "statekey":
+			key, err := c.StateKey()
+			if err != nil {
+				return err
+			}
+			fmt.Println(key)
+			continue
+		case "stats":
+			txt, err := c.StatsText()
+			if err != nil {
+				return err
+			}
+			fmt.Print(txt)
+			continue
+		case "ping":
+			if err := c.Flush(); err != nil {
+				return err
+			}
+			continue
+		}
+		n, ok := ar[verb]
+		if !ok {
+			return errUnknown(verb)
+		}
+		if i+n > len(cmds) {
+			return fmt.Errorf("%s needs %d argument(s)", verb, n)
+		}
+		out, isQuery, err := run(h, verb, cmds[i:i+n])
+		if err != nil {
+			return err
+		}
+		i += n
+		if isQuery {
+			fmt.Println(out)
+		}
+	}
+	// Updates are fire-and-forget on the wire; the barrier makes the
+	// invocation durable (applied and forwarded) before exiting.
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	return c.Err()
+}

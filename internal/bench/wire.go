@@ -1,0 +1,293 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"updatec"
+)
+
+// WireRow is one line of E21: one transport configuration carrying the
+// same commutative insert workload across a 3-replica cluster.
+type WireRow struct {
+	// Transport is "inproc" (LiveNetwork, goroutines in one process) or
+	// "tcp" (the wire transport: framed envelopes over loopback sockets,
+	// per-peer batching, one ucserve process per replica).
+	Transport string `json:"transport"`
+	// BatchBytes is the tcp rows' outbound coalescing threshold (1
+	// disables coalescing: every envelope is framed and flushed alone).
+	BatchBytes int `json:"batch_bytes,omitempty"`
+	Ops        int `json:"ops"`
+	// OpsPerSec is end-to-end throughput: first update issued until
+	// every replica's state key converged.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// SettleMs is the convergence tail: from the ingest barrier (all
+	// updates applied by the issuing replica and handed to its
+	// transport) until the last replica caught up.
+	SettleMs float64 `json:"settle_ms"`
+}
+
+// WireResult reports experiment E21.
+type WireResult struct {
+	// Mode records what the tcp rows measured: "procs" (real ucserve
+	// daemon processes) or "nodes" (in-process ListenAndServe daemons on
+	// real loopback sockets — the fallback when the daemon binary cannot
+	// be built, e.g. no Go toolchain at bench time).
+	Mode string    `json:"mode"`
+	Rows []WireRow `json:"rows"`
+	// WireVsInproc is the headline ratio: tcp ops/sec at the default
+	// batch threshold over the in-process baseline. Crossing real
+	// sockets is expected to cost; this number says how much.
+	WireVsInproc float64 `json:"wire_vs_inproc"`
+}
+
+// wireBenchAddrs reserves n loopback addresses.
+func wireBenchAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+// driveWire runs the workload against three already-listening daemons:
+// one client per daemon, all ops issued through daemon 0, convergence
+// polled through the other two. Works identically whether the daemons
+// are ucserve processes or in-process nodes.
+func driveWire(addrs []string, ops int) (total, settle time.Duration, err error) {
+	clients := make([]*updatec.Client[*updatec.Set], len(addrs))
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for i, addr := range addrs {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			c, derr := updatec.Dial(updatec.SetObject(), addr)
+			if derr == nil {
+				if _, derr = c.StateKey(); derr == nil {
+					clients[i] = c
+					break
+				}
+				c.Close()
+			}
+			if time.Now().After(deadline) {
+				return 0, 0, fmt.Errorf("daemon at %s never became ready: %w", addr, derr)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	h := clients[0].Handle()
+	t0 := time.Now()
+	for i := 0; i < ops; i++ {
+		h.Insert(fmt.Sprintf("w%d", i))
+	}
+	// The ping barrier: daemon 0 has applied every update and written
+	// every broadcast envelope to its peer sockets.
+	if err := clients[0].Flush(); err != nil {
+		return 0, 0, err
+	}
+	ingested := time.Now()
+	want, err := clients[0].StateKey()
+	if err != nil {
+		return 0, 0, err
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for _, c := range clients[1:] {
+		for {
+			key, kerr := c.StateKey()
+			if kerr != nil {
+				return 0, 0, kerr
+			}
+			if key == want {
+				break
+			}
+			if time.Now().After(deadline) {
+				return 0, 0, fmt.Errorf("cluster did not settle")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	done := time.Now()
+	return done.Sub(t0), done.Sub(ingested), nil
+}
+
+// buildUcserveBin compiles cmd/ucserve into a temp dir; it requires a
+// Go toolchain and a cwd inside the module (true for every make
+// target), and E21 falls back to in-process daemons otherwise.
+func buildUcserveBin() (string, error) {
+	dir, err := os.MkdirTemp("", "ucbench-wire-")
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "ucserve")
+	out, err := exec.Command("go", "build", "-o", bin, "updatec/cmd/ucserve").CombinedOutput()
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", fmt.Errorf("go build: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// tcpProcsRun spawns three ucserve daemons with the given batch
+// threshold and drives the workload through real client sockets.
+func tcpProcsRun(bin string, ops, batch int) (total, settle time.Duration, err error) {
+	addrs, err := wireBenchAddrs(3)
+	if err != nil {
+		return 0, 0, err
+	}
+	cmds := make([]*exec.Cmd, 3)
+	defer func() {
+		for _, cmd := range cmds {
+			if cmd != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		}
+	}()
+	for id := range addrs {
+		cmd := exec.Command(bin,
+			"-id", fmt.Sprint(id),
+			"-peers", strings.Join(addrs, ","),
+			"-obj", "set",
+			"-batch", fmt.Sprint(batch))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return 0, 0, err
+		}
+		cmds[id] = cmd
+	}
+	return driveWire(addrs, ops)
+}
+
+// tcpNodesRun is the no-toolchain fallback: the same TCP transport and
+// client protocol, with the three daemons hosted in this process.
+func tcpNodesRun(ops, batch int) (total, settle time.Duration, err error) {
+	addrs, err := wireBenchAddrs(3)
+	if err != nil {
+		return 0, 0, err
+	}
+	nodes := make([]*updatec.WireNode[*updatec.Set], 3)
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	}()
+	for id := range addrs {
+		node, nerr := updatec.ListenAndServe(updatec.SetObject(),
+			updatec.WireConfig{ID: id, Peers: addrs, BatchBytes: batch})
+		if nerr != nil {
+			return 0, 0, nerr
+		}
+		nodes[id] = node
+	}
+	return driveWire(addrs, ops)
+}
+
+// inprocRun is the baseline: the same workload on an in-process
+// LiveNetwork cluster (goroutine mailboxes, no sockets, no framing).
+func inprocRun(ops int) (total, settle time.Duration, err error) {
+	cl, hs, err := updatec.New(3, updatec.SetObject())
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+	t0 := time.Now()
+	for i := 0; i < ops; i++ {
+		hs[0].Insert(fmt.Sprintf("w%d", i))
+	}
+	ingested := time.Now()
+	cl.Settle()
+	done := time.Now()
+	if !cl.Converged() {
+		return 0, 0, fmt.Errorf("in-process cluster did not converge")
+	}
+	return done.Sub(t0), done.Sub(ingested), nil
+}
+
+// Wire (E21) measures what crossing real sockets costs: a 3-replica
+// cluster carries the same single-writer insert workload in-process
+// (LiveNetwork) and over the TCP wire transport — real ucserve
+// processes on loopback, framed envelopes, per-peer batched sends —
+// with the batching knob at 1 (coalescing off) and at the 64KiB
+// default. Throughput is end-to-end (first update to full
+// convergence); the settle column isolates the replication tail after
+// the issuing replica's ingest barrier.
+func Wire(w io.Writer, quickRun bool) WireResult {
+	section(w, "E21", "wire transport: ucserve daemons on loopback vs in-process live cluster")
+	ops := 20_000
+	if quickRun {
+		ops = 4_000
+	}
+	res := WireResult{Mode: "procs"}
+	bin, err := buildUcserveBin()
+	if err != nil {
+		fmt.Fprintf(w, "note: building ucserve failed (%v); tcp rows use in-process daemons\n", err)
+		res.Mode = "nodes"
+	} else {
+		defer os.RemoveAll(filepath.Dir(bin))
+	}
+
+	tcpRun := func(ops, batch int) (time.Duration, time.Duration, error) {
+		if res.Mode == "procs" {
+			return tcpProcsRun(bin, ops, batch)
+		}
+		return tcpNodesRun(ops, batch)
+	}
+
+	t := newTable(w, "transport", "batch", "ops", "ops/sec", "settle")
+	var inprocRate float64
+	// Warmup then measure, matching the other experiments' discipline.
+	inprocRun(ops / 10)
+	if total, settle, err := inprocRun(ops); err != nil {
+		fmt.Fprintf(w, "inproc baseline failed: %v\n", err)
+	} else {
+		row := WireRow{
+			Transport: "inproc", Ops: ops,
+			OpsPerSec: float64(ops) / total.Seconds(),
+			SettleMs:  float64(settle.Microseconds()) / 1000,
+		}
+		inprocRate = row.OpsPerSec
+		res.Rows = append(res.Rows, row)
+		t.row("inproc", "-", fmt.Sprint(ops), fmt.Sprintf("%.0f", row.OpsPerSec), fmt.Sprintf("%.1fms", row.SettleMs))
+	}
+	for _, batch := range []int{1, 64 << 10} {
+		tcpRun(ops/10, batch)
+		total, settle, err := tcpRun(ops, batch)
+		if err != nil {
+			fmt.Fprintf(w, "tcp run (batch=%d) failed: %v\n", batch, err)
+			continue
+		}
+		row := WireRow{
+			Transport: "tcp", BatchBytes: batch, Ops: ops,
+			OpsPerSec: float64(ops) / total.Seconds(),
+			SettleMs:  float64(settle.Microseconds()) / 1000,
+		}
+		res.Rows = append(res.Rows, row)
+		t.row("tcp", fmt.Sprint(batch), fmt.Sprint(ops), fmt.Sprintf("%.0f", row.OpsPerSec), fmt.Sprintf("%.1fms", row.SettleMs))
+		if batch == 64<<10 && inprocRate > 0 {
+			res.WireVsInproc = row.OpsPerSec / inprocRate
+		}
+	}
+	t.flush()
+	if res.WireVsInproc > 0 {
+		fmt.Fprintf(w, "tcp (default batch) vs in-process: %.2fx\n", res.WireVsInproc)
+	}
+	return res
+}

@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzEnvelopeDecode drives the wire-frame decoder with arbitrary
+// bytes: it must never panic, never allocate past the frame bound, and
+// every successfully decoded frame must round-trip through AppendFrame
+// bit-identically. The streaming reader (ReadFrame) must agree with
+// the buffer decoder on every accepted frame.
+func FuzzEnvelopeDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add(AppendFrame(nil, Frame{Kind: KindData, From: 2, Shard: 1, Epoch: 3, Payload: []byte("payload")}))
+	f.Add(AppendFrame(nil, Frame{Kind: KindHello, From: -1, Payload: helloPayload(RoleClient, 0)}))
+	f.Add(AppendFrame(nil, Frame{Kind: KindDigest, From: 0, Payload: bytes.Repeat([]byte{7}, 100)}))
+	f.Add(append(AppendFrame(nil, Frame{Kind: KindData, From: 0, Payload: []byte("a")}),
+		AppendFrame(nil, Frame{Kind: KindData, From: 1, Payload: []byte("b")})...))
+
+	const max = 1 << 20
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data, max)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error with consumed bytes: n=%d err=%v", n, err)
+			}
+		} else {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("consumed %d of %d", n, len(data))
+			}
+			enc := AppendFrame(nil, fr)
+			fr2, n2, err2 := DecodeFrame(enc, max)
+			if err2 != nil {
+				t.Fatalf("re-decode of re-encoded frame: %v", err2)
+			}
+			if n2 != len(enc) || fr2.Kind != fr.Kind || fr2.From != fr.From ||
+				fr2.Shard != fr.Shard || fr2.Epoch != fr.Epoch || !bytes.Equal(fr2.Payload, fr.Payload) {
+				t.Fatalf("round trip mismatch: %+v vs %+v", fr, fr2)
+			}
+		}
+		// The streaming reader must accept exactly the frames the buffer
+		// decoder accepts (modulo truncation, which it reports as I/O).
+		sr, serr := ReadFrame(bufio.NewReader(bytes.NewReader(data)), max)
+		if err == nil {
+			if serr != nil {
+				t.Fatalf("DecodeFrame accepted, ReadFrame rejected: %v", serr)
+			}
+			if sr.Kind != fr.Kind || sr.From != fr.From || !bytes.Equal(sr.Payload, fr.Payload) {
+				t.Fatalf("reader/decoder disagree: %+v vs %+v", sr, fr)
+			}
+		} else if err == io.ErrUnexpectedEOF {
+			if serr == nil {
+				t.Fatal("DecodeFrame wants more bytes, ReadFrame accepted")
+			}
+		}
+		// Hello payloads of decoded frames must parse or fail cleanly.
+		if err == nil && fr.Kind == KindHello {
+			parseHello(fr.Payload)
+		}
+	})
+}

@@ -127,6 +127,14 @@ type Stats struct {
 	DroppedCrash uint64
 	DroppedLink  uint64
 	Bytes        uint64
+	// DroppedFull counts envelopes rejected by a bounded per-peer send
+	// queue under the drop backpressure policy (TCPNetwork); the
+	// in-process networks never bound their mailboxes, so it stays zero
+	// there.
+	DroppedFull uint64
+	// Reconnects counts peer link establishments after the first: a
+	// TCPNetwork that dialed each peer exactly once has zero.
+	Reconnects uint64
 }
 
 // add accumulates a delta (a worker round's per-shard counters) into s.
@@ -137,6 +145,8 @@ func (s *Stats) add(d Stats) {
 	s.DroppedCrash += d.DroppedCrash
 	s.DroppedLink += d.DroppedLink
 	s.Bytes += d.Bytes
+	s.DroppedFull += d.DroppedFull
+	s.Reconnects += d.Reconnects
 }
 
 // envelope is one in-flight point-to-point message. The payload slice
@@ -146,9 +156,13 @@ type envelope struct {
 	from, to int
 	shard    int // destination shard of a ShardedNetwork broadcast
 	epoch    int // sender's routing epoch (ResizableNetwork broadcasts)
-	payload  []byte
-	seq      uint64 // per-(from,to) link sequence, for FIFO (zero otherwise)
-	id       uint64 // tie-break id, unique per coordinator/worker stream
+	// kind distinguishes wire frame types on the TCP path (data vs the
+	// sync-on-connect control frames); the in-process networks carry
+	// only data envelopes and leave it zero.
+	kind    byte
+	payload []byte
+	seq     uint64 // per-(from,to) link sequence, for FIFO (zero otherwise)
+	id      uint64 // tie-break id, unique per coordinator/worker stream
 	// elig and lpos belong to SimNetwork's eligible index (simindex.go):
 	// elig mirrors eligible(), lpos is the envelope's position in its
 	// link's FIFO queue. LiveNetwork leaves both zero.
@@ -824,9 +838,13 @@ type LiveNetwork struct {
 }
 
 type liveNode struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []envelope
+	// mb is the shared batch-drain mailbox (mailbox.go) — the same
+	// helper the TCP transport's per-peer senders drain; here it is
+	// unbounded, which is the wait-freedom requirement.
+	mb *mailbox
+	// hmu guards handler/route registration against the dispatcher's
+	// per-batch load.
+	hmu     sync.Mutex
 	handler Handler
 	// route, when set, replaces handler: deliveries are handed to the
 	// per-process router with their shard and epoch tags.
@@ -838,10 +856,8 @@ type liveNode struct {
 	crashed atomic.Bool
 	// drops points at the owning network's crash-drop counter; the
 	// dispatcher bumps it for every message it discards while crashed.
-	drops  *atomic.Uint64
-	closed bool
-	busy   bool // dispatcher is executing a handler
-	done   chan struct{}
+	drops *atomic.Uint64
+	done  chan struct{}
 }
 
 // NewLive returns a live network for n processes with a single shard
@@ -868,8 +884,7 @@ func NewLiveSharded(n, shards int) *LiveNetwork {
 }
 
 func newLiveNode(drops *atomic.Uint64) *liveNode {
-	node := &liveNode{drops: drops, done: make(chan struct{})}
-	node.cond = sync.NewCond(&node.mu)
+	node := &liveNode{mb: newMailbox(0), drops: drops, done: make(chan struct{})}
 	go node.run()
 	return node
 }
@@ -898,9 +913,9 @@ func (ln *LiveNetwork) EnsureShards(shards int) {
 		for s := ln.shards; s < shards; s++ {
 			node := newLiveNode(&ln.droppedCrash)
 			if rt := ln.routers[i]; rt != nil {
-				node.mu.Lock()
+				node.hmu.Lock()
 				node.route = rt
-				node.mu.Unlock()
+				node.hmu.Unlock()
 			}
 			if ln.crashedProc[i] {
 				node.crashed.Store(true)
@@ -921,32 +936,28 @@ func (ln *LiveNetwork) AttachRouter(id int, h EpochHandler) {
 	nodes := *ln.nodes.Load()
 	ln.mu.Unlock()
 	for _, nd := range nodes[id] {
-		nd.mu.Lock()
+		nd.hmu.Lock()
 		nd.route = h
-		nd.mu.Unlock()
+		nd.hmu.Unlock()
 	}
 }
 
 func (nd *liveNode) run() {
 	defer close(nd.done)
-	// batch and the mailbox slice ping-pong: one lock round-trip swaps
-	// the whole queue out, instead of popping one envelope per
-	// acquisition — under heavy fan-in the dispatcher takes the lock
-	// once per backlog, not once per message.
+	// The mailbox and the dispatcher's batch buffer ping-pong: one lock
+	// round-trip swaps the whole queue out, instead of popping one
+	// envelope per acquisition — under heavy fan-in the dispatcher takes
+	// the lock once per backlog, not once per message.
 	var batch []envelope
 	for {
-		nd.mu.Lock()
-		for len(nd.queue) == 0 && !nd.closed {
-			nd.cond.Wait()
-		}
-		if nd.closed && len(nd.queue) == 0 {
-			nd.mu.Unlock()
+		var ok bool
+		batch, ok = nd.mb.swapWait(batch)
+		if !ok {
 			return
 		}
-		batch, nd.queue = nd.queue, batch[:0]
+		nd.hmu.Lock()
 		h, rt := nd.handler, nd.route
-		nd.busy = true
-		nd.mu.Unlock()
+		nd.hmu.Unlock()
 		if h != nil || rt != nil {
 			for i := range batch {
 				if nd.crashed.Load() {
@@ -962,13 +973,8 @@ func (nd *liveNode) run() {
 		}
 		// Zero the handled slots so the shared payloads become
 		// collectable while the buffer waits for reuse.
-		for i := range batch {
-			batch[i] = envelope{}
-		}
-		nd.mu.Lock()
-		nd.busy = false
-		nd.cond.Broadcast() // wake Drain waiters
-		nd.mu.Unlock()
+		clearTail(batch, 0)
+		nd.mb.idle()
 	}
 }
 
@@ -978,9 +984,9 @@ func (ln *LiveNetwork) Attach(id int, h Handler) { ln.AttachShard(id, 0, h) }
 // AttachShard implements ShardedNetwork.
 func (ln *LiveNetwork) AttachShard(id, shard int, h Handler) {
 	nd := ln.snapshot()[id][shard]
-	nd.mu.Lock()
+	nd.hmu.Lock()
 	nd.handler = h
-	nd.mu.Unlock()
+	nd.hmu.Unlock()
 }
 
 // Broadcast implements Network. Self-delivery is synchronous (invoked
@@ -1000,9 +1006,9 @@ func (ln *LiveNetwork) BroadcastShard(from, shard int, payload []byte) {
 func (ln *LiveNetwork) BroadcastShardEpoch(from, shard, epoch int, payload []byte) {
 	nodes := ln.snapshot()
 	self := nodes[from][shard]
-	self.mu.Lock()
+	self.hmu.Lock()
 	h, rt := self.handler, self.route
-	self.mu.Unlock()
+	self.hmu.Unlock()
 	if self.crashed.Load() {
 		return
 	}
@@ -1023,16 +1029,10 @@ func (ln *LiveNetwork) BroadcastShardEpoch(from, shard, epoch int, payload []byt
 		if to == from {
 			continue
 		}
-		nd := nodes[to][shard]
-		nd.mu.Lock()
-		if !nd.closed {
-			// The payload slice is shared with every other mailbox.
-			nd.queue = append(nd.queue, envelope{from: from, to: to, shard: shard, epoch: epoch, payload: payload})
-			// Broadcast, not Signal: the condition variable is shared
-			// between the dispatcher and Drain waiters.
-			nd.cond.Broadcast()
-		}
-		nd.mu.Unlock()
+		// The payload slice is shared with every other mailbox; the
+		// mailboxes are unbounded, so push never blocks (and is a
+		// counted no-op after Close).
+		nodes[to][shard].mb.push(envelope{from: from, to: to, shard: shard, epoch: epoch, payload: payload}, false)
 	}
 }
 
@@ -1079,10 +1079,7 @@ func (ln *LiveNetwork) Close() {
 	nodes := ln.snapshot()
 	for _, row := range nodes {
 		for _, nd := range row {
-			nd.mu.Lock()
-			nd.closed = true
-			nd.cond.Broadcast()
-			nd.mu.Unlock()
+			nd.mb.close()
 		}
 	}
 	for _, row := range nodes {
@@ -1103,12 +1100,9 @@ func (ln *LiveNetwork) Drain() {
 		stable := true
 		for _, row := range ln.snapshot() {
 			for _, nd := range row {
-				nd.mu.Lock()
-				for (len(nd.queue) > 0 || nd.busy) && !nd.closed {
+				if nd.mb.waitEmpty() {
 					stable = false
-					nd.cond.Wait()
 				}
-				nd.mu.Unlock()
 			}
 		}
 		if stable {
@@ -1134,6 +1128,6 @@ var (
 
 // String renders traffic counters for experiment tables.
 func (s Stats) String() string {
-	return fmt.Sprintf("broadcasts=%d sends=%d delivered=%d dropped_crash=%d dropped_link=%d bytes=%d",
-		s.Broadcasts, s.Sends, s.Delivered, s.DroppedCrash, s.DroppedLink, s.Bytes)
+	return fmt.Sprintf("broadcasts=%d sends=%d delivered=%d dropped_crash=%d dropped_link=%d dropped_full=%d reconnects=%d bytes=%d",
+		s.Broadcasts, s.Sends, s.Delivered, s.DroppedCrash, s.DroppedLink, s.DroppedFull, s.Reconnects, s.Bytes)
 }

@@ -1,0 +1,232 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire framing. Every message on a TCP link is one length-prefixed
+// frame:
+//
+//	uvarint bodyLen
+//	body:
+//	  byte    kind         (Kind*)
+//	  uvarint from+1       (0 = anonymous client)
+//	  uvarint shard
+//	  uvarint epoch
+//	  payload              (bodyLen - header bytes)
+//
+// The payload of a data frame is exactly the bytes a Broadcast carried
+// — the zero-alloc AppendCodec update encoding, or a lock-free drain's
+// self-delimiting batch frame — so the socket transport adds a handful
+// of header bytes and reuses the in-process wire format unchanged. The
+// same framing carries the connection hello, the sync-on-connect
+// digest exchange, and the client protocol (updates, queries, stats).
+
+// Frame kinds.
+const (
+	// KindData is a replicated broadcast payload (timestamped update or
+	// batch frame), tagged with its shard and epoch like an in-process
+	// envelope.
+	KindData byte = 1
+	// KindHello opens a connection: payload is the wire magic, a role
+	// byte (RolePeer/RoleClient) and the sender's cluster size.
+	KindHello byte = 2
+	// KindDigest carries a replica's encoded anti-entropy digest; the
+	// receiver answers with KindSyncReply on its own link.
+	KindDigest byte = 3
+	// KindSyncReply carries the encoded missing-suffix (or snapshot
+	// fallback) reply to a digest.
+	KindSyncReply byte = 4
+	// KindUpdate is a client-issued update: payload is the spec codec
+	// encoding (no timestamp — the serving replica stamps it).
+	KindUpdate byte = 5
+	// KindQuery is a client query; payload is a gob-encoded input. The
+	// server answers with KindResult.
+	KindQuery byte = 6
+	// KindResult answers KindQuery/KindStateKey/KindStats.
+	KindResult byte = 7
+	// KindStateKey asks the serving replica for its canonical state key.
+	KindStateKey byte = 8
+	// KindStats asks the daemon for its text stats dump.
+	KindStats byte = 9
+	// KindPing is a client flush barrier; the server answers KindPong
+	// after processing everything before it on the connection.
+	KindPing byte = 10
+	// KindPong answers KindPing.
+	KindPong byte = 11
+	// KindError carries a text error back to a client.
+	KindError byte = 12
+)
+
+// Connection roles, carried in the hello frame.
+const (
+	RolePeer   byte = 0
+	RoleClient byte = 1
+)
+
+// WireMagic opens every hello payload; a connection whose first frame
+// lacks it is not speaking this protocol and is closed.
+const WireMagic = "ucw1"
+
+// MaxFrame is the default bound on a frame body. A length prefix above
+// the bound is treated as a malformed stream (never allocated), so a
+// garbage or hostile connection cannot make a daemon allocate
+// arbitrary memory.
+const MaxFrame = 64 << 20
+
+// FrameError marks a protocol-level decode failure (malformed or
+// oversized frame) as opposed to an I/O error: the stream position is
+// untrustworthy and the connection must be dropped, and readers count
+// it as a bad frame.
+type FrameError struct{ msg string }
+
+func (e *FrameError) Error() string { return e.msg }
+
+func frameErrf(format string, args ...any) error {
+	return &FrameError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Frame is one decoded wire frame.
+type Frame struct {
+	Kind  byte
+	From  int // sending process id; -1 for anonymous clients
+	Shard int
+	Epoch int
+	// Payload aliases the decode buffer (DecodeFrame) or is freshly
+	// allocated per frame (ReadFrame).
+	Payload []byte
+}
+
+// AppendFrame appends the wire encoding of one frame to dst.
+func AppendFrame(dst []byte, f Frame) []byte {
+	var hdr [1 + 3*binary.MaxVarintLen64]byte
+	hdr[0] = f.Kind
+	n := 1
+	n += binary.PutUvarint(hdr[n:], uint64(f.From+1))
+	n += binary.PutUvarint(hdr[n:], uint64(f.Shard))
+	n += binary.PutUvarint(hdr[n:], uint64(f.Epoch))
+	dst = binary.AppendUvarint(dst, uint64(n+len(f.Payload)))
+	dst = append(dst, hdr[:n]...)
+	return append(dst, f.Payload...)
+}
+
+// DecodeFrame decodes one frame from the front of buf, returning the
+// number of bytes consumed. The frame's payload aliases buf. It
+// returns io.ErrUnexpectedEOF when buf holds only a prefix of a valid
+// frame (read more and retry), and a permanent error for a malformed
+// or oversized frame. It never panics on arbitrary input — the fuzz
+// target's contract.
+func DecodeFrame(buf []byte, max int) (Frame, int, error) {
+	bodyLen, n := binary.Uvarint(buf)
+	if n == 0 {
+		return Frame{}, 0, io.ErrUnexpectedEOF
+	}
+	if n < 0 {
+		return Frame{}, 0, frameErrf("transport: malformed frame length")
+	}
+	if max <= 0 {
+		max = MaxFrame
+	}
+	if bodyLen > uint64(max) {
+		return Frame{}, 0, frameErrf("transport: frame length %d exceeds limit %d", bodyLen, max)
+	}
+	if uint64(len(buf)-n) < bodyLen {
+		return Frame{}, 0, io.ErrUnexpectedEOF
+	}
+	body := buf[n : n+int(bodyLen)]
+	f, err := decodeBody(body)
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	return f, n + int(bodyLen), nil
+}
+
+func decodeBody(body []byte) (Frame, error) {
+	if len(body) == 0 {
+		return Frame{}, frameErrf("transport: empty frame body")
+	}
+	f := Frame{Kind: body[0]}
+	rest := body[1:]
+	fields := [3]uint64{}
+	for i := range fields {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return Frame{}, frameErrf("transport: malformed frame header")
+		}
+		fields[i] = v
+		rest = rest[n:]
+	}
+	const maxTag = 1 << 30 // header fields are small ints, not 64-bit data
+	if fields[0] > maxTag || fields[1] > maxTag || fields[2] > maxTag {
+		return Frame{}, frameErrf("transport: frame header field out of range")
+	}
+	f.From = int(fields[0]) - 1
+	f.Shard = int(fields[1])
+	f.Epoch = int(fields[2])
+	f.Payload = rest
+	return f, nil
+}
+
+// ReadFrame reads one frame from a buffered stream. The returned
+// frame's payload is freshly allocated (safe to retain — handlers and
+// the sync provider keep frame bytes past the call). Oversized and
+// malformed frames return a permanent error; the caller must drop the
+// connection, since the stream position is no longer trustworthy.
+func ReadFrame(br *bufio.Reader, max int) (Frame, error) {
+	bodyLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Frame{}, err
+	}
+	if max <= 0 {
+		max = MaxFrame
+	}
+	if bodyLen == 0 {
+		return Frame{}, frameErrf("transport: empty frame body")
+	}
+	if bodyLen > uint64(max) {
+		return Frame{}, frameErrf("transport: frame length %d exceeds limit %d", bodyLen, max)
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(br, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return decodeBody(body)
+}
+
+// helloPayload encodes the connection-opening hello: magic, role, and
+// the sender's cluster size (a cross-cluster dial is refused early).
+func helloPayload(role byte, n int) []byte {
+	p := make([]byte, 0, len(WireMagic)+1+binary.MaxVarintLen64)
+	p = append(p, WireMagic...)
+	p = append(p, role)
+	return binary.AppendUvarint(p, uint64(n))
+}
+
+// ClientHello returns the encoded hello frame a client opens a daemon
+// connection with (anonymous sender, no cluster size claim).
+func ClientHello() []byte {
+	return AppendFrame(nil, Frame{Kind: KindHello, From: -1, Payload: helloPayload(RoleClient, 0)})
+}
+
+// parseHello validates a hello payload, returning the role and cluster
+// size.
+func parseHello(p []byte) (role byte, n int, err error) {
+	if len(p) < len(WireMagic)+1 || string(p[:len(WireMagic)]) != WireMagic {
+		return 0, 0, frameErrf("transport: bad hello magic")
+	}
+	role = p[len(WireMagic)]
+	if role != RolePeer && role != RoleClient {
+		return 0, 0, frameErrf("transport: unknown hello role %d", role)
+	}
+	size, m := binary.Uvarint(p[len(WireMagic)+1:])
+	if m <= 0 || size > 1<<20 {
+		return 0, 0, frameErrf("transport: malformed hello cluster size")
+	}
+	return role, int(size), nil
+}

@@ -1,0 +1,473 @@
+package updatec
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"updatec/internal/core"
+	"updatec/internal/spec"
+	"updatec/internal/transport"
+)
+
+// Real-wire distribution. New builds a whole cluster in one process;
+// ListenAndServe builds ONE replica of a cluster whose other replicas
+// live in other processes (or machines), connected by the TCP
+// transport: the same universal construction, the same wire bytes per
+// update, with reliable broadcast provided by per-peer sockets plus
+// the on-connect digest exchange (a link that drops or partitions is
+// repaired by anti-entropy when it returns — the partitionable-systems
+// companion result, on a network that can genuinely partition).
+// Dial connects a thin client to any daemon and speaks the same framed
+// protocol: updates as spec codec bytes, queries as gob round-trips.
+
+// WireConfig configures one ListenAndServe daemon replica.
+type WireConfig struct {
+	// ID is this replica's process id; Peers is the full cluster
+	// address list indexed by id (Peers[ID] is this node's advertised
+	// address and is not dialed). The cluster size is len(Peers).
+	ID    int
+	Peers []string
+	// Listen is the local listen address; empty defaults to Peers[ID].
+	Listen string
+	// Shards runs the replica key-sharded (WithShards semantics; needs
+	// a partitionable object). 0 means 1.
+	Shards int
+	// GC enables stability-based log compaction. TCP is FIFO per
+	// connection, but a reconnect can reorder a lost tail behind
+	// digest-sync'd entries; compaction stays correct because synced
+	// entries skip stability accounting and redeliveries below the
+	// horizon are dropped by the merged-base guard.
+	GC bool
+	// BatchBytes, QueueLen and DropOnFull tune the transport's per-peer
+	// send queues (transport.TCPOptions semantics: coalescing threshold,
+	// queue bound, and drop-vs-block backpressure policy).
+	BatchBytes int
+	QueueLen   int
+	DropOnFull bool
+	// Logf receives transport diagnostics (reconnects, bad frames).
+	Logf func(format string, args ...any)
+}
+
+// WirePeerStats describes one peer link of a daemon.
+type WirePeerStats struct {
+	Peer        int
+	Addr        string
+	Connected   bool
+	QueueDepth  int
+	QueueBytes  int
+	Connects    uint64
+	SentFrames  uint64
+	SentBytes   uint64
+	DroppedFull uint64
+	DroppedDown uint64
+}
+
+// WireStats is a daemon's observability snapshot.
+type WireStats struct {
+	NetworkStats
+	// DroppedLink counts envelopes discarded while a peer link was down
+	// (repaired by the reconnect digest exchange); DroppedFull counts
+	// bounded-queue rejections under the DropOnFull policy; Reconnects
+	// counts peer link re-establishments; BadFrames counts malformed
+	// frames and connections rejected.
+	DroppedLink uint64
+	DroppedFull uint64
+	Reconnects  uint64
+	BadFrames   uint64
+	// DigestsSent and SyncsApplied count the sync-on-connect exchange.
+	DigestsSent  uint64
+	SyncsApplied uint64
+	Peers        []WirePeerStats
+}
+
+// WireNode is one daemon replica: a ShardedReplica served over the TCP
+// transport, plus the client protocol endpoint.
+type WireNode[H any] struct {
+	obj    Object[H]
+	cfg    WireConfig
+	tcp    *transport.TCPNetwork
+	rep    *core.ShardedReplica
+	handle H
+	codec  spec.Codec
+}
+
+// ListenAndServe starts one wire replica of the described object.
+// Callers on other processes start the remaining ids with the same
+// Peers list; the node serves replication traffic and Dial clients
+// until Close.
+func ListenAndServe[H any](obj Object[H], cfg WireConfig) (*WireNode[H], error) {
+	if obj.wrap == nil {
+		return nil, fmt.Errorf("updatec: zero Object; use a built-in descriptor (SetObject, CounterObject, ...)")
+	}
+	if obj.alg2 {
+		return nil, fmt.Errorf("updatec: %s does not support the wire transport: Algorithm 2 replicates registers, not a log the digest exchange can repair", obj.name)
+	}
+	n := len(cfg.Peers)
+	if n == 0 {
+		return nil, fmt.Errorf("updatec: WireConfig.Peers must list every replica address")
+	}
+	if cfg.ID < 0 || cfg.ID >= n {
+		return nil, fmt.Errorf("updatec: WireConfig.ID %d out of range [0,%d)", cfg.ID, n)
+	}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("updatec: WireConfig.Shards needs at least one shard, got %d", shards)
+	}
+	if shards > 1 && !obj.partitionable() {
+		return nil, fmt.Errorf("updatec: %s is not partitionable; sharding requires a key-partitionable object (set, kv, countermap)", obj.name)
+	}
+	listen := cfg.Listen
+	if listen == "" {
+		listen = cfg.Peers[cfg.ID]
+	}
+	codec, ok := obj.adt.(spec.Codec)
+	if !ok {
+		return nil, fmt.Errorf("updatec: %s does not implement spec.Codec", obj.name)
+	}
+	tcp, err := transport.NewTCP(transport.TCPOptions{
+		ID: cfg.ID, Peers: cfg.Peers, Listen: listen,
+		BatchBytes: cfg.BatchBytes, QueueLen: cfg.QueueLen,
+		DropOnFull: cfg.DropOnFull, Logf: cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := core.NewShardedReplica(core.ShardedConfig{
+		ID: cfg.ID, N: n, Shards: shards, ADT: obj.adt, Net: tcp, GC: cfg.GC,
+	})
+	node := &WireNode[H]{obj: obj, cfg: cfg, tcp: tcp, rep: rep, codec: codec}
+	node.handle = obj.wrap(rep)
+	tcp.SetSyncProvider(core.NewWireSync(rep))
+	tcp.SetClientHandler(node.serveClient)
+	tcp.Start()
+	return node, nil
+}
+
+// Handle returns this replica's typed handle — updates issued through
+// it broadcast to the whole wire cluster.
+func (w *WireNode[H]) Handle() H { return w.handle }
+
+// Addr returns the bound listen address (resolving ":0").
+func (w *WireNode[H]) Addr() string { return w.tcp.Addr() }
+
+// StateKey returns the replica's canonical state fingerprint; two wire
+// replicas agree exactly when their keys are equal.
+func (w *WireNode[H]) StateKey() string { return w.rep.StateKey() }
+
+// Flush blocks until every queued outbound envelope has been written
+// to its peer socket (or the timeout expires).
+func (w *WireNode[H]) Flush(timeout time.Duration) error { return w.tcp.Flush(timeout) }
+
+// SyncNow queues this node's digest exchange with every connected
+// peer — a manual anti-entropy round on top of the automatic
+// on-connect one.
+func (w *WireNode[H]) SyncNow() { w.tcp.SyncNow() }
+
+// Stats snapshots the daemon's transport counters.
+func (w *WireNode[H]) Stats() WireStats {
+	s := w.tcp.Stats()
+	ws := WireStats{
+		NetworkStats: NetworkStats{
+			Broadcasts: s.Broadcasts, Sends: s.Sends, Bytes: s.Bytes,
+			DroppedCrash: s.DroppedCrash, DroppedLink: s.DroppedLink,
+		},
+		DroppedLink: s.DroppedLink,
+		DroppedFull: s.DroppedFull,
+		Reconnects:  s.Reconnects,
+		BadFrames:   w.tcp.BadFrames(),
+	}
+	ws.DigestsSent, ws.SyncsApplied = w.tcp.SyncExchanges()
+	for _, p := range w.tcp.PeerStats() {
+		ws.Peers = append(ws.Peers, WirePeerStats{
+			Peer: p.Peer, Addr: p.Addr, Connected: p.Connected,
+			QueueDepth: p.QueueDepth, QueueBytes: p.QueueBytes,
+			Connects: p.Connects, SentFrames: p.SentFrames, SentBytes: p.SentBytes,
+			DroppedFull: p.DroppedFull, DroppedDown: p.DroppedDown,
+		})
+	}
+	return ws
+}
+
+// StatsText renders the daemon's stats as a human-readable dump (the
+// SIGUSR1 / stats-command format).
+func (w *WireNode[H]) StatsText() string {
+	s := w.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "node %d obj=%s shards=%d addr=%s\n", w.cfg.ID, w.obj.name, w.rep.NumShards(), w.Addr())
+	fmt.Fprintf(&b, "transport: broadcasts=%d sends=%d bytes=%d dropped_link=%d dropped_full=%d reconnects=%d bad_frames=%d digests_sent=%d syncs_applied=%d\n",
+		s.Broadcasts, s.Sends, s.Bytes, s.DroppedLink, s.DroppedFull, s.Reconnects, s.BadFrames, s.DigestsSent, s.SyncsApplied)
+	for _, p := range s.Peers {
+		fmt.Fprintf(&b, "peer %d addr=%s connected=%v queue=%d/%dB connects=%d sent=%d/%dB dropped_full=%d dropped_down=%d\n",
+			p.Peer, p.Addr, p.Connected, p.QueueDepth, p.QueueBytes, p.Connects, p.SentFrames, p.SentBytes, p.DroppedFull, p.DroppedDown)
+	}
+	return b.String()
+}
+
+// Close shuts the daemon down: the listener, peer links and client
+// connections all close. Queued outbound envelopes are dropped — call
+// Flush first for a graceful drain.
+func (w *WireNode[H]) Close() error { return w.tcp.Close() }
+
+// serveClient runs the daemon side of one client connection: frames in
+// order, updates applied fire-and-forget, queries answered in place —
+// one goroutine per client, so a client's query observes its own
+// earlier updates (read-your-writes per connection).
+func (w *WireNode[H]) serveClient(conn net.Conn, br *bufio.Reader) {
+	bw := bufio.NewWriter(conn)
+	var out []byte
+	reply := func(kind byte, payload []byte) bool {
+		out = transport.AppendFrame(out[:0], transport.Frame{Kind: kind, From: w.cfg.ID, Payload: payload})
+		if _, err := bw.Write(out); err != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
+	for {
+		f, err := transport.ReadFrame(br, transport.MaxFrame)
+		if err != nil {
+			return
+		}
+		switch f.Kind {
+		case transport.KindUpdate:
+			u, err := w.codec.DecodeUpdate(f.Payload)
+			if err != nil {
+				if !reply(transport.KindError, []byte(fmt.Sprintf("decoding update: %v", err))) {
+					return
+				}
+				continue
+			}
+			w.rep.Update(u)
+		case transport.KindQuery:
+			in, err := gobDecode(f.Payload)
+			if err != nil {
+				if !reply(transport.KindError, []byte(err.Error())) {
+					return
+				}
+				continue
+			}
+			outv, err := func() (p []byte, err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						err = fmt.Errorf("query rejected: %v", r)
+					}
+				}()
+				return gobEncode(w.rep.Query(in))
+			}()
+			if err != nil {
+				if !reply(transport.KindError, []byte(err.Error())) {
+					return
+				}
+				continue
+			}
+			if !reply(transport.KindResult, outv) {
+				return
+			}
+		case transport.KindStateKey:
+			if !reply(transport.KindResult, []byte(w.rep.StateKey())) {
+				return
+			}
+		case transport.KindStats:
+			if !reply(transport.KindResult, []byte(w.StatsText())) {
+				return
+			}
+		case transport.KindPing:
+			// The pong is a barrier: every update before the ping on this
+			// connection has been applied (same goroutine) and every
+			// envelope it queued has been written to the peer sockets.
+			w.tcp.Flush(5 * time.Second)
+			if !reply(transport.KindPong, nil) {
+				return
+			}
+		default:
+			if !reply(transport.KindError, []byte(fmt.Sprintf("unknown client frame kind %d", f.Kind))) {
+				return
+			}
+		}
+	}
+}
+
+// Client is a thin connection to one daemon: updates stream as codec
+// bytes, queries round-trip as gob. A Client is safe for concurrent
+// use (operations serialize on the connection); its handle offers
+// read-your-writes against the daemon it is connected to.
+type Client[H any] struct {
+	obj   Object[H]
+	codec spec.Codec
+
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+	buf  []byte
+	err  error // first connection error; sticky
+}
+
+// Dial connects a client for the given object to a daemon address. The
+// object must match the daemon's -obj (the codecs must agree); a
+// mismatch surfaces as decode errors, not silent corruption.
+func Dial[H any](obj Object[H], addr string) (*Client[H], error) {
+	if obj.wrap == nil {
+		return nil, fmt.Errorf("updatec: zero Object; use a built-in descriptor (SetObject, CounterObject, ...)")
+	}
+	if obj.alg2 {
+		return nil, fmt.Errorf("updatec: %s does not support the wire transport", obj.name)
+	}
+	codec, ok := obj.adt.(spec.Codec)
+	if !ok {
+		return nil, fmt.Errorf("updatec: %s does not implement spec.Codec", obj.name)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("updatec: dial %s: %w", addr, err)
+	}
+	if _, err := conn.Write(transport.ClientHello()); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("updatec: hello to %s: %w", addr, err)
+	}
+	return &Client[H]{
+		obj: obj, codec: codec, conn: conn,
+		bw: bufio.NewWriter(conn), br: bufio.NewReaderSize(conn, 64<<10),
+	}, nil
+}
+
+// Handle returns the typed handle driving the daemon through this
+// connection; it is the same handle type New returns in-process.
+func (c *Client[H]) Handle() H { return c.obj.wrap(clientPort[H]{c}) }
+
+// Err returns the first connection error the client has hit (handle
+// operations cannot return errors, so failures latch here).
+func (c *Client[H]) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close closes the connection.
+func (c *Client[H]) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Flush is a round-trip barrier: when it returns, every update this
+// client issued has been applied by the daemon and written to its peer
+// sockets.
+func (c *Client[H]) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.roundTrip(transport.KindPing, nil, transport.KindPong); err != nil {
+		return err
+	}
+	return nil
+}
+
+// StateKey returns the daemon replica's canonical state fingerprint.
+func (c *Client[H]) StateKey() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, err := c.roundTrip(transport.KindStateKey, nil, transport.KindResult)
+	return string(p), err
+}
+
+// StatsText returns the daemon's stats dump (the -stats command).
+func (c *Client[H]) StatsText() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, err := c.roundTrip(transport.KindStats, nil, transport.KindResult)
+	return string(p), err
+}
+
+// send writes one frame (mu held).
+func (c *Client[H]) send(kind byte, payload []byte) error {
+	if c.err != nil {
+		return c.err
+	}
+	c.buf = transport.AppendFrame(c.buf[:0], transport.Frame{Kind: kind, From: -1, Payload: payload})
+	_, err := c.bw.Write(c.buf)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if err != nil {
+		c.err = fmt.Errorf("updatec: client send: %w", err)
+	}
+	return c.err
+}
+
+// roundTrip sends one frame and reads the matching reply (mu held).
+func (c *Client[H]) roundTrip(kind byte, payload []byte, want byte) ([]byte, error) {
+	if err := c.send(kind, payload); err != nil {
+		return nil, err
+	}
+	f, err := transport.ReadFrame(c.br, transport.MaxFrame)
+	if err != nil {
+		c.err = fmt.Errorf("updatec: client receive: %w", err)
+		return nil, c.err
+	}
+	switch f.Kind {
+	case want:
+		return f.Payload, nil
+	case transport.KindError:
+		// A server-side rejection is not a connection error: the stream
+		// stays aligned (one reply per request), so the client keeps
+		// working.
+		return nil, fmt.Errorf("updatec: server: %s", f.Payload)
+	default:
+		c.err = fmt.Errorf("updatec: unexpected reply kind %d", f.Kind)
+		return nil, c.err
+	}
+}
+
+// clientPort adapts a Client to the port interface the typed handles
+// wrap.
+type clientPort[H any] struct{ c *Client[H] }
+
+func (p clientPort[H]) Update(u spec.Update) {
+	c := p.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	b, err := c.codec.EncodeUpdate(u)
+	if err != nil {
+		c.err = fmt.Errorf("updatec: encoding update: %w", err)
+		return
+	}
+	c.send(transport.KindUpdate, b)
+}
+
+// Query round-trips a query. The port contract has no error channel
+// and the typed handles type-assert the output, so a failed query
+// panics with the underlying error (matching the spec layer's
+// panic-on-invalid-query idiom) rather than producing a bare nil
+// type-assertion failure; connection errors additionally latch in Err.
+func (p clientPort[H]) Query(in spec.QueryInput) spec.QueryOutput {
+	c := p.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		panic(c.err)
+	}
+	inb, err := gobEncode(in)
+	if err != nil {
+		c.err = err
+		panic(err)
+	}
+	reply, err := c.roundTrip(transport.KindQuery, inb, transport.KindResult)
+	if err != nil {
+		panic(err)
+	}
+	out, err := gobDecode(reply)
+	if err != nil {
+		c.err = err
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,650 @@
+package updatec
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Loopback integration suite for the wire transport: in-process
+// ListenAndServe clusters (full -race coverage of the daemon paths)
+// and real multi-process ucserve clusters, including kill -9 and
+// restart. Every converged state is asserted against an in-process
+// reference cluster fed the same updates — the workloads below are
+// commutative (distinct inserts, counter adds), so the converged state
+// is delivery-order independent and the comparison is exact.
+
+func wireAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+func waitWire(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// referenceWireKey replays the same workload on an in-process live
+// cluster and returns its converged state key.
+func referenceWireKey[H any](t *testing.T, obj Object[H], shards int, drive func(hs []H)) string {
+	t.Helper()
+	var opts []Option
+	if shards > 1 {
+		opts = append(opts, WithShards(shards))
+	}
+	cl, hs, err := New(3, obj, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	drive(hs)
+	cl.Settle()
+	if !cl.Converged() {
+		t.Fatal("reference cluster did not converge")
+	}
+	return cl.replicas[0].StateKey()
+}
+
+// runWireInProcess starts a 3-node ListenAndServe cluster over real
+// loopback sockets, applies the workload through the daemon handles,
+// and requires convergence to the reference key.
+func runWireInProcess[H any](t *testing.T, obj Object[H], shards int, drive func(hs []H)) {
+	t.Helper()
+	addrs := wireAddrs(t, 3)
+	nodes := make([]*WireNode[H], 3)
+	hs := make([]H, 3)
+	for i := range nodes {
+		node, err := ListenAndServe(obj, WireConfig{ID: i, Peers: addrs, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		nodes[i] = node
+		hs[i] = node.Handle()
+	}
+	waitWire(t, 10*time.Second, "peer mesh", func() bool {
+		for _, n := range nodes {
+			for _, p := range n.Stats().Peers {
+				if !p.Connected {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	drive(hs)
+	for _, n := range nodes {
+		if err := n.Flush(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := referenceWireKey(t, obj, shards, drive)
+	waitWire(t, 10*time.Second, "wire cluster convergence", func() bool {
+		for _, n := range nodes {
+			if n.StateKey() != want {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestWireInProcessConvergence runs the in-process wire cluster for
+// every object kind the daemon serves with a log-based construction.
+func TestWireInProcessConvergence(t *testing.T) {
+	t.Run("set", func(t *testing.T) {
+		runWireInProcess(t, SetObject(), 1, func(hs []*Set) {
+			for i, h := range hs {
+				for j := 0; j < 25; j++ {
+					h.Insert(fmt.Sprintf("n%d-%d", i, j))
+				}
+			}
+		})
+	})
+	t.Run("counter", func(t *testing.T) {
+		runWireInProcess(t, CounterObject(), 1, func(hs []*Counter) {
+			for i, h := range hs {
+				for j := 0; j < 25; j++ {
+					h.Add(int64(i + 1))
+				}
+			}
+		})
+	})
+	t.Run("countermap-sharded", func(t *testing.T) {
+		runWireInProcess(t, CounterMapObject(), 4, func(hs []*CounterMap) {
+			for _, h := range hs {
+				for j := 0; j < 25; j++ {
+					h.Add(fmt.Sprintf("k%d", j%7), 1)
+				}
+			}
+		})
+	})
+	t.Run("log", func(t *testing.T) {
+		runWireInProcess(t, TextLogObject(), 1, func(hs []*TextLog) {
+			for i, h := range hs {
+				for j := 0; j < 10; j++ {
+					h.Append(fmt.Sprintf("line %d from %d", j, i))
+				}
+			}
+		})
+	})
+	t.Run("kv", func(t *testing.T) {
+		runWireInProcess(t, KVObject(), 2, func(hs []*KV) {
+			for i, h := range hs {
+				for j := 0; j < 25; j++ {
+					h.Put(fmt.Sprintf("key%d-%d", i, j), fmt.Sprint(j))
+				}
+			}
+		})
+	})
+}
+
+// TestWireClientProtocol drives a daemon through Dial: updates, a
+// read-your-writes query on the same connection, the protocol
+// round-trips, and the cross-object mismatch error path.
+func TestWireClientProtocol(t *testing.T) {
+	addrs := wireAddrs(t, 1)
+	node, err := ListenAndServe(SetObject(), WireConfig{ID: 0, Peers: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	c, err := Dial(SetObject(), node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	set := c.Handle()
+	set.Insert("alpha")
+	set.Insert("beta")
+	// Queries round-trip on the same connection the updates streamed
+	// on, so they observe them without any barrier.
+	if !set.Contains("alpha") || !set.Contains("beta") {
+		t.Fatalf("read-your-writes failed: %v", set.Elements())
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	key, err := c.StateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != node.StateKey() {
+		t.Fatalf("client state key %q != daemon %q", key, node.StateKey())
+	}
+	txt, err := c.StatsText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt, "obj=set") {
+		t.Fatalf("stats dump missing object line:\n%s", txt)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A client speaking the wrong object's codec gets a decode error
+	// reply, not corruption: the server rejects the update, the stream
+	// stays aligned, and the rejection surfaces on the next query.
+	wrong, err := Dial(CounterObject(), node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wrong.Close()
+	ctr := wrong.Handle()
+	ctr.Add(7)
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("mismatched query must panic with the server rejection")
+			}
+			if !strings.Contains(fmt.Sprint(r), "server:") {
+				t.Fatalf("unexpected panic: %v", r)
+			}
+		}()
+		ctr.Value()
+	}()
+	if node.StateKey() != key {
+		t.Fatal("rejected updates must not change daemon state")
+	}
+}
+
+// TestWireRejectsGarbage throws raw TCP garbage at a daemon — both
+// before and after a valid hello — and requires it to keep serving.
+func TestWireRejectsGarbage(t *testing.T) {
+	addrs := wireAddrs(t, 1)
+	node, err := ListenAndServe(SetObject(), WireConfig{ID: 0, Peers: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	for _, junk := range [][]byte{
+		[]byte("GET / HTTP/1.1\r\n\r\n"),
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		{0x05, 0x01, 0x02, 0x03, 0x04, 0x05},
+	} {
+		conn, err := net.Dial("tcp", node.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write(junk)
+		conn.Close()
+	}
+	waitWire(t, 5*time.Second, "bad frames counted", func() bool {
+		return node.Stats().BadFrames > 0
+	})
+
+	c, err := Dial(SetObject(), node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Handle().Insert("still-alive")
+	if !c.Handle().Contains("still-alive") {
+		t.Fatal("daemon stopped serving after garbage connections")
+	}
+}
+
+// TestWireConfigRejections pins the constructor's validation: the wire
+// transport refuses Algorithm 2 objects and sharding non-partitionable
+// ones, with errors rather than panics.
+func TestWireConfigRejections(t *testing.T) {
+	addrs := wireAddrs(t, 1)
+	if _, err := ListenAndServe(MemoryObject(""), WireConfig{ID: 0, Peers: addrs}); err == nil {
+		t.Fatal("MemoryObject (Algorithm 2) must be rejected")
+	}
+	if _, err := ListenAndServe(CounterObject(), WireConfig{ID: 0, Peers: addrs, Shards: 4}); err == nil {
+		t.Fatal("sharding a non-partitionable object must be rejected")
+	}
+	if _, err := ListenAndServe(SetObject(), WireConfig{ID: 3, Peers: addrs}); err == nil {
+		t.Fatal("out-of-range ID must be rejected")
+	}
+	if _, err := Dial(MemoryObject(""), addrs[0]); err == nil {
+		t.Fatal("Dial must reject Algorithm 2 objects")
+	}
+}
+
+// ---- multi-process suite: real ucserve daemons on loopback ----
+
+var (
+	ucserveOnce sync.Once
+	ucserveBin  string
+	ucserveErr  error
+)
+
+// buildUcserve compiles cmd/ucserve once per test binary run.
+func buildUcserve(t *testing.T) string {
+	t.Helper()
+	ucserveOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "ucserve-test-")
+		if err != nil {
+			ucserveErr = err
+			return
+		}
+		ucserveBin = filepath.Join(dir, "ucserve")
+		out, err := exec.Command("go", "build", "-o", ucserveBin, "./cmd/ucserve").CombinedOutput()
+		if err != nil {
+			ucserveErr = fmt.Errorf("building ucserve: %v\n%s", err, out)
+		}
+	})
+	if ucserveErr != nil {
+		t.Fatal(ucserveErr)
+	}
+	return ucserveBin
+}
+
+type wireDaemon struct {
+	cmd  *exec.Cmd
+	args []string
+}
+
+// startDaemon launches one ucserve process; cleanup kills it if the
+// test did not already.
+func startDaemon(t *testing.T, bin string, id int, peers []string, objName string, extra ...string) *wireDaemon {
+	t.Helper()
+	args := append([]string{
+		"-id", fmt.Sprint(id),
+		"-peers", strings.Join(peers, ","),
+		"-obj", objName,
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &wireDaemon{cmd: cmd, args: args}
+	t.Cleanup(func() { d.kill() })
+	return d
+}
+
+// kill is SIGKILL — the crash under test, and the cleanup path.
+func (d *wireDaemon) kill() {
+	if d.cmd.ProcessState == nil {
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+	}
+}
+
+// dialRetry waits out a daemon's startup window.
+func dialRetry[H any](t *testing.T, obj Object[H], addr string) *Client[H] {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err := Dial(obj, addr)
+		if err == nil {
+			if _, err = c.StateKey(); err == nil {
+				t.Cleanup(func() { c.Close() })
+				return c
+			}
+			c.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon at %s never became ready: %v", addr, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// waitClientKeys polls daemons through their clients until every state
+// key equals want.
+func waitClientKeys[H any](t *testing.T, cs []*Client[H], want, what string) {
+	t.Helper()
+	waitWire(t, 15*time.Second, what, func() bool {
+		for _, c := range cs {
+			key, err := c.StateKey()
+			if err != nil || key != want {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// runWireProcs spawns a 3-daemon ucserve cluster, applies the workload
+// through one Dial client per daemon, and requires every daemon to
+// converge to the in-process reference key.
+func runWireProcs[H any](t *testing.T, objName string, obj Object[H], shards int, drive func(hs []H)) []*Client[H] {
+	t.Helper()
+	bin := buildUcserve(t)
+	addrs := wireAddrs(t, 3)
+	var extra []string
+	if shards > 1 {
+		extra = append(extra, "-shards", fmt.Sprint(shards))
+	}
+	for id := range addrs {
+		startDaemon(t, bin, id, addrs, objName, extra...)
+	}
+	cs := make([]*Client[H], 3)
+	hs := make([]H, 3)
+	for i, addr := range addrs {
+		cs[i] = dialRetry(t, obj, addr)
+		hs[i] = cs[i].Handle()
+	}
+	drive(hs)
+	for _, c := range cs {
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := referenceWireKey(t, obj, shards, drive)
+	waitClientKeys(t, cs, want, objName+" cluster convergence")
+	return cs
+}
+
+// TestWireMultiProcessConvergence: three real daemon processes per
+// object kind, driven concurrently from three clients, must reach the
+// in-process reference state.
+func TestWireMultiProcessConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process suite skipped in -short")
+	}
+	t.Run("set", func(t *testing.T) {
+		runWireProcs(t, "set", SetObject(), 1, func(hs []*Set) {
+			for i, h := range hs {
+				for j := 0; j < 30; j++ {
+					h.Insert(fmt.Sprintf("p%d-%d", i, j))
+				}
+			}
+		})
+	})
+	t.Run("counter", func(t *testing.T) {
+		runWireProcs(t, "counter", CounterObject(), 1, func(hs []*Counter) {
+			for i, h := range hs {
+				for j := 0; j < 30; j++ {
+					h.Add(int64(i + 1))
+				}
+			}
+		})
+	})
+	t.Run("countermap-sharded", func(t *testing.T) {
+		runWireProcs(t, "countermap", CounterMapObject(), 2, func(hs []*CounterMap) {
+			for _, h := range hs {
+				for j := 0; j < 30; j++ {
+					h.Add(fmt.Sprintf("k%d", j%5), 1)
+				}
+			}
+		})
+	})
+}
+
+// runWireProcsMutual is the all-kinds variant: it requires the three
+// daemons to agree with each other (the paper's convergence guarantee)
+// without a reference comparison — non-commutative workloads (register
+// writes, sequence inserts) converge to a timestamp-order-dependent
+// state that an independently-timestamped reference cannot reproduce.
+func runWireProcsMutual[H any](t *testing.T, objName string, obj Object[H], extra []string, drive func(hs []H)) {
+	t.Helper()
+	bin := buildUcserve(t)
+	addrs := wireAddrs(t, 3)
+	for id := range addrs {
+		startDaemon(t, bin, id, addrs, objName, extra...)
+	}
+	cs := make([]*Client[H], 3)
+	hs := make([]H, 3)
+	for i, addr := range addrs {
+		cs[i] = dialRetry(t, obj, addr)
+		hs[i] = cs[i].Handle()
+	}
+	drive(hs)
+	for _, c := range cs {
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitWire(t, 15*time.Second, objName+" mutual convergence", func() bool {
+		keys := make([]string, 3)
+		for i, c := range cs {
+			key, err := c.StateKey()
+			if err != nil {
+				return false
+			}
+			keys[i] = key
+		}
+		return keys[0] == keys[1] && keys[1] == keys[2]
+	})
+}
+
+// TestWireMultiProcessAllKinds runs a real 3-daemon cluster for every
+// object kind the daemon serves and requires convergence — the
+// acceptance sweep behind `make test-wire`.
+func TestWireMultiProcessAllKinds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process suite skipped in -short")
+	}
+	t.Run("set", func(t *testing.T) {
+		runWireProcsMutual(t, "set", SetObject(), nil, func(hs []*Set) {
+			for i, h := range hs {
+				for j := 0; j < 10; j++ {
+					h.Insert(fmt.Sprintf("v%d-%d", i, j))
+				}
+				h.Delete(fmt.Sprintf("v%d-0", i))
+			}
+		})
+	})
+	t.Run("counter", func(t *testing.T) {
+		runWireProcsMutual(t, "counter", CounterObject(), nil, func(hs []*Counter) {
+			for i, h := range hs {
+				h.Add(int64(10 * (i + 1)))
+			}
+		})
+	})
+	t.Run("countermap", func(t *testing.T) {
+		runWireProcsMutual(t, "countermap", CounterMapObject(), []string{"-shards", "2"}, func(hs []*CounterMap) {
+			for i, h := range hs {
+				for j := 0; j < 10; j++ {
+					h.Add(fmt.Sprintf("k%d", j%4), int64(i+1))
+				}
+			}
+		})
+	})
+	t.Run("register", func(t *testing.T) {
+		runWireProcsMutual(t, "register", RegisterObject(""), nil, func(hs []*Register) {
+			for i, h := range hs {
+				h.Write(fmt.Sprintf("candidate-%d", i))
+			}
+		})
+	})
+	t.Run("log", func(t *testing.T) {
+		runWireProcsMutual(t, "log", TextLogObject(), nil, func(hs []*TextLog) {
+			for i, h := range hs {
+				for j := 0; j < 5; j++ {
+					h.Append(fmt.Sprintf("line %d from %d", j, i))
+				}
+			}
+		})
+	})
+	t.Run("kv", func(t *testing.T) {
+		runWireProcsMutual(t, "kv", KVObject(), []string{"-shards", "2"}, func(hs []*KV) {
+			for i, h := range hs {
+				for j := 0; j < 10; j++ {
+					h.Put(fmt.Sprintf("shared%d", j), fmt.Sprintf("from-%d", i))
+				}
+			}
+		})
+	})
+	t.Run("graph", func(t *testing.T) {
+		runWireProcsMutual(t, "graph", GraphObject(), nil, func(hs []*Graph) {
+			for i, h := range hs {
+				a, b := fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", (i+1)%3)
+				h.AddVertex(a)
+				h.AddVertex(b)
+				h.AddEdge(a, b)
+			}
+		})
+	})
+	t.Run("sequence", func(t *testing.T) {
+		runWireProcsMutual(t, "sequence", SequenceObject(), nil, func(hs []*Sequence) {
+			for i, h := range hs {
+				h.InsertAt(0, fmt.Sprintf("head-%d", i))
+				h.InsertAt(1, fmt.Sprintf("tail-%d", i))
+			}
+		})
+	})
+}
+
+// TestWireCLIClient exercises the ucserve -client subcommand against a
+// live daemon: inserts, a barrier, a query and statekey.
+func TestWireCLIClient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process suite skipped in -short")
+	}
+	bin := buildUcserve(t)
+	addrs := wireAddrs(t, 1)
+	startDaemon(t, bin, 0, addrs, "set")
+	dialRetry(t, SetObject(), addrs[0])
+	out, err := exec.Command(bin, "-client", addrs[0], "-obj", "set",
+		"insert", "cli-x", "insert", "cli-y", "ping", "elems", "statekey").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cli client: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "cli-x") || !strings.Contains(string(out), "cli-y") {
+		t.Fatalf("cli elems missing inserted values:\n%s", out)
+	}
+}
+
+// TestWireKillRestartRepair is the acceptance fault scenario on real
+// processes: converge a 3-daemon sharded cluster, kill -9 one daemon,
+// keep writing, restart it with the same flags, and require the
+// restarted replica to converge — via the on-connect digest exchange —
+// to the state of an unfaulted in-process reference cluster.
+func TestWireKillRestartRepair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process suite skipped in -short")
+	}
+	bin := buildUcserve(t)
+	addrs := wireAddrs(t, 3)
+	daemons := make([]*wireDaemon, 3)
+	for id := range addrs {
+		daemons[id] = startDaemon(t, bin, id, addrs, "countermap", "-shards", "2")
+	}
+	c0 := dialRetry(t, CounterMapObject(), addrs[0])
+	c1 := dialRetry(t, CounterMapObject(), addrs[1])
+	c2 := dialRetry(t, CounterMapObject(), addrs[2])
+
+	phase1 := func(h0, h1 *CounterMap) {
+		for j := 0; j < 40; j++ {
+			h0.Add(fmt.Sprintf("a%d", j%3), 1)
+			h1.Add(fmt.Sprintf("b%d", j%3), 1)
+		}
+	}
+	phase2 := func(h0 *CounterMap) {
+		for j := 0; j < 40; j++ {
+			h0.Add(fmt.Sprintf("c%d", j%3), 1)
+		}
+	}
+
+	phase1(c0.Handle(), c1.Handle())
+	if err := c0.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ref1 := referenceWireKey(t, CounterMapObject(), 2, func(hs []*CounterMap) { phase1(hs[0], hs[1]) })
+	waitClientKeys(t, []*Client[*CounterMap]{c0, c1, c2}, ref1, "pre-kill convergence")
+
+	// kill -9: no flush, no goodbye. The ping barrier above made the
+	// pre-kill state durable on the survivors.
+	daemons[2].kill()
+	c2.Close()
+
+	phase2(c0.Handle())
+	if err := c0.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ref2 := referenceWireKey(t, CounterMapObject(), 2, func(hs []*CounterMap) {
+		phase1(hs[0], hs[1])
+		phase2(hs[0])
+	})
+	waitClientKeys(t, []*Client[*CounterMap]{c0, c1}, ref2, "survivor convergence")
+
+	// Restart with the same flags: the daemon comes back empty and the
+	// on-connect digest exchange pulls everything it ever missed.
+	daemons[2] = startDaemon(t, bin, 2, addrs, "countermap", "-shards", "2")
+	c2 = dialRetry(t, CounterMapObject(), addrs[2])
+	waitClientKeys(t, []*Client[*CounterMap]{c0, c1, c2}, ref2, "restarted replica repair")
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt verify examples bench bench-quick bench-json bench-shards bench-read bench-resize bench-recovery bench-scenario bench-writers bench-wire test-resize test-chaos test-parallel-sim test-lockfree test-wire fuzz
+.PHONY: build test vet fmt verify examples bench bench-quick bench-json bench-shards bench-read bench-resize bench-recovery bench-scenario bench-writers bench-wire bench-consistency test-resize test-chaos test-parallel-sim test-lockfree test-wire test-speckit fuzz
 
 build:
 	$(GO) build ./...
@@ -109,12 +109,28 @@ test-resize:
 test-lockfree:
 	$(GO) test -race -run 'LockFree|Loopback|TickN' ./internal/core/ ./internal/clock/ .
 
+# test-speckit runs the open object-definition kit under the race
+# detector: the public spectest conformance harness over every built-in
+# descriptor, the Define/registry unit tests, the consistency-level
+# (causal vs update-consistent) suites, and the CC decider.
+test-speckit:
+	$(GO) test -race ./spectest/ ./internal/check/
+	$(GO) test -race -run 'Define|Registry|Consistency|Causal|Level|Spectest|OptionErr' .
+
 # test-chaos runs the seeded chaos schedules (crash/recover/partition/
 # heal/lossy links against every object kind) plus the recovery and
 # anti-entropy suites, all under the race detector.
 test-chaos:
 	$(GO) test -race ./internal/chaos/
 	$(GO) test -race -run 'Sync|Recover|Crash|PartitionHeal|Heal|Fault|URB' ./internal/core/ ./internal/transport/ .
+
+# bench-consistency prints the E22 table: the same workload folded at
+# the causal and update-consistent levels, on commutative objects
+# (counter, countermap — both converge, causal is cheaper) and a
+# non-commutative one (log — causal diverges, arbitration is the price
+# of convergence).
+bench-consistency:
+	$(GO) run ./cmd/ucbench -exp consistency
 
 # bench-json refreshes the recorded perf trajectory (hot paths, shard
 # scaling, read caches, adversary step, live resharding, recovery,
@@ -123,4 +139,4 @@ test-chaos:
 # and kept sorted by label.
 LABEL ?= dev
 bench-json:
-	$(GO) run ./cmd/ucbench -exp hotpath,shards,readmostly,stepbacklog,resize,recovery,scenario,writers,wire -json BENCH_ucbench.json -label $(LABEL)
+	$(GO) run ./cmd/ucbench -exp hotpath,shards,readmostly,stepbacklog,resize,recovery,scenario,writers,wire,consistency -json BENCH_ucbench.json -label $(LABEL)

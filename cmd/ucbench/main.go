@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath|shards|readmostly|stepbacklog|resize|recovery|scenario|writers|wire]
+//	ucbench [-exp all|fig1|prop1|prop2|prop3|prop4|sets|complexity|memory|partition|latency|join|hotpath|shards|readmostly|stepbacklog|resize|recovery|scenario|writers|wire|consistency]
 //	        [-quick] [-runs n] [-shards list] [-json path] [-label name]
 //
 // -exp accepts a comma-separated list (e.g. -exp hotpath,shards) so one
@@ -66,6 +66,7 @@ type report struct {
 	Scenario    *bench.ScenarioScaleResult `json:"scenario,omitempty"`
 	Writers     *bench.WritersResult       `json:"writers,omitempty"`
 	Wire        *bench.WireResult          `json:"wire,omitempty"`
+	Consistency *bench.ConsistencyResult   `json:"consistency,omitempty"`
 }
 
 // trajectory is the BENCH_ucbench.json shape: one entry per recorded
@@ -182,7 +183,7 @@ func parseShardCounts(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath, shards, readmostly, stepbacklog, resize, recovery, scenario, writers, wire")
+	exp := flag.String("exp", "all", "comma-separated experiments: all, fig1, prop1, prop2, prop3, prop4, sets, complexity, memory, partition, latency, join, hotpath, shards, readmostly, stepbacklog, resize, recovery, scenario, writers, wire, consistency")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	runs := flag.Int("runs", 400, "randomized-history runs for prop2/prop3")
 	shardsFlag := flag.String("shards", "1,2,4,8", "shard counts for the E14 shard-scaling experiment")
@@ -235,6 +236,8 @@ func main() {
 			rep.Writers = &writers
 			wire := bench.Wire(w, *quick)
 			rep.Wire = &wire
+			consistency := bench.Consistency(w, *quick)
+			rep.Consistency = &consistency
 		case "fig1", "fig2":
 			if rep.Figures == nil {
 				res := bench.Figures(w)
@@ -349,6 +352,11 @@ func main() {
 			if rep.Wire == nil {
 				res := bench.Wire(w, *quick)
 				rep.Wire = &res
+			}
+		case "consistency":
+			if rep.Consistency == nil {
+				res := bench.Consistency(w, *quick)
+				rep.Consistency = &res
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "ucbench: unknown experiment %q\n", name)

@@ -1,6 +1,7 @@
 // Command uccheck classifies a distributed history under the paper's
-// consistency criteria (EC, SEC, UC, SUC, PC, plus SC and Insert-wins
-// for set histories) and prints witnesses for the criteria that hold.
+// consistency criteria (EC, SEC, UC, SUC, PC, CC, plus SC and
+// Insert-wins for set histories) and prints witnesses for the criteria
+// that hold.
 //
 // The input format is the paper's figure notation (see
 // internal/history.Parse): a data-type name followed by one line per
@@ -40,7 +41,7 @@ func main() {
 	fmt.Printf("history over %s:\n%s\n", h.ADT().Name(), h.String())
 
 	results := []check.Result{
-		check.EC(h), check.SEC(h), check.UC(h), check.SUC(h), check.PC(h), check.SC(h),
+		check.EC(h), check.SEC(h), check.UC(h), check.SUC(h), check.PC(h), check.CC(h), check.SC(h),
 	}
 	if h.ADT().Name() == "set" {
 		results = append(results, check.InsertWins(h))

@@ -29,6 +29,12 @@
 //	register:   write V | read
 //	log:        append V | read
 //	kv:         put K V | get K
+//
+// -obj resolves through the object registry, so the daemon serves any
+// registered object — including ones an embedding program added with
+// updatec.Define — not just the built-ins with client command tables
+// above. The wire hello carries the object name: peers and clients
+// built for a different object are refused at handshake.
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 	"time"
 
 	"updatec"
+	"updatec/internal/spec"
 )
 
 func main() {
@@ -49,7 +56,7 @@ func main() {
 		id     = flag.Int("id", 0, "replica id (index into -peers)")
 		listen = flag.String("listen", "", "listen address (default: the -peers entry for -id)")
 		peers  = flag.String("peers", "", "comma-separated cluster addresses, one per replica id")
-		obj    = flag.String("obj", "set", "object kind: set|counter|countermap|register|log|kv|graph|sequence")
+		obj    = flag.String("obj", "set", "registered object name: "+strings.Join(updatec.Objects(), ", "))
 		shards = flag.Int("shards", 1, "key shards per replica (partitionable objects)")
 		gc     = flag.Bool("gc", false, "enable stability-based log compaction")
 		batch  = flag.Int("batch", 0, "outbound batch coalescing threshold in bytes (default 64KiB; 1 disables)")
@@ -109,8 +116,8 @@ func main() {
 	}
 }
 
-// wireServer is the object-independent daemon surface — each object
-// kind instantiates the generic WireNode behind it.
+// wireServer is the object-independent daemon surface of the generic
+// WireNode.
 type wireServer interface {
 	Addr() string
 	StateKey() string
@@ -119,173 +126,90 @@ type wireServer interface {
 	Close() error
 }
 
-// serve starts the daemon for the named object kind.
-func serve(obj string, cfg updatec.WireConfig) (wireServer, error) {
-	switch obj {
-	case "set":
-		return updatec.ListenAndServe(updatec.SetObject(), cfg)
-	case "counter":
-		return updatec.ListenAndServe(updatec.CounterObject(), cfg)
-	case "countermap":
-		return updatec.ListenAndServe(updatec.CounterMapObject(), cfg)
-	case "register":
-		return updatec.ListenAndServe(updatec.RegisterObject(""), cfg)
-	case "log":
-		return updatec.ListenAndServe(updatec.TextLogObject(), cfg)
-	case "kv":
-		return updatec.ListenAndServe(updatec.KVObject(), cfg)
-	case "graph":
-		return updatec.ListenAndServe(updatec.GraphObject(), cfg)
-	case "sequence":
-		return updatec.ListenAndServe(updatec.SequenceObject(), cfg)
-	default:
-		return nil, fmt.Errorf("unknown object kind %q", obj)
+// serve starts the daemon for the named registry object. Nothing here
+// is keyed on built-in names: any registered object serves, and
+// ListenAndServe itself refuses the ones the wire cannot carry
+// (Algorithm 2's memory).
+func serve(name string, cfg updatec.WireConfig) (wireServer, error) {
+	obj, err := updatec.Lookup(name)
+	if err != nil {
+		return nil, err
 	}
+	return updatec.ListenAndServe(obj, cfg)
 }
 
-// runClient executes the argument commands against a daemon, printing
-// one line per query result.
-func runClient(addr, obj string, cmds []string) error {
-	if len(cmds) == 0 {
-		return fmt.Errorf("no commands; try: ucserve -client %s statekey", addr)
-	}
-	switch obj {
-	case "set":
-		return clientLoop(updatec.SetObject(), addr, cmds, func(h *updatec.Set, verb string, args []string) (string, bool, error) {
-			switch verb {
-			case "insert":
-				if len(args) != 1 {
-					return "", false, fmt.Errorf("insert needs one value")
-				}
-				h.Insert(args[0])
-				return "", false, nil
-			case "delete":
-				if len(args) != 1 {
-					return "", false, fmt.Errorf("delete needs one value")
-				}
-				h.Delete(args[0])
-				return "", false, nil
-			case "elems":
-				return fmt.Sprint(h.Elements()), true, nil
-			}
-			return "", false, errUnknown(verb)
-		})
-	case "counter":
-		return clientLoop(updatec.CounterObject(), addr, cmds, func(h *updatec.Counter, verb string, args []string) (string, bool, error) {
-			switch verb {
-			case "add":
-				if len(args) != 1 {
-					return "", false, fmt.Errorf("add needs one integer")
-				}
-				n, err := strconv.ParseInt(args[0], 10, 64)
-				if err != nil {
-					return "", false, err
-				}
-				h.Add(n)
-				return "", false, nil
-			case "value":
-				return fmt.Sprint(h.Value()), true, nil
-			}
-			return "", false, errUnknown(verb)
-		})
-	case "countermap":
-		return clientLoop(updatec.CounterMapObject(), addr, cmds, func(h *updatec.CounterMap, verb string, args []string) (string, bool, error) {
-			switch verb {
-			case "add":
-				if len(args) != 2 {
-					return "", false, fmt.Errorf("add needs a key and an integer")
-				}
-				n, err := strconv.ParseInt(args[1], 10, 64)
-				if err != nil {
-					return "", false, err
-				}
-				h.Add(args[0], n)
-				return "", false, nil
-			case "value":
-				if len(args) != 1 {
-					return "", false, fmt.Errorf("value needs a key")
-				}
-				return fmt.Sprint(h.Value(args[0])), true, nil
-			case "all":
-				return fmt.Sprint(h.All()), true, nil
-			}
-			return "", false, errUnknown(verb)
-		})
-	case "register":
-		return clientLoop(updatec.RegisterObject(""), addr, cmds, func(h *updatec.Register, verb string, args []string) (string, bool, error) {
-			switch verb {
-			case "write":
-				if len(args) != 1 {
-					return "", false, fmt.Errorf("write needs one value")
-				}
-				h.Write(args[0])
-				return "", false, nil
-			case "read":
-				return h.Read(), true, nil
-			}
-			return "", false, errUnknown(verb)
-		})
-	case "log":
-		return clientLoop(updatec.TextLogObject(), addr, cmds, func(h *updatec.TextLog, verb string, args []string) (string, bool, error) {
-			switch verb {
-			case "append":
-				if len(args) != 1 {
-					return "", false, fmt.Errorf("append needs one value")
-				}
-				h.Append(args[0])
-				return "", false, nil
-			case "read":
-				return fmt.Sprint(h.Lines()), true, nil
-			}
-			return "", false, errUnknown(verb)
-		})
-	case "kv":
-		return clientLoop(updatec.KVObject(), addr, cmds, func(h *updatec.KV, verb string, args []string) (string, bool, error) {
-			switch verb {
-			case "put":
-				if len(args) != 2 {
-					return "", false, fmt.Errorf("put needs a key and a value")
-				}
-				h.Put(args[0], args[1])
-				return "", false, nil
-			case "get":
-				if len(args) != 1 {
-					return "", false, fmt.Errorf("get needs a key")
-				}
-				return h.Get(args[0]), true, nil
-			}
-			return "", false, errUnknown(verb)
-		})
-	default:
-		return fmt.Errorf("client mode does not support object kind %q", obj)
-	}
+// wireCmd is one data-command: its argument count and how the
+// arguments become a wire operation. Exactly one of update/query is
+// set; query results print as one line.
+type wireCmd struct {
+	n      int
+	update func(args []string) (updatec.Update, error)
+	query  func(args []string) (updatec.QueryInput, error)
+}
+
+// commands maps the CLI verb tables per object name. These tables are
+// the client's UI, not the daemon's capability surface: the daemon
+// serves any registered object, and protocol commands (statekey,
+// stats, ping) work against all of them. Objects without a table here
+// — graph, sequence, user Defines — are driven programmatically
+// through updatec.Dial instead.
+var commands = map[string]map[string]wireCmd{
+	"set": {
+		"insert": {n: 1, update: func(a []string) (updatec.Update, error) { return spec.Ins{V: a[0]}, nil }},
+		"delete": {n: 1, update: func(a []string) (updatec.Update, error) { return spec.Del{V: a[0]}, nil }},
+		"elems":  {query: func([]string) (updatec.QueryInput, error) { return spec.Read{}, nil }},
+	},
+	"counter": {
+		"add": {n: 1, update: func(a []string) (updatec.Update, error) {
+			n, err := strconv.ParseInt(a[0], 10, 64)
+			return spec.Add{N: n}, err
+		}},
+		"value": {query: func([]string) (updatec.QueryInput, error) { return spec.Read{}, nil }},
+	},
+	"countermap": {
+		"add": {n: 2, update: func(a []string) (updatec.Update, error) {
+			n, err := strconv.ParseInt(a[1], 10, 64)
+			return spec.AddKey{K: a[0], N: n}, err
+		}},
+		"value": {n: 1, query: func(a []string) (updatec.QueryInput, error) { return spec.ReadCtr{K: a[0]}, nil }},
+		"all":   {query: func([]string) (updatec.QueryInput, error) { return spec.ReadAllCtrs{}, nil }},
+	},
+	"register": {
+		"write": {n: 1, update: func(a []string) (updatec.Update, error) { return spec.Write{V: a[0]}, nil }},
+		"read":  {query: func([]string) (updatec.QueryInput, error) { return spec.Read{}, nil }},
+	},
+	"log": {
+		"append": {n: 1, update: func(a []string) (updatec.Update, error) { return spec.Append{V: a[0]}, nil }},
+		"read":   {query: func([]string) (updatec.QueryInput, error) { return spec.ReadLog{}, nil }},
+	},
+	"kv": {
+		"put": {n: 2, update: func(a []string) (updatec.Update, error) { return spec.WriteKey{K: a[0], V: a[1]}, nil }},
+		"get": {n: 1, query: func(a []string) (updatec.QueryInput, error) { return spec.ReadKey{K: a[0]}, nil }},
+	},
 }
 
 func errUnknown(verb string) error {
 	return fmt.Errorf("unknown command %q (protocol commands: statekey, stats, ping)", verb)
 }
 
-// arity maps data-command verbs to their argument counts per object,
-// so a flat argument list splits into commands unambiguously.
-var arity = map[string]map[string]int{
-	"set":        {"insert": 1, "delete": 1, "elems": 0},
-	"counter":    {"add": 1, "value": 0},
-	"countermap": {"add": 2, "value": 1, "all": 0},
-	"register":   {"write": 1, "read": 0},
-	"log":        {"append": 1, "read": 0},
-	"kv":         {"put": 2, "get": 1},
-}
-
-// clientLoop dials, splits the flat argument list into commands using
-// the object's arity table, and executes them in order.
-func clientLoop[H any](obj updatec.Object[H], addr string, cmds []string, run func(h H, verb string, args []string) (string, bool, error)) error {
+// runClient dials the daemon as the named registry object, splits the
+// flat argument list into commands using the verb table, and executes
+// them in order, printing one line per query result.
+func runClient(addr, name string, cmds []string) error {
+	if len(cmds) == 0 {
+		return fmt.Errorf("no commands; try: ucserve -client %s statekey", addr)
+	}
+	obj, err := updatec.Lookup(name)
+	if err != nil {
+		return err
+	}
 	c, err := updatec.Dial(obj, addr)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 	h := c.Handle()
-	ar := arity[obj.Name()]
+	table := commands[name]
 	for i := 0; i < len(cmds); {
 		verb := cmds[i]
 		i++
@@ -310,21 +234,35 @@ func clientLoop[H any](obj updatec.Object[H], addr string, cmds []string, run fu
 			}
 			continue
 		}
-		n, ok := ar[verb]
+		cmd, ok := table[verb]
 		if !ok {
+			if table == nil {
+				return fmt.Errorf("object %q has no CLI data commands; drive it through updatec.Dial (protocol commands: statekey, stats, ping)", name)
+			}
 			return errUnknown(verb)
 		}
-		if i+n > len(cmds) {
-			return fmt.Errorf("%s needs %d argument(s)", verb, n)
+		if i+cmd.n > len(cmds) {
+			return fmt.Errorf("%s needs %d argument(s)", verb, cmd.n)
 		}
-		out, isQuery, err := run(h, verb, cmds[i:i+n])
+		args := cmds[i : i+cmd.n]
+		i += cmd.n
+		if cmd.update != nil {
+			u, err := cmd.update(args)
+			if err != nil {
+				return err
+			}
+			h.Update(u)
+			continue
+		}
+		in, err := cmd.query(args)
 		if err != nil {
 			return err
 		}
-		i += n
-		if isQuery {
-			fmt.Println(out)
+		out, err := runQuery(h, in)
+		if err != nil {
+			return err
 		}
+		fmt.Println(out)
 	}
 	// Updates are fire-and-forget on the wire; the barrier makes the
 	// invocation durable (applied and forwarded) before exiting.
@@ -332,4 +270,16 @@ func clientLoop[H any](obj updatec.Object[H], addr string, cmds []string, run fu
 		return err
 	}
 	return c.Err()
+}
+
+// runQuery issues one query, converting the handle layer's
+// panic-on-failure contract (typed handles cannot return errors) into
+// a CLI error.
+func runQuery(h updatec.Handle, in updatec.QueryInput) (out string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("query: %v", r)
+		}
+	}()
+	return fmt.Sprint(h.Query(in)), nil
 }

@@ -7,17 +7,18 @@
 //   - the set comparison harness (default): pick a set implementation
 //     (-impl uc-set, or-set, ...) and compare against the CRDT
 //     baselines of §VI;
-//   - the generic object mode (-obj): build any built-in object
-//     through the public updatec.New API — set, counter, register,
-//     log, sequence, graph, kv, memory, countermap — with an optional
-//     shard count for the partitionable ones.
+//   - the generic object mode (-obj): build any registered object
+//     through the public updatec.New API — the nine built-ins plus
+//     anything an application registered with updatec.Define — with an
+//     optional shard count for the partitionable ones and an optional
+//     consistency level (-consistency uc|causal).
 //
 // Usage:
 //
 //	ucsim [-impl uc-set|or-set|...] [-n 3] [-ops 12] [-seed 1] [-crash p]
 //	      [-shards s] [-classify] [-fig2]
 //	ucsim -obj countermap -n 3 -shards 4 -ops 100 [-seed 1] [-crash p] [-classify]
-//	      [-resize s'] [-recover]
+//	      [-resize s'] [-recover] [-consistency uc|causal]
 //	ucsim -chaos 12 [-obj set] [-n 4] [-ops 400] [-seed 1] [-shards s]
 //	      [-resize s'] [-classify]
 //	ucsim -scenario churn|flash|zipf-hot|regions|skew|mixed [-obj set] [-n 8]
@@ -63,7 +64,8 @@ import (
 
 func main() {
 	impl := flag.String("impl", "uc-set", "set implementation: "+kindList())
-	obj := flag.String("obj", "", "generic object mode: set, counter, register, log, sequence, graph, kv, memory, countermap")
+	obj := flag.String("obj", "", "generic object mode, any registered object: "+strings.Join(updatec.Objects(), ", "))
+	consistency := flag.String("consistency", "uc", "consistency level for -obj mode: uc (update-consistent) or causal")
 	n := flag.Int("n", 3, "number of processes")
 	ops := flag.Int("ops", 12, "number of updates in the random workload")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -78,6 +80,21 @@ func main() {
 	scenario := flag.String("scenario", "", "run a generated scenario preset: "+presetList())
 	workers := flag.Int("workers", 1, "shard the delivery adversary across this many deterministic workers")
 	flag.Parse()
+
+	var level updatec.Level
+	switch *consistency {
+	case "uc", "update-consistent":
+		level = updatec.UpdateConsistent
+	case "causal":
+		level = updatec.Causal
+	default:
+		fmt.Fprintf(os.Stderr, "ucsim: unknown consistency level %q (known: uc, causal)\n", *consistency)
+		os.Exit(2)
+	}
+	if level != updatec.UpdateConsistent && (*scenario != "" || *chaosEvents > 0 || *obj == "") {
+		fmt.Fprintf(os.Stderr, "ucsim: -consistency causal requires the generic object mode (-obj) without -chaos or -scenario: causal clusters support no crash/repair faults\n")
+		os.Exit(2)
+	}
 
 	if *scenario != "" {
 		implSet := false
@@ -128,7 +145,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ucsim: -obj cannot be combined with -impl or -fig2 (they select the set comparison harness)\n")
 			os.Exit(2)
 		}
-		if err := runObject(*obj, *n, *shards, *resize, *workers, *ops, *seed, *crash, *fifo, *classify, *recoverFlag); err != nil {
+		if err := runObject(*obj, level, *n, *shards, *resize, *workers, *ops, *seed, *crash, *fifo, *classify, *recoverFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "ucsim: %v\n", err)
 			os.Exit(2)
 		}
@@ -177,8 +194,8 @@ func main() {
 		fmt.Printf("\nrecorded history:\n%s", out.History.String())
 		if *classify || *fig2 {
 			c := check.Classify(out.History)
-			fmt.Printf("classification: EC=%v SEC=%v UC=%v SUC=%v PC=%v\n",
-				c.EC, c.SEC, c.UC, c.SUC, c.PC)
+			fmt.Printf("classification: EC=%v SEC=%v UC=%v SUC=%v PC=%v CC=%v\n",
+				c.EC, c.SEC, c.UC, c.SUC, c.PC, c.CC)
 		}
 	}
 	if !out.Converged {
@@ -187,68 +204,27 @@ func main() {
 }
 
 // runObject drives a random workload through the public generic API.
-// Each object kind supplies a mutator that issues one random update on
-// a handle; the scenario loop (crash injection, adversarial partial
-// deliveries, settle, convergence report) is shared.
-func runObject(name string, n, shards, resize, workers int, ops int, seed int64, crash int, fifo, classify, recoverCrashed bool) error {
-	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
-	pick := func(rng *rand.Rand) string { return keys[rng.Intn(len(keys))] }
-	switch name {
-	case "set":
-		return runGeneric(updatec.SetObject(), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
-			func(h *updatec.Set, rng *rand.Rand) {
-				if rng.Intn(3) == 0 {
-					h.Delete(pick(rng))
-				} else {
-					h.Insert(pick(rng))
-				}
-			})
-	case "counter":
-		return runGeneric(updatec.CounterObject(), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
-			func(h *updatec.Counter, rng *rand.Rand) { h.Add(int64(rng.Intn(9) - 4)) })
-	case "register":
-		return runGeneric(updatec.RegisterObject(""), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
-			func(h *updatec.Register, rng *rand.Rand) { h.Write(pick(rng)) })
-	case "log":
-		return runGeneric(updatec.TextLogObject(), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
-			func(h *updatec.TextLog, rng *rand.Rand) { h.Append(pick(rng)) })
-	case "sequence":
-		return runGeneric(updatec.SequenceObject(), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
-			func(h *updatec.Sequence, rng *rand.Rand) {
-				if rng.Intn(4) == 0 {
-					h.DeleteAt(rng.Intn(4))
-				} else {
-					h.InsertAt(rng.Intn(4), pick(rng))
-				}
-			})
-	case "graph":
-		return runGeneric(updatec.GraphObject(), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
-			func(h *updatec.Graph, rng *rand.Rand) {
-				switch rng.Intn(4) {
-				case 0:
-					h.AddEdge(pick(rng), pick(rng))
-				case 1:
-					h.RemoveVertex(pick(rng))
-				default:
-					h.AddVertex(pick(rng))
-				}
-			})
-	case "kv":
-		return runGeneric(updatec.KVObject(), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
-			func(h *updatec.KV, rng *rand.Rand) { h.Put(pick(rng), pick(rng)) })
-	case "memory":
-		return runGeneric(updatec.MemoryObject(""), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
-			func(h *updatec.Memory, rng *rand.Rand) { h.Write(pick(rng), pick(rng)) })
-	case "countermap":
-		return runGeneric(updatec.CounterMapObject(), n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed,
-			func(h *updatec.CounterMap, rng *rand.Rand) { h.Add(pick(rng), int64(rng.Intn(5)+1)) })
-	default:
-		return fmt.Errorf("unknown object %q (known: set, counter, register, log, sequence, graph, kv, memory, countermap)", name)
+// The object is resolved from the descriptor registry — built-in or
+// Define-registered — and its own workload generator issues the
+// updates; the scenario loop (crash injection, adversarial partial
+// deliveries, settle, convergence report) is object-independent.
+func runObject(name string, level updatec.Level, n, shards, resize, workers int, ops int, seed int64, crash int, fifo, classify, recoverCrashed bool) error {
+	obj, err := updatec.Lookup(name)
+	if err != nil {
+		return err
 	}
+	if _, ok := obj.RandomUpdate(rand.New(rand.NewSource(0)), "probe"); !ok {
+		return fmt.Errorf("object %q has no workload generator (Define it with updatec.WithWorkload)", name)
+	}
+	return runGeneric(obj, level, n, shards, resize, workers, ops, seed, crash, fifo, classify, recoverCrashed)
 }
 
-func runGeneric[H any](obj updatec.Object[H], n, shards, resize, workers int, ops int, seed int64, crash int, fifo, classify, recoverCrashed bool, mutate func(H, *rand.Rand)) error {
+func runGeneric(obj updatec.Object[updatec.Handle], level updatec.Level, n, shards, resize, workers int, ops int, seed int64, crash int, fifo, classify, recoverCrashed bool) error {
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
 	opts := []updatec.Option{updatec.WithSeed(seed)}
+	if level != updatec.UpdateConsistent {
+		opts = append(opts, updatec.WithConsistency(level))
+	}
 	if workers > 1 {
 		opts = append(opts, updatec.WithWorkers(workers))
 	}
@@ -296,7 +272,9 @@ func runGeneric[H any](obj updatec.Object[H], n, shards, resize, workers int, op
 		if crashed[p] {
 			continue // a crashed process issues nothing
 		}
-		mutate(handles[p], rng)
+		if u, ok := obj.RandomUpdate(rng, keys[rng.Intn(len(keys))]); ok {
+			handles[p].Update(u)
+		}
 		for d := rng.Intn(4); d > 0; d-- {
 			if !cluster.Deliver() {
 				break
@@ -304,13 +282,14 @@ func runGeneric[H any](obj updatec.Object[H], n, shards, resize, workers int, op
 		}
 	}
 	cluster.Settle()
-	fmt.Printf("object: %s   processes: %d   shards: %d   ops: %d   seed: %d\n",
-		obj.Name(), n, cluster.Shards(), ops, seed)
+	fmt.Printf("object: %s   level: %s   processes: %d   shards: %d   ops: %d   seed: %d\n",
+		obj.Name(), level, n, cluster.Shards(), ops, seed)
 	if resized {
 		_, moved := cluster.ResizeStats()
 		fmt.Printf("reshard: %d live log entries moved at replica 0\n", moved)
 	}
-	fmt.Printf("converged: %v\n", cluster.Converged())
+	converged := cluster.Converged()
+	fmt.Printf("converged: %v\n", converged)
 	st := cluster.Stats()
 	fmt.Printf("network: broadcasts=%d sends=%d bytes=%d\n", st.Broadcasts, st.Sends, st.Bytes)
 	if classify {
@@ -318,11 +297,20 @@ func runGeneric[H any](obj updatec.Object[H], n, shards, resize, workers int, op
 		if err != nil {
 			return err
 		}
-		fmt.Printf("classification: EC=%v SEC=%v UC=%v SUC=%v PC=%v\n",
+		fmt.Printf("classification: EC=%v SEC=%v UC=%v SUC=%v PC=%v CC=%v\n",
 			c.EventuallyConsistent, c.StrongEventuallyConsistent,
-			c.UpdateConsistent, c.StrongUpdateConsistent, c.PipelinedConsistent)
+			c.UpdateConsistent, c.StrongUpdateConsistent, c.PipelinedConsistent,
+			c.CausallyConsistent)
 	}
-	if !cluster.Converged() {
+	if !converged {
+		if level == updatec.Causal {
+			if c, ok := obj.Spec().(updatec.Commutative); !ok || !c.CommutativeUpdates() {
+				// The documented trade, not a failure: causal delivery
+				// does not arbitrate concurrent non-commuting updates.
+				fmt.Printf("note: divergence is expected — %s updates do not commute and causal delivery does not arbitrate them; the default update-consistent level converges\n", obj.Name())
+				return nil
+			}
+		}
 		os.Exit(1)
 	}
 	return nil
@@ -351,9 +339,10 @@ func runChaos(object string, n, shards, resize, ops int, seed int64, events int,
 		res.SyncApplied, res.DupDropped)
 	if res.Classification != nil {
 		c := res.Classification
-		fmt.Printf("classification: EC=%v SEC=%v UC=%v SUC=%v PC=%v\n",
+		fmt.Printf("classification: EC=%v SEC=%v UC=%v SUC=%v PC=%v CC=%v\n",
 			c.EventuallyConsistent, c.StrongEventuallyConsistent,
-			c.UpdateConsistent, c.StrongUpdateConsistent, c.PipelinedConsistent)
+			c.UpdateConsistent, c.StrongUpdateConsistent, c.PipelinedConsistent,
+			c.CausallyConsistent)
 	}
 	fmt.Printf("converged: %v\n", res.Converged)
 	if !res.Converged {
@@ -392,9 +381,10 @@ func runScenario(preset, object string, n, shards, workers, ops int, seed int64,
 	fmt.Printf("schedule fingerprint: %016x (same seed+workers reproduces it)\n", res.Fingerprint)
 	if res.Classification != nil {
 		c := res.Classification
-		fmt.Printf("classification: EC=%v SEC=%v UC=%v SUC=%v PC=%v\n",
+		fmt.Printf("classification: EC=%v SEC=%v UC=%v SUC=%v PC=%v CC=%v\n",
 			c.EventuallyConsistent, c.StrongEventuallyConsistent,
-			c.UpdateConsistent, c.StrongUpdateConsistent, c.PipelinedConsistent)
+			c.UpdateConsistent, c.StrongUpdateConsistent, c.PipelinedConsistent,
+			c.CausallyConsistent)
 	}
 	fmt.Printf("converged: %v\n", res.Converged)
 	if !res.Converged {

@@ -1,0 +1,119 @@
+package updatec
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestConsistencyCausalCommutativeConverges runs a commutative object
+// at the causal level: no timestamps, no arbitration, and it still
+// converges — with the recorded run classified causally consistent.
+func TestConsistencyCausalCommutativeConverges(t *testing.T) {
+	cl, hs, err := New(3, CounterObject(), WithConsistency(Causal), WithSeed(3), WithRecording())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Level() != Causal {
+		t.Fatalf("Level() = %v, want Causal", cl.Level())
+	}
+	for i, h := range hs {
+		h.Add(int64(i + 1))
+	}
+	cl.Settle()
+	if !cl.Converged() {
+		t.Fatal("commutative object must converge under causal delivery")
+	}
+	if got := hs[0].Value(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+	c, err := cl.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.CausallyConsistent {
+		t.Fatalf("causal-mode run must classify CC: %+v", c)
+	}
+	if !c.EventuallyConsistent {
+		t.Fatalf("converged run must classify EC: %+v", c)
+	}
+}
+
+// TestConsistencyCausalNonCommutativeDiverges is the spectrum's other
+// half: concurrent appends to a log under causal delivery land in
+// arrival order, so the replicas disagree forever — the run is
+// causally consistent but not eventually consistent. Arbitration
+// (update consistency) is exactly what the log buys with timestamps.
+func TestConsistencyCausalNonCommutativeDiverges(t *testing.T) {
+	cl, hs, err := New(2, TextLogObject(), WithConsistency(Causal), WithSeed(1), WithRecording())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Concurrent: neither append has seen the other, so each replica
+	// folds its own first.
+	hs[0].Append("a")
+	hs[1].Append("b")
+	cl.Settle()
+	if cl.Converged() {
+		t.Fatal("concurrent non-commutative updates should diverge under causal delivery")
+	}
+	c, err := cl.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.EventuallyConsistent {
+		t.Fatalf("diverged ω reads cannot be EC: %+v", c)
+	}
+	if !c.CausallyConsistent {
+		t.Fatalf("each replica's view respects causal order, so CC must hold: %+v", c)
+	}
+
+	// The same workload at the default level converges: Algorithm 3's
+	// timestamps arbitrate the concurrent appends.
+	ucl, uhs, err := New(2, TextLogObject(), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ucl.Close()
+	uhs[0].Append("a")
+	uhs[1].Append("b")
+	ucl.Settle()
+	if !ucl.Converged() {
+		t.Fatal("update consistency must converge the same workload")
+	}
+}
+
+// TestConsistencyDefaultLevelCCEqualsPC pins the deciders' boundary
+// condition: update-consistent runs record no dependency vectors, so
+// causal consistency degenerates to pipelined consistency on their
+// histories.
+func TestConsistencyDefaultLevelCCEqualsPC(t *testing.T) {
+	cl, hs, err := New(2, SetObject(), WithSeed(2), WithRecording())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Level() != UpdateConsistent {
+		t.Fatalf("Level() = %v, want the UpdateConsistent default", cl.Level())
+	}
+	for i, h := range hs {
+		for j := 0; j < 3; j++ {
+			h.Insert(fmt.Sprintf("v%d-%d", i, j))
+		}
+	}
+	cl.Settle()
+	if !cl.Converged() {
+		t.Fatal("cluster did not converge")
+	}
+	c, err := cl.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.UpdateConsistent {
+		t.Fatalf("run must classify UC: %+v", c)
+	}
+	if c.CausallyConsistent != c.PipelinedConsistent {
+		t.Fatalf("without dependency vectors CC must equal PC: %+v", c)
+	}
+}

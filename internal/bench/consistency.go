@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"updatec/internal/core"
+	"updatec/internal/spec"
+	"updatec/internal/transport"
+)
+
+// ConsistencyRow is one (object, level) cell of E22: the same update
+// workload folded by the update-consistent construction (timestamps,
+// sorted replay) and by plain causal delivery (eager folds, no
+// arbitration).
+type ConsistencyRow struct {
+	Object string `json:"object"`
+	// Level is "uc" or "causal".
+	Level string `json:"level"`
+	Ops   int    `json:"ops"`
+	// OpsPerSec is issued updates per second, wall clock from the first
+	// update to the last delivery draining.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Speedup is this row's OpsPerSec over the uc row for the same
+	// object (1.0 on uc rows).
+	Speedup float64 `json:"speedup,omitempty"`
+	// Converged reports whether all replicas reached the same state
+	// key. Causal delivery converges exactly for commutative objects —
+	// the point the experiment prices.
+	Converged bool `json:"converged"`
+	// Commutative records whether the object declares commutative
+	// updates (spec.Commutative).
+	Commutative bool `json:"commutative"`
+}
+
+// ConsistencyResult reports experiment E22.
+type ConsistencyResult struct {
+	Rows []ConsistencyRow `json:"rows"`
+	// CausalSpeedupCounter is the headline number: causal over uc
+	// ops/sec on the commutative counter, the price of arbitration a
+	// commutative object can refuse to pay.
+	CausalSpeedupCounter float64 `json:"causal_speedup_counter"`
+}
+
+// consistencyObject is one workload of the E22 sweep.
+type consistencyObject struct {
+	name string
+	adt  spec.UQADT
+	gen  func(i int) spec.Update
+}
+
+// consistencyRun drives totalOps updates round-robin through a
+// 3-replica live cluster at the given level and returns the wall-clock
+// duration and whether the replicas converged.
+func consistencyRun(obj consistencyObject, causal bool, totalOps int) (time.Duration, bool) {
+	const n = 3
+	net := transport.NewLive(n)
+	defer net.Close()
+
+	var update func(p int, u spec.Update)
+	var key func(p int) string
+	if causal {
+		reps := core.CausalCluster(n, obj.adt, obj.adt.(spec.Codec), net, nil)
+		update = func(p int, u spec.Update) { reps[p].Update(u) }
+		key = func(p int) string { return reps[p].StateKey() }
+	} else {
+		reps := core.Cluster(n, obj.adt, net, core.ClusterOptions{})
+		update = func(p int, u spec.Update) { reps[p].Update(u) }
+		key = func(p int) string { return reps[p].StateKey() }
+	}
+
+	t0 := time.Now()
+	for i := 0; i < totalOps; i++ {
+		update(i%n, obj.gen(i))
+	}
+	net.Drain()
+	elapsed := time.Since(t0)
+
+	converged := true
+	for p := 1; p < n; p++ {
+		if key(p) != key(0) {
+			converged = false
+		}
+	}
+	return elapsed, converged
+}
+
+// Consistency (E22) prices the consistency spectrum: the same workload
+// through the update-consistent construction (Algorithm 3's timestamps
+// and sorted replay) and through causal delivery (vector-clock gating,
+// one eager fold per update, no undo/redo). Causal is the cheaper
+// level — no arbitration work — but it only converges when the
+// object's updates commute: the counter and countermap rows converge
+// at both levels, the log row converges only under update consistency.
+// That asymmetry is the paper's argument in price form: update
+// consistency is what non-commutative objects buy with timestamps.
+func Consistency(w io.Writer, quickRun bool) ConsistencyResult {
+	section(w, "E22", "consistency levels: causal vs update-consistent fold cost, commutative and not")
+	totalOps := 60_000
+	if quickRun {
+		totalOps = 12_000
+	}
+	objects := []consistencyObject{
+		{name: "counter", adt: spec.Counter(), gen: func(i int) spec.Update { return spec.Add{N: 1} }},
+		{name: "countermap", adt: spec.CounterMap(), gen: func(i int) spec.Update {
+			return spec.AddKey{K: fmt.Sprintf("k%d", i%8), N: 1}
+		}},
+		{name: "log", adt: spec.Log(), gen: func(i int) spec.Update {
+			return spec.Append{V: fmt.Sprintf("line-%d", i)}
+		}},
+	}
+	var res ConsistencyResult
+	t := newTable(w, "object", "level", "ops", "ops/sec", "speedup", "converged", "commutative")
+	for _, obj := range objects {
+		commutative := false
+		if c, ok := obj.adt.(spec.Commutative); ok {
+			commutative = c.CommutativeUpdates()
+		}
+		var ucBase float64
+		for _, level := range []string{"uc", "causal"} {
+			causal := level == "causal"
+			consistencyRun(obj, causal, totalOps/10) // warmup
+			elapsed, converged := consistencyRun(obj, causal, totalOps)
+			row := ConsistencyRow{
+				Object:      obj.name,
+				Level:       level,
+				Ops:         totalOps,
+				OpsPerSec:   float64(totalOps) / elapsed.Seconds(),
+				Converged:   converged,
+				Commutative: commutative,
+			}
+			if !causal {
+				ucBase = row.OpsPerSec
+				row.Speedup = 1
+			} else if ucBase > 0 {
+				row.Speedup = row.OpsPerSec / ucBase
+				if obj.name == "counter" {
+					res.CausalSpeedupCounter = row.Speedup
+				}
+			}
+			res.Rows = append(res.Rows, row)
+			t.row(row.Object, row.Level, row.Ops, fmt.Sprintf("%.0f", row.OpsPerSec),
+				fmt.Sprintf("%.2fx", row.Speedup), row.Converged, row.Commutative)
+		}
+	}
+	t.flush()
+	fmt.Fprintf(w, "\ncausal/uc ops-per-sec on the commutative counter: %.2fx\n", res.CausalSpeedupCounter)
+	fmt.Fprintf(w, "(the log's causal row does not converge — non-commutative updates need update consistency)\n\n")
+	return res
+}

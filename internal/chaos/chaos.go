@@ -126,65 +126,18 @@ var chaosKeys = []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"}
 func pickKey(rng *rand.Rand) string { return chaosKeys[rng.Intn(len(chaosKeys))] }
 
 // build constructs the cluster for cfg.Object through the public API.
+// The object is resolved from the descriptor registry, so any name a
+// Define call registered — built-in or application-defined — runs
+// under the same schedules; the object's own workload generator issues
+// the updates.
 func build(cfg Config) (*harness, error) {
-	switch cfg.Object {
-	case "set":
-		return buildObj(cfg, updatec.SetObject(), func(h *updatec.Set, key string, rng *rand.Rand) {
-			if rng.Intn(3) == 0 {
-				h.Delete(key)
-			} else {
-				h.Insert(key)
-			}
-		})
-	case "counter":
-		return buildObj(cfg, updatec.CounterObject(), func(h *updatec.Counter, _ string, rng *rand.Rand) {
-			h.Add(int64(rng.Intn(9) - 4))
-		})
-	case "register":
-		return buildObj(cfg, updatec.RegisterObject(""), func(h *updatec.Register, key string, _ *rand.Rand) {
-			h.Write(key)
-		})
-	case "log":
-		return buildObj(cfg, updatec.TextLogObject(), func(h *updatec.TextLog, key string, _ *rand.Rand) {
-			h.Append(key)
-		})
-	case "sequence":
-		return buildObj(cfg, updatec.SequenceObject(), func(h *updatec.Sequence, key string, rng *rand.Rand) {
-			if rng.Intn(4) == 0 {
-				h.DeleteAt(rng.Intn(4))
-			} else {
-				h.InsertAt(rng.Intn(4), key)
-			}
-		})
-	case "graph":
-		return buildObj(cfg, updatec.GraphObject(), func(h *updatec.Graph, key string, rng *rand.Rand) {
-			switch rng.Intn(4) {
-			case 0:
-				h.AddEdge(key, pickKey(rng))
-			case 1:
-				h.RemoveVertex(key)
-			default:
-				h.AddVertex(key)
-			}
-		})
-	case "kv":
-		return buildObj(cfg, updatec.KVObject(), func(h *updatec.KV, key string, rng *rand.Rand) {
-			h.Put(key, pickKey(rng))
-		})
-	case "memory":
-		return buildObj(cfg, updatec.MemoryObject(""), func(h *updatec.Memory, key string, rng *rand.Rand) {
-			h.Write(key, pickKey(rng))
-		})
-	case "countermap":
-		return buildObj(cfg, updatec.CounterMapObject(), func(h *updatec.CounterMap, key string, rng *rand.Rand) {
-			h.Add(key, int64(rng.Intn(5)+1))
-		})
-	default:
-		return nil, fmt.Errorf("chaos: unknown object %q (known: set, counter, register, log, sequence, graph, kv, memory, countermap)", cfg.Object)
+	obj, err := updatec.Lookup(cfg.Object)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
 	}
-}
-
-func buildObj[H any](cfg Config, obj updatec.Object[H], mutate func(H, string, *rand.Rand)) (*harness, error) {
+	if _, ok := obj.RandomUpdate(rand.New(rand.NewSource(0)), "probe"); !ok {
+		return nil, fmt.Errorf("chaos: object %q has no workload generator (Define it with updatec.WithWorkload)", cfg.Object)
+	}
 	opts := []updatec.Option{updatec.WithSeed(cfg.Seed)}
 	if cfg.Shards > 1 {
 		opts = append(opts, updatec.WithShards(cfg.Shards))
@@ -200,8 +153,12 @@ func buildObj[H any](cfg Config, obj updatec.Object[H], mutate func(H, string, *
 		return nil, err
 	}
 	return &harness{
-		ctl:    cluster,
-		update: func(p int, key string, rng *rand.Rand) { mutate(handles[p], key, rng) },
+		ctl: cluster,
+		update: func(p int, key string, rng *rand.Rand) {
+			if u, ok := obj.RandomUpdate(rng, key); ok {
+				handles[p].Update(u)
+			}
+		},
 	}, nil
 }
 

@@ -1,0 +1,114 @@
+package check
+
+import (
+	"testing"
+
+	"updatec/internal/history"
+	"updatec/internal/spec"
+)
+
+// ccRegister builds a two-process register history through the runtime
+// Recorder API (the same path causal replicas use), with p0 writing "a"
+// and p1 writing "b" causally after it, and both processes converging
+// on the given final read.
+func ccRegister(t *testing.T, final string) *history.History {
+	t.Helper()
+	r := history.NewRecorder(spec.Register(""), 2)
+	r.UpdateDeps(0, spec.Write{V: "a"}, []uint64{0, 0})
+	// p1's write depends on p0's first update: deps[0] = 1.
+	r.UpdateDeps(1, spec.Write{V: "b"}, []uint64{1, 0})
+	r.QueryOmegaDeps(0, spec.Read{}, spec.RegVal(final), []uint64{1, 1})
+	r.QueryOmegaDeps(1, spec.Read{}, spec.RegVal(final), []uint64{1, 1})
+	h, err := r.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestCCDepsForceOrderPCDoesNot(t *testing.T) {
+	// W(b) carries deps [1,0]: it is causally after W(a), so every
+	// causally-gated linearization ends in W(a)·W(b) and the converged
+	// read must be "b". PC ignores the vectors and is free to order
+	// W(b)·W(a), so the history converging on "a" is PC but not CC.
+	h := ccRegister(t, "a")
+	if !PC(h).Holds {
+		t.Fatalf("PC should hold: W(b)·W(a) explains the final read a")
+	}
+	r := CC(h)
+	if r.Holds {
+		t.Fatalf("CC must reject: deps force W(a) before W(b), final read must be b")
+	}
+}
+
+func TestCCHoldsWhenReadsRespectCausalOrder(t *testing.T) {
+	h := ccRegister(t, "b")
+	r := CC(h)
+	if !r.Holds {
+		t.Fatalf("CC should hold: %s", r.Reason)
+	}
+	if err := ValidateCCWitness(h, r.Witness); err != nil {
+		t.Fatal(err)
+	}
+	// Every per-process word must place W(a) before W(b).
+	for p, word := range r.Witness.PerProc {
+		ia, ib := -1, -1
+		for i, e := range word {
+			if w, ok := e.U.(spec.Write); ok {
+				switch w.V {
+				case "a":
+					ia = i
+				case "b":
+					ib = i
+				}
+			}
+		}
+		if ia < 0 || ib < 0 || ia > ib {
+			t.Fatalf("process %d witness does not respect deps: a@%d b@%d", p, ia, ib)
+		}
+	}
+}
+
+func TestCCWitnessValidationRejectsDepsViolation(t *testing.T) {
+	// A PC witness for the "a"-converging history explains the reads but
+	// consumes W(b) before its dependency W(a): ValidateCCWitness must
+	// reject what ValidatePCWitness accepts.
+	h := ccRegister(t, "a")
+	r := PC(h)
+	if !r.Holds {
+		t.Fatalf("PC should hold: %s", r.Reason)
+	}
+	if err := ValidatePCWitness(h, r.Witness); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateCCWitness(h, r.Witness); err == nil {
+		t.Fatalf("CC witness validation must reject a deps-violating word")
+	}
+}
+
+func TestCCEqualsPCWithoutDeps(t *testing.T) {
+	// With no dependency vectors recorded, causality degenerates to
+	// program order and CC coincides with PC.
+	for _, text := range []string{
+		"set\np0: I(1) R/{1}ω\np1: D(1) R/{1}ω\n",
+		"set\np0: I(1) D(1)\np1: R/{1}ω\n",
+		"set\np0: I(1) R/∅ω\np1: D(1) R/∅ω\n",
+		"set\np0: I(1) R/∅\n",
+	} {
+		h := history.MustParse(text)
+		pc, cc := PC(h), CC(h)
+		if pc.Holds != cc.Holds {
+			t.Fatalf("CC (%v) must coincide with PC (%v) on deps-free history %q",
+				cc.Holds, pc.Holds, text)
+		}
+		if cc.Holds {
+			if err := ValidateCCWitness(h, cc.Witness); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	h := history.Fig2()
+	if PC(h).Holds != CC(h).Holds {
+		t.Fatalf("CC must coincide with PC on Fig2")
+	}
+}

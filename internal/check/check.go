@@ -131,7 +131,8 @@ func run(fn func() bool) (ok, outOfBudget bool) {
 	return fn(), false
 }
 
-// Classify runs the five paper criteria on a history.
+// Classify runs the five paper criteria plus causal consistency on a
+// history.
 func Classify(h *history.History) history.Classification {
 	return history.Classification{
 		EC:  EC(h).Holds,
@@ -139,6 +140,7 @@ func Classify(h *history.History) history.Classification {
 		UC:  UC(h).Holds,
 		SUC: SUC(h).Holds,
 		PC:  PC(h).Holds,
+		CC:  CC(h).Holds,
 	}
 }
 
@@ -150,6 +152,7 @@ func ClassifyOpt(h *history.History, opt Options) history.Classification {
 		UC:  UCOpt(h, opt).Holds,
 		SUC: SUCOpt(h, opt).Holds,
 		PC:  PCOpt(h, opt).Holds,
+		CC:  CCOpt(h, opt).Holds,
 	}
 }
 

@@ -154,9 +154,12 @@ type Config struct {
 	ID int
 	// N is the number of processes.
 	N int
-	// ADT is the sequential specification; it must implement spec.Codec
-	// so updates can be broadcast.
+	// ADT is the sequential specification.
 	ADT spec.UQADT
+	// Codec serializes updates for broadcast. Nil means the ADT itself
+	// implements spec.Codec (true for every built-in spec); a spec
+	// defined through the public kit may carry a separate codec instead.
+	Codec spec.Codec
 	// Net is the broadcast transport shared by the cluster.
 	Net transport.Network
 	// Engine selects the query engine; nil means ReplayEngine (the
@@ -184,9 +187,12 @@ type Config struct {
 
 // NewReplica builds the replica and attaches it to the transport.
 func NewReplica(cfg Config) *Replica {
-	codec, ok := cfg.ADT.(spec.Codec)
-	if !ok {
-		panic(fmt.Sprintf("core: %s does not implement spec.Codec", cfg.ADT.Name()))
+	codec := cfg.Codec
+	if codec == nil {
+		codec, _ = cfg.ADT.(spec.Codec)
+	}
+	if codec == nil {
+		panic(fmt.Sprintf("core: %s implements no spec.Codec and none was configured", cfg.ADT.Name()))
 	}
 	eng := cfg.Engine
 	if eng == nil {
@@ -701,7 +707,7 @@ func Cluster(n int, adt spec.UQADT, net transport.Network, opt ClusterOptions) [
 			eng = opt.NewEngine()
 		}
 		reps[i] = NewReplica(Config{
-			ID: i, N: n, ADT: adt, Net: net,
+			ID: i, N: n, ADT: adt, Codec: opt.Codec, Net: net,
 			Engine: eng, GC: opt.GC, GCEvery: opt.GCEvery,
 			Recorder: opt.Recorder, LockFree: opt.LockFree,
 		})
@@ -713,6 +719,9 @@ func Cluster(n int, adt spec.UQADT, net transport.Network, opt ClusterOptions) [
 type ClusterOptions struct {
 	// NewEngine builds each replica's engine (nil → ReplayEngine).
 	NewEngine func() Engine
+	// Codec overrides the update codec (nil → the ADT's own, as in
+	// Config.Codec).
+	Codec spec.Codec
 	// GC enables stability-based compaction (FIFO transport required).
 	GC bool
 	// GCEvery is the compaction period in deliveries.

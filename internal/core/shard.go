@@ -143,6 +143,9 @@ type ShardedConfig struct {
 	// spec.Partitionable to benefit from sharding; otherwise all
 	// traffic falls back to shard 0.
 	ADT spec.UQADT
+	// Codec overrides the update codec (nil → the ADT's own, as in
+	// Config.Codec).
+	Codec spec.Codec
 	// Net is the broadcast transport shared by the cluster. It must
 	// implement transport.ShardedNetwork when Shards > 1 (both SimNetwork
 	// and LiveNetwork do); when it also implements
@@ -193,7 +196,9 @@ func NewShardedReplica(cfg ShardedConfig) *ShardedReplica {
 		gcEvery:   cfg.GCEvery,
 		lockfree:  cfg.LockFree,
 	}
-	r.codec, _ = cfg.ADT.(spec.Codec)
+	if r.codec = cfg.Codec; r.codec == nil {
+		r.codec, _ = cfg.ADT.(spec.Codec)
+	}
 	r.qkeyer, _ = cfg.ADT.(spec.QueryKeyer)
 	r.rnet, _ = cfg.Net.(transport.ResizableNetwork)
 	r.mc.vers = make([]uint64, cfg.Shards)
@@ -211,7 +216,7 @@ func NewShardedReplica(cfg ShardedConfig) *ShardedReplica {
 			eng = cfg.NewEngine()
 		}
 		g.shards[s] = NewReplica(Config{
-			ID: cfg.ID, N: cfg.N, ADT: cfg.ADT, Net: net,
+			ID: cfg.ID, N: cfg.N, ADT: cfg.ADT, Codec: r.codec, Net: net,
 			Engine: eng, GC: cfg.GC, GCEvery: cfg.GCEvery,
 			Recorder: cfg.Recorder, LockFree: cfg.LockFree,
 		})
@@ -792,7 +797,7 @@ func (r *ShardedReplica) resizeLocked(newShards int) {
 			eng = r.newEngine()
 		}
 		rep := NewReplica(Config{
-			ID: r.id, N: r.n, ADT: r.adt,
+			ID: r.id, N: r.n, ADT: r.adt, Codec: r.codec,
 			Net:    epochChannel{net: r.rnet, shard: s, epoch: newShards},
 			Engine: eng, GC: r.gc, GCEvery: r.gcEvery,
 			LockFree: r.lockfree,
@@ -926,7 +931,7 @@ func ShardedCluster(n, shards int, adt spec.UQADT, net transport.Network, opt Cl
 	reps := make([]*ShardedReplica, n)
 	for i := 0; i < n; i++ {
 		reps[i] = NewShardedReplica(ShardedConfig{
-			ID: i, N: n, Shards: shards, ADT: adt, Net: net,
+			ID: i, N: n, Shards: shards, ADT: adt, Codec: opt.Codec, Net: net,
 			NewEngine: opt.NewEngine, GC: opt.GC, GCEvery: opt.GCEvery,
 			Recorder: opt.Recorder, LockFree: opt.LockFree,
 		})

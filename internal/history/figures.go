@@ -104,11 +104,14 @@ func Fig2() *History {
 // the order [EC, SEC, UC, SUC, PC].
 func Figures() []Figure {
 	return []Figure{
-		{Label: "Fig1a", H: Fig1a(), Expect: Classification{EC: true, SEC: false, UC: false, SUC: false, PC: false}},
-		{Label: "Fig1b", H: Fig1b(), Expect: Classification{EC: true, SEC: true, UC: false, SUC: false, PC: false}},
-		{Label: "Fig1c", H: Fig1c(), Expect: Classification{EC: true, SEC: true, UC: true, SUC: false, PC: false}},
-		{Label: "Fig1d", H: Fig1d(), Expect: Classification{EC: true, SEC: true, UC: true, SUC: true, PC: false}},
-		{Label: "Fig2", H: Fig2(), Expect: Classification{EC: false, SEC: false, UC: false, SUC: false, PC: true}},
+		// CC follows PC on these histories: the figures record no
+		// dependency vectors, so causal order degenerates to program
+		// order and the CC decider coincides with PC.
+		{Label: "Fig1a", H: Fig1a(), Expect: Classification{EC: true, SEC: false, UC: false, SUC: false, PC: false, CC: false}},
+		{Label: "Fig1b", H: Fig1b(), Expect: Classification{EC: true, SEC: true, UC: false, SUC: false, PC: false, CC: false}},
+		{Label: "Fig1c", H: Fig1c(), Expect: Classification{EC: true, SEC: true, UC: true, SUC: false, PC: false, CC: false}},
+		{Label: "Fig1d", H: Fig1d(), Expect: Classification{EC: true, SEC: true, UC: true, SUC: true, PC: false, CC: false}},
+		{Label: "Fig2", H: Fig2(), Expect: Classification{EC: false, SEC: false, UC: false, SUC: false, PC: true, CC: true}},
 	}
 }
 
@@ -127,4 +130,5 @@ type Classification struct {
 	UC  bool // update consistency (Def. 8)
 	SUC bool // strong update consistency (Def. 9)
 	PC  bool // pipelined consistency (Def. 7)
+	CC  bool // causal consistency (PC + recorded causal order; see check.CC)
 }

@@ -49,6 +49,13 @@ type Event struct {
 	// Omega marks a query repeated an infinite number of times; an ω
 	// event is necessarily the last event of its process.
 	Omega bool
+	// Deps, when recorded, is the event's causal dependency vector:
+	// Deps[q] is the number of process-q updates the issuer had applied
+	// when it issued this event (for q == Proc, the issuer's own prior
+	// updates). Causal-mode replicas record it; the CC decider gates
+	// event consumption on it. Nil when the run carried no dependency
+	// information — causality then degenerates to program order.
+	Deps []uint64
 }
 
 // IsUpdate reports whether the event is an update event.
@@ -274,6 +281,27 @@ func (pr *Proc) Query(in spec.QueryInput, out spec.QueryOutput) *Proc {
 // QueryOmega appends an ω query event; it must be the process's last.
 func (pr *Proc) QueryOmega(in spec.QueryInput, out spec.QueryOutput) *Proc {
 	pr.b.append(pr.p, &Event{Kind: Qry, QIn: in, QOut: out, Omega: true})
+	return pr
+}
+
+// UpdateDeps appends an update event carrying its causal dependency
+// vector (see Event.Deps).
+func (pr *Proc) UpdateDeps(u spec.Update, deps []uint64) *Proc {
+	pr.b.append(pr.p, &Event{Kind: Upd, U: u, Deps: deps})
+	return pr
+}
+
+// QueryDeps appends a query event carrying its causal dependency
+// vector.
+func (pr *Proc) QueryDeps(in spec.QueryInput, out spec.QueryOutput, deps []uint64) *Proc {
+	pr.b.append(pr.p, &Event{Kind: Qry, QIn: in, QOut: out, Deps: deps})
+	return pr
+}
+
+// QueryOmegaDeps appends an ω query event carrying its causal
+// dependency vector.
+func (pr *Proc) QueryOmegaDeps(in spec.QueryInput, out spec.QueryOutput, deps []uint64) *Proc {
+	pr.b.append(pr.p, &Event{Kind: Qry, QIn: in, QOut: out, Omega: true, Deps: deps})
 	return pr
 }
 

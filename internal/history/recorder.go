@@ -44,6 +44,31 @@ func (r *Recorder) QueryOmega(p int, in spec.QueryInput, out spec.QueryOutput) {
 	r.procs[p] = append(r.procs[p], &Event{Kind: Qry, QIn: in, QOut: out, Omega: true})
 }
 
+// UpdateDeps records an update event by process p together with its
+// causal dependency vector (see Event.Deps). Causal replicas use it;
+// the CC decider consumes the vectors.
+func (r *Recorder) UpdateDeps(p int, u spec.Update, deps []uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.procs[p] = append(r.procs[p], &Event{Kind: Upd, U: u, Deps: deps})
+}
+
+// QueryDeps records a query event by process p with its dependency
+// vector.
+func (r *Recorder) QueryDeps(p int, in spec.QueryInput, out spec.QueryOutput, deps []uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.procs[p] = append(r.procs[p], &Event{Kind: Qry, QIn: in, QOut: out, Deps: deps})
+}
+
+// QueryOmegaDeps records process p's converged query with its
+// dependency vector. It must be the last event recorded for p.
+func (r *Recorder) QueryOmegaDeps(p int, in spec.QueryInput, out spec.QueryOutput, deps []uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.procs[p] = append(r.procs[p], &Event{Kind: Qry, QIn: in, QOut: out, Omega: true, Deps: deps})
+}
+
 // History builds the recorded history. It may be called once recording
 // has stopped; the recorder can keep being used afterwards (History
 // snapshots current state).
@@ -56,11 +81,11 @@ func (r *Recorder) History() (*History, error) {
 		for _, e := range seq {
 			switch {
 			case e.IsUpdate():
-				p.Update(e.U)
+				p.UpdateDeps(e.U, e.Deps)
 			case e.Omega:
-				p.QueryOmega(e.QIn, e.QOut)
+				p.QueryOmegaDeps(e.QIn, e.QOut, e.Deps)
 			default:
-				p.Query(e.QIn, e.QOut)
+				p.QueryDeps(e.QIn, e.QOut, e.Deps)
 			}
 		}
 	}

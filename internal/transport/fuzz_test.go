@@ -17,7 +17,8 @@ func FuzzEnvelopeDecode(f *testing.F) {
 	f.Add([]byte{0x00})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
 	f.Add(AppendFrame(nil, Frame{Kind: KindData, From: 2, Shard: 1, Epoch: 3, Payload: []byte("payload")}))
-	f.Add(AppendFrame(nil, Frame{Kind: KindHello, From: -1, Payload: helloPayload(RoleClient, 0)}))
+	f.Add(AppendFrame(nil, Frame{Kind: KindHello, From: -1, Payload: helloPayload(RoleClient, 0, "")}))
+	f.Add(AppendFrame(nil, Frame{Kind: KindHello, From: 0, Payload: helloPayload(RolePeer, 3, "counter")}))
 	f.Add(AppendFrame(nil, Frame{Kind: KindDigest, From: 0, Payload: bytes.Repeat([]byte{7}, 100)}))
 	f.Add(append(AppendFrame(nil, Frame{Kind: KindData, From: 0, Payload: []byte("a")}),
 		AppendFrame(nil, Frame{Kind: KindData, From: 1, Payload: []byte("b")})...))

@@ -95,6 +95,12 @@ type TCPOptions struct {
 	DropOnFull bool
 	// MaxFrame bounds accepted frame bodies (default MaxFrame).
 	MaxFrame int
+	// ObjectName, when set, is carried in every hello this node sends
+	// and checked against every hello it receives: a peer or client
+	// speaking a different (non-empty) object name is refused at
+	// handshake, before any data frame is interpreted. Empty disables
+	// both the claim and the check.
+	ObjectName string
 	// DialTimeout, RetryMin and RetryMax shape the reconnect loop
 	// (defaults 2s, 50ms, 2s).
 	DialTimeout time.Duration
@@ -412,7 +418,7 @@ func (p *tcpPeer) pause(d time.Duration) bool {
 func (p *tcpPeer) serve(conn net.Conn) error {
 	hello := AppendFrame(nil, Frame{
 		Kind: KindHello, From: p.net.opts.ID,
-		Payload: helloPayload(RolePeer, p.net.n),
+		Payload: helloPayload(RolePeer, p.net.n, p.net.opts.ObjectName),
 	})
 	if _, err := conn.Write(hello); err != nil {
 		return err
@@ -545,28 +551,45 @@ func (t *TCPNetwork) serveConn(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	role, size, err := parseHello(hello.Payload)
+	role, size, name, err := parseHello(hello.Payload)
 	if err != nil {
 		t.badFrames.Add(1)
 		t.forget(conn)
 		conn.Close()
 		return
 	}
+	mismatch := t.opts.ObjectName != "" && name != "" && name != t.opts.ObjectName
 	if role == RoleClient {
-		t.mu.Lock()
-		fn := t.clientFn
-		t.mu.Unlock()
 		// The conn stays registered so Close unblocks the handler's read.
 		defer func() {
 			t.forget(conn)
 			conn.Close()
 		}()
+		if mismatch {
+			// Tell the client what went wrong before hanging up — a
+			// silent close would read as a network fault, not a
+			// configuration error.
+			t.badFrames.Add(1)
+			msg := fmt.Sprintf("object mismatch: daemon serves %q, client speaks %q", t.opts.ObjectName, name)
+			conn.Write(AppendFrame(nil, Frame{Kind: KindError, From: -1, Payload: []byte(msg)}))
+			return
+		}
+		t.mu.Lock()
+		fn := t.clientFn
+		t.mu.Unlock()
 		if fn != nil {
 			fn(conn, br)
 		}
 		return
 	}
 	from := hello.From
+	if mismatch {
+		t.logf("rejecting peer hello: object mismatch: this daemon serves %q, peer %d speaks %q", t.opts.ObjectName, from, name)
+		t.badFrames.Add(1)
+		t.forget(conn)
+		conn.Close()
+		return
+	}
 	if size != t.n || from < 0 || from >= t.n || from == t.opts.ID {
 		t.logf("rejecting peer hello: from=%d size=%d (cluster size %d)", from, size, t.n)
 		t.badFrames.Add(1)

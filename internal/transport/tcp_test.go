@@ -357,7 +357,7 @@ func TestTCPRejectsGarbageWithoutDying(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn2.Write(AppendFrame(nil, Frame{Kind: KindHello, From: 1, Payload: helloPayload(RolePeer, 2)}))
+	conn2.Write(AppendFrame(nil, Frame{Kind: KindHello, From: 1, Payload: helloPayload(RolePeer, 2, "")}))
 	conn2.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
 	conn2.Close()
 	waitUntil(t, 5*time.Second, "second bad frame", func() bool {
@@ -382,10 +382,56 @@ func TestTCPWrongClusterSizeRejected(t *testing.T) {
 	}
 	defer conn.Close()
 	// A peer hello claiming a 5-process cluster must be refused.
-	conn.Write(AppendFrame(nil, Frame{Kind: KindHello, From: 1, Payload: helloPayload(RolePeer, 5)}))
+	conn.Write(AppendFrame(nil, Frame{Kind: KindHello, From: 1, Payload: helloPayload(RolePeer, 5, "")}))
 	waitUntil(t, 5*time.Second, "cross-cluster hello rejected", func() bool {
 		return nets[0].BadFrames() > 0
 	})
+}
+
+func TestTCPObjectMismatchRejected(t *testing.T) {
+	nets := newTCPCluster(t, 2, func(id int, o *TCPOptions, tn *TCPNetwork) {
+		if o != nil {
+			o.ObjectName = "counter"
+		}
+		if tn != nil {
+			tn.AttachRouter(id, (&tcpSink{}).route)
+		}
+	})
+	// A peer speaking a different object is refused at handshake.
+	conn, err := net.Dial("tcp", nets[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write(AppendFrame(nil, Frame{Kind: KindHello, From: 1, Payload: helloPayload(RolePeer, 2, "set")}))
+	waitUntil(t, 5*time.Second, "mismatched peer hello rejected", func() bool {
+		return nets[0].BadFrames() > 0
+	})
+	// A client speaking a different object gets a KindError reply.
+	cc, err := net.Dial("tcp", nets[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	cc.Write(ClientHelloFor("set"))
+	f, err := ReadFrame(bufio.NewReader(cc), MaxFrame)
+	if err != nil || f.Kind != KindError {
+		t.Fatalf("mismatched client hello: frame %+v err %v", f, err)
+	}
+	if !strings.Contains(string(f.Payload), "object mismatch") {
+		t.Fatalf("error payload %q lacks object mismatch", f.Payload)
+	}
+	// A name-less (pre-registry) hello is still accepted as a peer link.
+	anon, err := net.Dial("tcp", nets[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anon.Close()
+	anon.Write(AppendFrame(nil, Frame{Kind: KindHello, From: 1, Payload: helloPayload(RolePeer, 2, "")}))
+	time.Sleep(50 * time.Millisecond)
+	if got := nets[0].BadFrames(); got != 2 {
+		t.Fatalf("bad frames after anonymous hello = %d, want 2 (peer+client mismatches only)", got)
+	}
 }
 
 func TestTCPClientHandler(t *testing.T) {

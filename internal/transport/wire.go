@@ -199,34 +199,54 @@ func ReadFrame(br *bufio.Reader, max int) (Frame, error) {
 	return decodeBody(body)
 }
 
-// helloPayload encodes the connection-opening hello: magic, role, and
-// the sender's cluster size (a cross-cluster dial is refused early).
-func helloPayload(role byte, n int) []byte {
-	p := make([]byte, 0, len(WireMagic)+1+binary.MaxVarintLen64)
+// helloPayload encodes the connection-opening hello: magic, role, the
+// sender's cluster size (a cross-cluster dial is refused early), and
+// the length-prefixed object name the sender speaks (empty = unstated;
+// pre-registry senders simply omit the trailing bytes, which older
+// receivers ignored, so the field is compatible in both directions).
+func helloPayload(role byte, n int, name string) []byte {
+	p := make([]byte, 0, len(WireMagic)+1+2*binary.MaxVarintLen64+len(name))
 	p = append(p, WireMagic...)
 	p = append(p, role)
-	return binary.AppendUvarint(p, uint64(n))
+	p = binary.AppendUvarint(p, uint64(n))
+	p = binary.AppendUvarint(p, uint64(len(name)))
+	return append(p, name...)
 }
 
 // ClientHello returns the encoded hello frame a client opens a daemon
-// connection with (anonymous sender, no cluster size claim).
-func ClientHello() []byte {
-	return AppendFrame(nil, Frame{Kind: KindHello, From: -1, Payload: helloPayload(RoleClient, 0)})
+// connection with (anonymous sender, no cluster size claim, no object
+// name claim — the daemon then accepts it for whatever it serves).
+func ClientHello() []byte { return ClientHelloFor("") }
+
+// ClientHelloFor is ClientHello claiming an object name: the daemon
+// refuses the connection with a KindError reply when it serves a
+// different object.
+func ClientHelloFor(name string) []byte {
+	return AppendFrame(nil, Frame{Kind: KindHello, From: -1, Payload: helloPayload(RoleClient, 0, name)})
 }
 
-// parseHello validates a hello payload, returning the role and cluster
-// size.
-func parseHello(p []byte) (role byte, n int, err error) {
+// parseHello validates a hello payload, returning the role, cluster
+// size, and claimed object name ("" when the sender stated none).
+func parseHello(p []byte) (role byte, n int, name string, err error) {
 	if len(p) < len(WireMagic)+1 || string(p[:len(WireMagic)]) != WireMagic {
-		return 0, 0, frameErrf("transport: bad hello magic")
+		return 0, 0, "", frameErrf("transport: bad hello magic")
 	}
 	role = p[len(WireMagic)]
 	if role != RolePeer && role != RoleClient {
-		return 0, 0, frameErrf("transport: unknown hello role %d", role)
+		return 0, 0, "", frameErrf("transport: unknown hello role %d", role)
 	}
-	size, m := binary.Uvarint(p[len(WireMagic)+1:])
+	rest := p[len(WireMagic)+1:]
+	size, m := binary.Uvarint(rest)
 	if m <= 0 || size > 1<<20 {
-		return 0, 0, frameErrf("transport: malformed hello cluster size")
+		return 0, 0, "", frameErrf("transport: malformed hello cluster size")
 	}
-	return role, int(size), nil
+	rest = rest[m:]
+	if len(rest) == 0 {
+		return role, int(size), "", nil // pre-name hello
+	}
+	nameLen, m := binary.Uvarint(rest)
+	if m <= 0 || nameLen > 1<<10 || uint64(len(rest)-m) < nameLen {
+		return 0, 0, "", frameErrf("transport: malformed hello object name")
+	}
+	return role, int(size), string(rest[m : m+int(nameLen)]), nil
 }

@@ -1,34 +1,49 @@
 package updatec
 
 import (
+	"fmt"
+	"math/rand"
+
 	"updatec/internal/check"
 	"updatec/internal/core"
 	"updatec/internal/history"
 	"updatec/internal/spec"
 )
 
-// port is the object surface every typed handle is written against:
+// Handle is the object surface every typed handle is written against:
 // issue an update, evaluate a query. Depending on how the handle was
 // obtained it is backed by a (possibly sharded) replica of the generic
-// construction, an Algorithm 2 memory, a recording wrapper, or a
-// client session — the handle's methods are identical in all cases.
-type port interface {
-	Update(u spec.Update)
-	Query(in spec.QueryInput) spec.QueryOutput
+// construction, a causal replica, an Algorithm 2 memory, a recording
+// wrapper, or a client session — the handle's methods are identical in
+// all cases. Define's handle wiring receives one and wraps it into the
+// application's typed handle; Lookup's dynamic descriptors hand it out
+// directly.
+type Handle interface {
+	Update(u Update)
+	Query(in QueryInput) QueryOutput
 }
 
+// port is the historical internal name for Handle.
+type port = Handle
+
 // Object describes one replicated data type to New: its sequential
-// specification (the UQ-ADT of Definition 1), how to wrap a replica
-// into the typed handle H, and the converged (ω) query recorded at the
-// end of a recorded run. Use the built-in descriptors — SetObject,
-// CounterObject, RegisterObject, TextLogObject, GraphObject,
-// SequenceObject, KVObject, CounterMapObject, MemoryObject — as the
-// second argument of New.
+// specification (the UQ-ADT of Definition 1), the codec broadcasting
+// its updates, how to wrap a replica Handle into the typed handle H,
+// and the converged (ω) query recorded at the end of a recorded run.
+// Obtain one from Define (user-defined types), from the built-in
+// descriptors — SetObject, CounterObject, RegisterObject,
+// TextLogObject, GraphObject, SequenceObject, KVObject,
+// CounterMapObject, MemoryObject — or by name from Lookup.
 type Object[H any] struct {
 	name  string
 	adt   spec.UQADT
-	wrap  func(p port) H
-	omega spec.QueryInput
+	codec spec.Codec // resolved: explicit Define codec, or the adt itself
+	wrap  func(p Handle) H
+	// omega/hasOmega is the declared ω query (WithOmega).
+	omega    spec.QueryInput
+	hasOmega bool
+	// workload is the optional random-update generator (WithWorkload).
+	workload func(rng *rand.Rand, key string) spec.Update
 	// alg2 marks the Algorithm 2 shared memory, which replaces the
 	// log-based construction entirely (no engines, no GC, no shards).
 	alg2 bool
@@ -37,6 +52,47 @@ type Object[H any] struct {
 
 // Name returns the descriptor's data type name (e.g. "set").
 func (o Object[H]) Name() string { return o.name }
+
+// Spec returns the sequential specification. Capability probing works
+// on it directly: `_, ok := obj.Spec().(updatec.Partitionable)` tells
+// whether the object can shard.
+func (o Object[H]) Spec() Spec { return o.adt }
+
+// Codec returns the update codec the object broadcasts with — the
+// explicit codec given to Define, or the spec itself when it implements
+// Codec.
+func (o Object[H]) Codec() Codec { return o.codec }
+
+// Omega returns the declared converged (ω) query, if any.
+func (o Object[H]) Omega() (QueryInput, bool) { return o.omega, o.hasOmega }
+
+// RandomUpdate draws one update from the object's workload generator
+// (WithWorkload), targeting the given key; ok is false when the object
+// declared no workload. Harnesses that drive arbitrary objects — chaos
+// schedules, ucsim, spectest — are built on this.
+func (o Object[H]) RandomUpdate(rng *rand.Rand, key string) (u Update, ok bool) {
+	if o.workload == nil {
+		return nil, false
+	}
+	return o.workload(rng, key), true
+}
+
+// Dynamic erases the typed handle: the returned descriptor is the same
+// object with H = Handle (identity wiring). This is the form the
+// registry stores and the form generic harnesses consume.
+func (o Object[H]) Dynamic() Object[Handle] {
+	return Object[Handle]{
+		name:     o.name,
+		adt:      o.adt,
+		codec:    o.codec,
+		wrap:     func(p Handle) Handle { return p },
+		omega:    o.omega,
+		hasOmega: o.hasOmega,
+		workload: o.workload,
+		alg2:     o.alg2,
+		init:     o.init,
+	}
+}
 
 // partitionable reports whether the object may be key-sharded.
 func (o Object[H]) partitionable() bool {
@@ -74,12 +130,15 @@ func (s *Set) Contains(v string) bool {
 // SetObject describes the replicated set. Partitionable (each element
 // is its own key), so it accepts WithShards.
 func SetObject() Object[*Set] {
-	return Object[*Set]{
-		name:  "set",
-		adt:   spec.Set(),
-		wrap:  func(p port) *Set { return &Set{p: p} },
-		omega: spec.Read{},
-	}
+	return mustDefine(define("set", spec.Set(), nil,
+		func(p Handle) *Set { return &Set{p: p} },
+		WithOmega(spec.Read{}),
+		WithWorkload(func(rng *rand.Rand, key string) Update {
+			if rng.Intn(3) == 0 {
+				return spec.Del{V: key}
+			}
+			return spec.Ins{V: key}
+		})))
 }
 
 // Counter is an update consistent replicated counter (also a CRDT,
@@ -100,12 +159,12 @@ func (c *Counter) Value() int64 { return int64(c.p.Query(spec.Read{}).(spec.CtrV
 
 // CounterObject describes the replicated counter.
 func CounterObject() Object[*Counter] {
-	return Object[*Counter]{
-		name:  "counter",
-		adt:   spec.Counter(),
-		wrap:  func(p port) *Counter { return &Counter{p: p} },
-		omega: spec.Read{},
-	}
+	return mustDefine(define("counter", spec.Counter(), nil,
+		func(p Handle) *Counter { return &Counter{p: p} },
+		WithOmega(spec.Read{}),
+		WithWorkload(func(rng *rand.Rand, key string) Update {
+			return spec.Add{N: rng.Int63n(9) - 4}
+		})))
 }
 
 // Register is an update consistent last-writer register.
@@ -120,12 +179,12 @@ func (r *Register) Read() string { return string(r.p.Query(spec.Read{}).(spec.Re
 // RegisterObject describes the replicated register with initial value
 // v0.
 func RegisterObject(v0 string) Object[*Register] {
-	return Object[*Register]{
-		name:  "register",
-		adt:   spec.Register(v0),
-		wrap:  func(p port) *Register { return &Register{p: p} },
-		omega: spec.Read{},
-	}
+	return mustDefine(define("register", spec.Register(v0), nil,
+		func(p Handle) *Register { return &Register{p: p} },
+		WithOmega(spec.Read{}),
+		WithWorkload(func(rng *rand.Rand, key string) Update {
+			return spec.Write{V: fmt.Sprintf("%s-%d", key, rng.Intn(64))}
+		})))
 }
 
 // TextLog is an update consistent append-only document: all replicas
@@ -142,12 +201,12 @@ func (l *TextLog) Lines() []string { return l.p.Query(spec.ReadLog{}).(spec.Line
 
 // TextLogObject describes the replicated append-only document.
 func TextLogObject() Object[*TextLog] {
-	return Object[*TextLog]{
-		name:  "log",
-		adt:   spec.Log(),
-		wrap:  func(p port) *TextLog { return &TextLog{p: p} },
-		omega: spec.ReadLog{},
-	}
+	return mustDefine(define("log", spec.Log(), nil,
+		func(p Handle) *TextLog { return &TextLog{p: p} },
+		WithOmega(spec.ReadLog{}),
+		WithWorkload(func(rng *rand.Rand, key string) Update {
+			return spec.Append{V: fmt.Sprintf("%s-%d", key, rng.Intn(64))}
+		})))
 }
 
 // Graph is an update consistent directed graph: every replica's view
@@ -181,12 +240,22 @@ func (g *Graph) snapshot() spec.GraphVal {
 
 // GraphObject describes the replicated graph.
 func GraphObject() Object[*Graph] {
-	return Object[*Graph]{
-		name:  "graph",
-		adt:   spec.Graph(),
-		wrap:  func(p port) *Graph { return &Graph{p: p} },
-		omega: spec.ReadGraph{},
-	}
+	return mustDefine(define("graph", spec.Graph(), nil,
+		func(p Handle) *Graph { return &Graph{p: p} },
+		WithOmega(spec.ReadGraph{}),
+		WithWorkload(func(rng *rand.Rand, key string) Update {
+			other := fmt.Sprintf("v%d", rng.Intn(5))
+			switch rng.Intn(4) {
+			case 0:
+				return spec.AddV{V: key}
+			case 1:
+				return spec.RemV{V: key}
+			case 2:
+				return spec.AddE{U: key, V: other}
+			default:
+				return spec.RemE{U: key, V: other}
+			}
+		})))
 }
 
 // Sequence is an update consistent positional sequence: a shared
@@ -205,12 +274,15 @@ func (s *Sequence) Items() []string { return s.p.Query(spec.ReadSeq{}).(spec.Lin
 
 // SequenceObject describes the replicated positional sequence.
 func SequenceObject() Object[*Sequence] {
-	return Object[*Sequence]{
-		name:  "sequence",
-		adt:   spec.Sequence(),
-		wrap:  func(p port) *Sequence { return &Sequence{p: p} },
-		omega: spec.ReadSeq{},
-	}
+	return mustDefine(define("sequence", spec.Sequence(), nil,
+		func(p Handle) *Sequence { return &Sequence{p: p} },
+		WithOmega(spec.ReadSeq{}),
+		WithWorkload(func(rng *rand.Rand, key string) Update {
+			if rng.Intn(3) == 0 {
+				return spec.DelAt{Pos: rng.Intn(4)}
+			}
+			return spec.InsAt{Pos: rng.Intn(4), V: fmt.Sprintf("%s-%d", key, rng.Intn(64))}
+		})))
 }
 
 // KV is an update consistent key-value store built on the *generic*
@@ -232,12 +304,16 @@ func (kv *KV) Get(k string) string {
 
 // KVObject describes the generic key-value store.
 func KVObject() Object[*KV] {
-	return Object[*KV]{
-		name:  "kv",
-		adt:   spec.Memory(""),
-		wrap:  func(p port) *KV { return &KV{p: p} },
-		omega: spec.ReadKey{K: ""},
-	}
+	return mustDefine(define("kv", spec.Memory(""), nil,
+		func(p Handle) *KV { return &KV{p: p} },
+		WithOmega(spec.ReadKey{K: ""}),
+		WithWorkload(kvWorkload)))
+}
+
+// kvWorkload is shared by the kv and memory descriptors (same spec,
+// different construction).
+func kvWorkload(rng *rand.Rand, key string) Update {
+	return spec.WriteKey{K: key, V: fmt.Sprintf("v%d", rng.Intn(64))}
 }
 
 // CounterMap is an update consistent map of named counters: additions
@@ -272,12 +348,12 @@ func (m *CounterMap) All() []string {
 
 // CounterMapObject describes the replicated counter map.
 func CounterMapObject() Object[*CounterMap] {
-	return Object[*CounterMap]{
-		name:  "countermap",
-		adt:   spec.CounterMap(),
-		wrap:  func(p port) *CounterMap { return &CounterMap{p: p} },
-		omega: spec.ReadAllCtrs{},
-	}
+	return mustDefine(define("countermap", spec.CounterMap(), nil,
+		func(p Handle) *CounterMap { return &CounterMap{p: p} },
+		WithOmega(spec.ReadAllCtrs{}),
+		WithWorkload(func(rng *rand.Rand, key string) Update {
+			return spec.AddKey{K: key, N: rng.Int63n(5) + 1}
+		})))
 }
 
 // Memory is the shared memory of Algorithm 2: per-register
@@ -300,17 +376,16 @@ func (m *Memory) Read(x string) string {
 // MemoryObject describes the Algorithm 2 shared memory with initial
 // register value v0.
 func MemoryObject(v0 string) Object[*Memory] {
-	return Object[*Memory]{
-		name:  "memory",
-		adt:   spec.Memory(v0),
-		wrap:  func(p port) *Memory { return &Memory{p: p} },
-		omega: spec.ReadKey{K: ""},
-		alg2:  true,
-		init:  v0,
-	}
+	obj := mustDefine(define("memory", spec.Memory(v0), nil,
+		func(p Handle) *Memory { return &Memory{p: p} },
+		WithOmega(spec.ReadKey{K: ""}),
+		WithWorkload(kvWorkload)))
+	obj.alg2 = true
+	obj.init = v0
+	return obj
 }
 
-// memPort adapts an Algorithm 2 memory to the port interface, so the
+// memPort adapts an Algorithm 2 memory to the Handle interface, so the
 // Memory handle (and the recording machinery) speak the same surface
 // as the generic construction.
 type memPort struct{ m *core.Memory }
@@ -326,7 +401,7 @@ func (p memPort) Query(in spec.QueryInput) spec.QueryOutput {
 }
 
 // ClassifyHistory parses a history in the paper's notation (see
-// cmd/uccheck for the grammar) and classifies it under the five
+// cmd/uccheck for the grammar) and classifies it under the six
 // criteria.
 func ClassifyHistory(text string) (Classification, error) {
 	h, err := history.Parse(text)
@@ -344,5 +419,6 @@ func classify(h *history.History) Classification {
 		UpdateConsistent:           c.UC,
 		StrongUpdateConsistent:     c.SUC,
 		PipelinedConsistent:        c.PC,
+		CausallyConsistent:         c.CC,
 	}
 }

@@ -1,0 +1,79 @@
+package updatec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The object registry maps names to dynamic descriptors —
+// Object[Handle], the untyped-handle form every typed descriptor
+// erases to. It is how code that did not link the object's typed API
+// resolves one by name: ucsim's and ucserve's -obj flags, the chaos
+// harness, and anything else driving objects generically. Define
+// registers automatically; the nine built-ins register at package init.
+var registry = struct {
+	sync.Mutex
+	objs map[string]Object[Handle]
+}{objs: map[string]Object[Handle]{}}
+
+func register(obj Object[Handle]) error {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, ok := registry.objs[obj.name]; ok {
+		return fmt.Errorf("updatec: Define(%q): %w", obj.name, ErrDuplicateObject)
+	}
+	registry.objs[obj.name] = obj
+	return nil
+}
+
+// Lookup resolves a registered object by name, returning the dynamic
+// descriptor (handles are the untyped Handle). Use it exactly like a
+// typed descriptor:
+//
+//	obj, err := updatec.Lookup("countermap")
+//	cluster, handles, err := updatec.New(3, obj, updatec.WithShards(4))
+//	handles[0].Update(...)
+func Lookup(name string) (Object[Handle], error) {
+	registry.Lock()
+	defer registry.Unlock()
+	obj, ok := registry.objs[name]
+	if !ok {
+		return Object[Handle]{}, fmt.Errorf("updatec: %q (known: %v): %w", name, objectsLocked(), ErrUnknownObject)
+	}
+	return obj, nil
+}
+
+// Objects returns the registered object names, sorted.
+func Objects() []string {
+	registry.Lock()
+	defer registry.Unlock()
+	return objectsLocked()
+}
+
+func objectsLocked() []string {
+	names := make([]string, 0, len(registry.objs))
+	for name := range registry.objs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	for _, obj := range []Object[Handle]{
+		SetObject().Dynamic(),
+		CounterObject().Dynamic(),
+		RegisterObject("").Dynamic(),
+		TextLogObject().Dynamic(),
+		GraphObject().Dynamic(),
+		SequenceObject().Dynamic(),
+		KVObject().Dynamic(),
+		CounterMapObject().Dynamic(),
+		MemoryObject("").Dynamic(),
+	} {
+		if err := register(obj); err != nil {
+			panic(err)
+		}
+	}
+}

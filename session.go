@@ -34,14 +34,18 @@ type Session[H any] struct {
 }
 
 // Session opens a session against replica p. It returns an error for
-// MemoryObject clusters: Algorithm 2 keeps no per-origin coverage to
-// check a session against.
+// MemoryObject clusters (Algorithm 2 keeps no per-origin coverage to
+// check a session against) and for causal clusters (causal delivery
+// tracks dependency vectors, not per-origin log coverage).
 func (c *Cluster[H]) Session(p int) (*Session[H], error) {
+	if c.level == Causal {
+		return nil, fmt.Errorf("updatec: Session is not supported at WithConsistency(Causal): causal replicas track no per-origin coverage: %w", ErrUnsupported)
+	}
 	if c.replicas == nil {
-		return nil, fmt.Errorf("updatec: sessions require the generic construction; %s (Algorithm 2) does not track per-origin coverage", c.obj.name)
+		return nil, fmt.Errorf("updatec: sessions require the generic construction; %s (Algorithm 2) does not track per-origin coverage: %w", c.obj.name, ErrUnsupported)
 	}
 	if p < 0 || p >= c.n {
-		return nil, fmt.Errorf("updatec: session replica %d out of range [0,%d)", p, c.n)
+		return nil, fmt.Errorf("updatec: session replica %d out of range [0,%d): %w", p, c.n, ErrBadOption)
 	}
 	s := &Session[H]{cl: c, sess: core.NewShardedSession(c.replicas[p])}
 	sp := sessionPort{sess: s.sess}

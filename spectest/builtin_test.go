@@ -1,0 +1,23 @@
+package spectest_test
+
+import (
+	"testing"
+
+	"updatec"
+	"updatec/spectest"
+)
+
+// TestBuiltins runs the conformance harness over every built-in object
+// descriptor — the nine built-ins are clients of the same open kit a
+// user Define goes through, so they pass the same laws.
+func TestBuiltins(t *testing.T) {
+	t.Run("set", func(t *testing.T) { spectest.Run(t, updatec.SetObject()) })
+	t.Run("counter", func(t *testing.T) { spectest.Run(t, updatec.CounterObject()) })
+	t.Run("register", func(t *testing.T) { spectest.Run(t, updatec.RegisterObject("")) })
+	t.Run("log", func(t *testing.T) { spectest.Run(t, updatec.TextLogObject()) })
+	t.Run("kv", func(t *testing.T) { spectest.Run(t, updatec.KVObject()) })
+	t.Run("countermap", func(t *testing.T) { spectest.Run(t, updatec.CounterMapObject()) })
+	t.Run("graph", func(t *testing.T) { spectest.Run(t, updatec.GraphObject()) })
+	t.Run("sequence", func(t *testing.T) { spectest.Run(t, updatec.SequenceObject()) })
+	t.Run("memory", func(t *testing.T) { spectest.Run(t, updatec.MemoryObject("")) })
+}

@@ -50,6 +50,27 @@
 // Cluster.Session opens a per-client session with read-your-writes and
 // monotonic reads across replica failover, for any object built on the
 // generic construction, sharded or not.
+//
+// # Bring your own object
+//
+// The built-ins are not special: they are assembled with the same
+// public kit applications use. Define builds an Object descriptor from
+// any sequential specification (a Spec), and the optional capability
+// interfaces the built-ins implement — Codec, Undoable, Partitionable,
+// QueryKeyer, StateCodec, Commutative — unlock the same upgrades
+// (sharding, Resize, the undo engine, query caching) for user-defined
+// types. No layer below the descriptor registry knows the built-ins by
+// name.
+//
+// # Consistency levels
+//
+// WithConsistency selects the consistency level per object:
+// UpdateConsistent (the default) is the paper's construction —
+// timestamp-arbitrated total order, convergence for every object.
+// Causal reuses the broadcast machinery but delivers each update only
+// after everything its issuer had seen, folding state eagerly with no
+// log, no arbitration and no undo — cheaper per operation, with
+// convergence guaranteed only when concurrent updates commute.
 package updatec
 
 import (
@@ -74,6 +95,37 @@ const (
 	Undo
 )
 
+// Level selects a consistency level for a cluster (WithConsistency).
+type Level int
+
+const (
+	// UpdateConsistent is the paper's criterion and the default: all
+	// replicas converge to the state of one total order of all updates,
+	// for every object.
+	UpdateConsistent Level = iota
+	// Causal delivers updates in causal order and folds them eagerly —
+	// no log, no arbitration, no undo. Queries are O(1); convergence is
+	// guaranteed only when concurrent updates commute (Commutative
+	// objects, or workloads that happen to commute). Causal mode keeps
+	// the wait-free broadcast machinery but supports none of the
+	// log-based upgrades: WithGC, WithEngine, WithShards,
+	// WithLockFreeWriters, Resize, Session, Crash/Recover and
+	// fault-injection repair are all rejected with ErrUnsupported.
+	Causal
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case UpdateConsistent:
+		return "update-consistent"
+	case Causal:
+		return "causal"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
 type config struct {
 	seed      int64
 	simulated bool
@@ -85,6 +137,7 @@ type config struct {
 	shards    int
 	workers   int
 	lockfree  bool
+	level     Level
 }
 
 // Option configures a cluster.
@@ -153,6 +206,10 @@ func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
 // Algorithm 2 has no ingestion mutex to replace).
 func WithLockFreeWriters() Option { return func(c *config) { c.lockfree = true } }
 
+// WithConsistency selects the cluster's consistency level. The default
+// is UpdateConsistent; see Level for what Causal trades away.
+func WithConsistency(l Level) Option { return func(c *config) { c.level = l } }
+
 // WithShards runs each replica as s key shards — one instance of
 // Algorithm 1 (log, Lamport clock, query engine, transport channel)
 // per shard, updates routed to the shard owning their key. It requires
@@ -171,8 +228,10 @@ type Cluster[H any] struct {
 	obj      Object[H]
 	sim      *transport.SimNetwork
 	live     *transport.LiveNetwork
-	replicas []*core.ShardedReplica // generic construction (nil for MemoryObject)
+	replicas []*core.ShardedReplica // generic construction (nil otherwise)
 	memories []*core.Memory         // Algorithm 2 (nil otherwise)
+	causal   []*core.CausalReplica  // causal delivery (nil otherwise)
+	level    Level
 	rec      *history.Recorder
 	omega    func(p int)
 	gc       bool
@@ -211,55 +270,82 @@ type NetworkStats struct {
 //
 // New validates the option/object combination and returns an error —
 // rather than silently ignoring the option — when the object does not
-// support it: WithShards needs a partitionable object, and
-// MemoryObject (Algorithm 2) supports neither WithEngine, WithGC nor
-// WithShards.
+// support it. Support is probed through the object's capabilities, not
+// a list of built-in names: WithShards needs a Partitionable spec,
+// WithRecording needs a converged query (WithOmega), Algorithm 2
+// objects (MemoryObject) support none of the log-based options, and
+// WithConsistency(Causal) rejects them too. Every validation error
+// wraps one of the package sentinels (ErrBadObject, ErrBadOption,
+// ErrUnsupported), so callers can test categories with errors.Is.
 func New[H any](n int, obj Object[H], opts ...Option) (*Cluster[H], []H, error) {
 	if obj.wrap == nil {
-		return nil, nil, fmt.Errorf("updatec: zero Object; use a built-in descriptor (SetObject, CounterObject, ...)")
+		return nil, nil, fmt.Errorf("updatec: zero Object; use Define or a built-in descriptor (SetObject, CounterObject, ...): %w", ErrBadObject)
 	}
 	if n <= 0 {
-		return nil, nil, fmt.Errorf("updatec: cluster size must be positive, got %d", n)
+		return nil, nil, fmt.Errorf("updatec: cluster size must be positive, got %d: %w", n, ErrBadOption)
 	}
 	cfg := config{shards: 1}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.level != UpdateConsistent && cfg.level != Causal {
+		return nil, nil, fmt.Errorf("updatec: WithConsistency(%d): unknown level: %w", int(cfg.level), ErrBadOption)
+	}
 	if cfg.shards < 1 {
-		return nil, nil, fmt.Errorf("updatec: WithShards needs at least one shard, got %d", cfg.shards)
+		return nil, nil, fmt.Errorf("updatec: WithShards needs at least one shard, got %d: %w", cfg.shards, ErrBadOption)
 	}
 	if cfg.shards > 1 {
 		if obj.alg2 {
-			return nil, nil, fmt.Errorf("updatec: %s does not support WithShards: Algorithm 2 is already per-register", obj.name)
+			return nil, nil, fmt.Errorf("updatec: %s does not support WithShards: Algorithm 2 is already per-register: %w", obj.name, ErrUnsupported)
+		}
+		if cfg.level == Causal {
+			return nil, nil, fmt.Errorf("updatec: WithShards is not supported at WithConsistency(Causal): causal delivery gates on one dependency vector per process: %w", ErrUnsupported)
 		}
 		if !obj.partitionable() {
-			return nil, nil, fmt.Errorf("updatec: %s is not partitionable; WithShards requires a key-partitionable object (set, kv, countermap)", obj.name)
+			return nil, nil, fmt.Errorf("updatec: %s is not partitionable; WithShards requires a spec implementing Partitionable: %w", obj.name, ErrUnsupported)
 		}
 	}
 	if obj.alg2 && cfg.engineSet {
-		return nil, nil, fmt.Errorf("updatec: %s does not support WithEngine: Algorithm 2 keeps no update log to query", obj.name)
+		return nil, nil, fmt.Errorf("updatec: %s does not support WithEngine: Algorithm 2 keeps no update log to query: %w", obj.name, ErrUnsupported)
 	}
 	if obj.alg2 && cfg.gc {
-		return nil, nil, fmt.Errorf("updatec: %s does not support WithGC: Algorithm 2 keeps no log to compact", obj.name)
+		return nil, nil, fmt.Errorf("updatec: %s does not support WithGC: Algorithm 2 keeps no log to compact: %w", obj.name, ErrUnsupported)
+	}
+	if obj.alg2 && cfg.level == Causal {
+		return nil, nil, fmt.Errorf("updatec: %s does not support WithConsistency(Causal): Algorithm 2 is its own construction: %w", obj.name, ErrUnsupported)
+	}
+	if cfg.level == Causal {
+		if cfg.gc {
+			return nil, nil, fmt.Errorf("updatec: WithGC is not supported at WithConsistency(Causal): causal delivery keeps no log to compact: %w", ErrUnsupported)
+		}
+		if cfg.engineSet {
+			return nil, nil, fmt.Errorf("updatec: WithEngine is not supported at WithConsistency(Causal): causal delivery keeps no log to query: %w", ErrUnsupported)
+		}
+		if cfg.lockfree {
+			return nil, nil, fmt.Errorf("updatec: WithLockFreeWriters is not supported at WithConsistency(Causal): causal delivery has no intake engine: %w", ErrUnsupported)
+		}
 	}
 	if cfg.gc && cfg.simulated && !cfg.fifo {
-		return nil, nil, fmt.Errorf("updatec: WithGC on a simulated network requires WithFIFO")
+		return nil, nil, fmt.Errorf("updatec: WithGC on a simulated network requires WithFIFO: %w", ErrUnsupported)
 	}
 	if cfg.workers < 0 {
-		return nil, nil, fmt.Errorf("updatec: WithWorkers needs a non-negative worker count, got %d", cfg.workers)
+		return nil, nil, fmt.Errorf("updatec: WithWorkers needs a non-negative worker count, got %d: %w", cfg.workers, ErrBadOption)
 	}
 	if cfg.workers > 1 && !cfg.simulated {
-		return nil, nil, fmt.Errorf("updatec: WithWorkers requires WithSeed (the parallel adversary shards the simulated transport)")
+		return nil, nil, fmt.Errorf("updatec: WithWorkers requires WithSeed (the parallel adversary shards the simulated transport): %w", ErrUnsupported)
 	}
 	if cfg.lockfree {
 		if obj.alg2 {
-			return nil, nil, fmt.Errorf("updatec: %s does not support WithLockFreeWriters: Algorithm 2 has no ingestion mutex to replace", obj.name)
+			return nil, nil, fmt.Errorf("updatec: %s does not support WithLockFreeWriters: Algorithm 2 has no ingestion mutex to replace: %w", obj.name, ErrUnsupported)
 		}
 		if cfg.simulated {
-			return nil, nil, fmt.Errorf("updatec: WithLockFreeWriters requires the live transport; the simulated adversary (WithSeed) is single-goroutine")
+			return nil, nil, fmt.Errorf("updatec: WithLockFreeWriters requires the live transport; the simulated adversary (WithSeed) is single-goroutine: %w", ErrUnsupported)
 		}
 	}
-	cl := &Cluster[H]{n: n, obj: obj, shards: cfg.shards, gc: cfg.gc, crashed: map[int]bool{}}
+	if cfg.record && !obj.alg2 && !obj.hasOmega {
+		return nil, nil, fmt.Errorf("updatec: %s has no converged query; WithRecording requires an object defined with WithOmega: %w", obj.name, ErrUnsupported)
+	}
+	cl := &Cluster[H]{n: n, obj: obj, level: cfg.level, shards: cfg.shards, gc: cfg.gc, crashed: map[int]bool{}}
 	if cl.workers = cfg.workers; cl.workers < 1 {
 		cl.workers = 1
 	}
@@ -290,6 +376,14 @@ func New[H any](n int, obj Object[H], opts ...Option) (*Cluster[H], []H, error) 
 		}
 		return cl, handles, nil
 	}
+	if cfg.level == Causal {
+		cl.causal = core.CausalCluster(n, obj.adt, obj.codec, net, cl.rec)
+		for i, r := range cl.causal {
+			handles[i] = obj.wrap(r)
+		}
+		cl.omega = func(p int) { cl.causal[p].QueryOmega(obj.omega) }
+		return cl, handles, nil
+	}
 	var mkEngine func() core.Engine
 	switch cfg.engine {
 	case Checkpoint:
@@ -297,7 +391,7 @@ func New[H any](n int, obj Object[H], opts ...Option) (*Cluster[H], []H, error) 
 	case Undo:
 		mkEngine = func() core.Engine { return core.NewUndoEngine() }
 	}
-	copt := core.ClusterOptions{NewEngine: mkEngine, GC: cfg.gc, LockFree: cfg.lockfree}
+	copt := core.ClusterOptions{NewEngine: mkEngine, Codec: obj.codec, GC: cfg.gc, LockFree: cfg.lockfree}
 	if cfg.shards == 1 {
 		// One shard is exactly the unsharded construction, so recording
 		// can live inside the replica (one clock per process).
@@ -351,6 +445,9 @@ func (rp recordingPort) Query(in spec.QueryInput) spec.QueryOutput {
 
 // N returns the cluster size.
 func (c *Cluster[H]) N() int { return c.n }
+
+// Level returns the cluster's consistency level.
+func (c *Cluster[H]) Level() Level { return c.level }
 
 // Shards returns the current shard count per replica (1 unless
 // WithShards or Resize changed it).
@@ -408,22 +505,25 @@ func (c *Cluster[H]) Resize(newShards int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return fmt.Errorf("updatec: Resize on a closed cluster")
+		return fmt.Errorf("updatec: Resize on a closed cluster: %w", ErrBadOption)
 	}
 	if newShards < 1 {
-		return fmt.Errorf("updatec: Resize needs at least one shard, got %d", newShards)
+		return fmt.Errorf("updatec: Resize needs at least one shard, got %d: %w", newShards, ErrBadOption)
 	}
 	if c.obj.alg2 {
-		return fmt.Errorf("updatec: %s does not support Resize: Algorithm 2 is already per-register", c.obj.name)
+		return fmt.Errorf("updatec: %s does not support Resize: Algorithm 2 is already per-register: %w", c.obj.name, ErrUnsupported)
+	}
+	if c.level == Causal {
+		return fmt.Errorf("updatec: Resize is not supported at WithConsistency(Causal): causal clusters are unsharded: %w", ErrUnsupported)
 	}
 	if !c.obj.partitionable() {
-		return fmt.Errorf("updatec: %s is not partitionable; Resize requires a key-partitionable object (set, kv, countermap)", c.obj.name)
+		return fmt.Errorf("updatec: %s is not partitionable; Resize requires a spec implementing Partitionable: %w", c.obj.name, ErrUnsupported)
 	}
 	if newShards == c.shards {
 		return nil
 	}
 	if c.rec != nil && c.shards == 1 {
-		return fmt.Errorf("updatec: Resize on a 1-shard recorded cluster would strand replica-level recording; build with WithShards to record a resized run")
+		return fmt.Errorf("updatec: Resize on a 1-shard recorded cluster would strand replica-level recording; build with WithShards to record a resized run: %w", ErrUnsupported)
 	}
 	if c.sim != nil {
 		for _, r := range c.replicas {
@@ -530,11 +630,14 @@ func (c *Cluster[H]) ScheduleFingerprint() uint64 {
 func (c *Cluster[H]) Crash(p int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.level == Causal {
+		return fmt.Errorf("updatec: Crash is not supported at WithConsistency(Causal): causal clusters have no anti-entropy repair to recover with: %w", ErrUnsupported)
+	}
 	if p < 0 || p >= c.n {
-		return fmt.Errorf("updatec: Crash(%d): replica id out of range [0,%d)", p, c.n)
+		return fmt.Errorf("updatec: Crash(%d): replica id out of range [0,%d): %w", p, c.n, ErrBadOption)
 	}
 	if c.crashed[p] {
-		return fmt.Errorf("updatec: Crash(%d): replica is already crashed", p)
+		return fmt.Errorf("updatec: Crash(%d): replica is already crashed: %w", p, ErrBadOption)
 	}
 	c.crashed[p] = true
 	if c.sim != nil {
@@ -561,11 +664,14 @@ func (c *Cluster[H]) Crash(p int) error {
 func (c *Cluster[H]) Recover(p int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.level == Causal {
+		return fmt.Errorf("updatec: Recover is not supported at WithConsistency(Causal): %w", ErrUnsupported)
+	}
 	if p < 0 || p >= c.n {
-		return fmt.Errorf("updatec: Recover(%d): replica id out of range [0,%d)", p, c.n)
+		return fmt.Errorf("updatec: Recover(%d): replica id out of range [0,%d): %w", p, c.n, ErrBadOption)
 	}
 	if !c.crashed[p] {
-		return fmt.Errorf("updatec: Recover(%d): replica is not crashed", p)
+		return fmt.Errorf("updatec: Recover(%d): replica is not crashed: %w", p, ErrBadOption)
 	}
 	if c.sim != nil {
 		c.sim.Recover(p)
@@ -583,14 +689,14 @@ func (c *Cluster[H]) Recover(p int) error {
 // cannot partition.
 func (c *Cluster[H]) Partition(groups ...[]int) error {
 	if c.sim == nil {
-		return fmt.Errorf("updatec: Partition requires WithSeed (simulated transport)")
+		return fmt.Errorf("updatec: Partition requires WithSeed (simulated transport): %w", ErrUnsupported)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, g := range groups {
 		for _, id := range g {
 			if id < 0 || id >= c.n {
-				return fmt.Errorf("updatec: Partition: replica id %d out of range [0,%d)", id, c.n)
+				return fmt.Errorf("updatec: Partition: replica id %d out of range [0,%d): %w", id, c.n, ErrBadOption)
 			}
 		}
 	}
@@ -607,11 +713,16 @@ func (c *Cluster[H]) Partition(groups ...[]int) error {
 // a single exchange instead of a replay.
 func (c *Cluster[H]) Heal() error {
 	if c.sim == nil {
-		return fmt.Errorf("updatec: Heal requires WithSeed (simulated transport)")
+		return fmt.Errorf("updatec: Heal requires WithSeed (simulated transport): %w", ErrUnsupported)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sim.Heal()
+	if c.level == Causal {
+		// Causal clusters have no digest sync; the queued cross-cut
+		// backlog simply redelivers (and gates) once the cut is gone.
+		return nil
+	}
 	return c.syncAllLocked()
 }
 
@@ -623,6 +734,9 @@ func (c *Cluster[H]) Heal() error {
 func (c *Cluster[H]) Sync() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.level == Causal {
+		return fmt.Errorf("updatec: Sync is not supported at WithConsistency(Causal): causal replicas keep no log to exchange digests over: %w", ErrUnsupported)
+	}
 	return c.syncAllLocked()
 }
 
@@ -687,16 +801,19 @@ func (c *Cluster[H]) syncPair(dst, src int) error {
 // exactly-once FIFO delivery, which injected faults break.
 func (c *Cluster[H]) FaultLink(from, to int, drop, dup float64) error {
 	if c.sim == nil {
-		return fmt.Errorf("updatec: FaultLink requires WithSeed (simulated transport)")
+		return fmt.Errorf("updatec: FaultLink requires WithSeed (simulated transport): %w", ErrUnsupported)
+	}
+	if c.level == Causal {
+		return fmt.Errorf("updatec: FaultLink is not supported at WithConsistency(Causal): a dropped dependency would wedge delivery with no anti-entropy to repair it: %w", ErrUnsupported)
 	}
 	if c.gc {
-		return fmt.Errorf("updatec: FaultLink on a WithGC cluster would break stability-based compaction")
+		return fmt.Errorf("updatec: FaultLink on a WithGC cluster would break stability-based compaction: %w", ErrUnsupported)
 	}
 	if from < 0 || from >= c.n || to < 0 || to >= c.n || from == to {
-		return fmt.Errorf("updatec: FaultLink(%d, %d): need two distinct replica ids in [0,%d)", from, to, c.n)
+		return fmt.Errorf("updatec: FaultLink(%d, %d): need two distinct replica ids in [0,%d): %w", from, to, c.n, ErrBadOption)
 	}
 	if drop < 0 || drop >= 1 || dup < 0 || dup >= 1 {
-		return fmt.Errorf("updatec: FaultLink probabilities must be in [0, 1), got drop=%v dup=%v", drop, dup)
+		return fmt.Errorf("updatec: FaultLink probabilities must be in [0, 1), got drop=%v dup=%v: %w", drop, dup, ErrBadOption)
 	}
 	c.sim.SetLinkFault(from, to, transport.LinkFault{Drop: drop, Dup: dup})
 	return nil
@@ -766,10 +883,14 @@ func (c *Cluster[H]) Stats() NetworkStats {
 func (c *Cluster[H]) Converged() bool {
 	crashed := c.crashedSet()
 	key := func(p int) string {
-		if c.memories != nil {
+		switch {
+		case c.memories != nil:
 			return c.memories[p].StateKey()
+		case c.causal != nil:
+			return c.causal[p].StateKey()
+		default:
+			return c.replicas[p].StateKey()
 		}
-		return c.replicas[p].StateKey()
 	}
 	want, first := "", true
 	for p := 0; p < c.n; p++ {
@@ -799,18 +920,20 @@ func (c *Cluster[H]) History() (string, error) {
 }
 
 // Classification reports which of the paper's criteria a history
-// satisfies.
+// satisfies, plus causal consistency (pipelined consistency
+// strengthened by the dependency vectors causal-mode runs record).
 type Classification struct {
 	EventuallyConsistent       bool
 	StrongEventuallyConsistent bool
 	UpdateConsistent           bool
 	StrongUpdateConsistent     bool
 	PipelinedConsistent        bool
+	CausallyConsistent         bool
 }
 
 // Classify finalizes the recorded history and classifies it under the
-// five criteria. Keep recorded runs small: the deciders solve
-// NP-complete search problems. Requires WithRecording.
+// criteria. Keep recorded runs small: the deciders solve NP-complete
+// search problems. Requires WithRecording.
 func (c *Cluster[H]) Classify() (Classification, error) {
 	h, err := c.recorded()
 	if err != nil {

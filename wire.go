@@ -101,46 +101,47 @@ type WireNode[H any] struct {
 // until Close.
 func ListenAndServe[H any](obj Object[H], cfg WireConfig) (*WireNode[H], error) {
 	if obj.wrap == nil {
-		return nil, fmt.Errorf("updatec: zero Object; use a built-in descriptor (SetObject, CounterObject, ...)")
+		return nil, fmt.Errorf("updatec: zero Object; use a registered descriptor (SetObject, Define, ...): %w", ErrBadObject)
 	}
 	if obj.alg2 {
-		return nil, fmt.Errorf("updatec: %s does not support the wire transport: Algorithm 2 replicates registers, not a log the digest exchange can repair", obj.name)
+		return nil, fmt.Errorf("updatec: %s does not support the wire transport: Algorithm 2 replicates registers, not a log the digest exchange can repair: %w", obj.name, ErrUnsupported)
 	}
 	n := len(cfg.Peers)
 	if n == 0 {
-		return nil, fmt.Errorf("updatec: WireConfig.Peers must list every replica address")
+		return nil, fmt.Errorf("updatec: WireConfig.Peers must list every replica address: %w", ErrBadOption)
 	}
 	if cfg.ID < 0 || cfg.ID >= n {
-		return nil, fmt.Errorf("updatec: WireConfig.ID %d out of range [0,%d)", cfg.ID, n)
+		return nil, fmt.Errorf("updatec: WireConfig.ID %d out of range [0,%d): %w", cfg.ID, n, ErrBadOption)
 	}
 	shards := cfg.Shards
 	if shards == 0 {
 		shards = 1
 	}
 	if shards < 1 {
-		return nil, fmt.Errorf("updatec: WireConfig.Shards needs at least one shard, got %d", shards)
+		return nil, fmt.Errorf("updatec: WireConfig.Shards needs at least one shard, got %d: %w", shards, ErrBadOption)
 	}
 	if shards > 1 && !obj.partitionable() {
-		return nil, fmt.Errorf("updatec: %s is not partitionable; sharding requires a key-partitionable object (set, kv, countermap)", obj.name)
+		return nil, fmt.Errorf("updatec: %s is not partitionable; sharding requires a spec implementing Partitionable: %w", obj.name, ErrUnsupported)
 	}
 	listen := cfg.Listen
 	if listen == "" {
 		listen = cfg.Peers[cfg.ID]
 	}
-	codec, ok := obj.adt.(spec.Codec)
-	if !ok {
-		return nil, fmt.Errorf("updatec: %s does not implement spec.Codec", obj.name)
+	codec := obj.codec
+	if codec == nil {
+		return nil, fmt.Errorf("updatec: %s carries no update codec: %w", obj.name, ErrNoCodec)
 	}
 	tcp, err := transport.NewTCP(transport.TCPOptions{
 		ID: cfg.ID, Peers: cfg.Peers, Listen: listen,
 		BatchBytes: cfg.BatchBytes, QueueLen: cfg.QueueLen,
 		DropOnFull: cfg.DropOnFull, Logf: cfg.Logf,
+		ObjectName: obj.name,
 	})
 	if err != nil {
 		return nil, err
 	}
 	rep := core.NewShardedReplica(core.ShardedConfig{
-		ID: cfg.ID, N: n, Shards: shards, ADT: obj.adt, Net: tcp, GC: cfg.GC,
+		ID: cfg.ID, N: n, Shards: shards, ADT: obj.adt, Codec: codec, Net: tcp, GC: cfg.GC,
 	})
 	node := &WireNode[H]{obj: obj, cfg: cfg, tcp: tcp, rep: rep, codec: codec}
 	node.handle = obj.wrap(rep)
@@ -310,24 +311,26 @@ type Client[H any] struct {
 }
 
 // Dial connects a client for the given object to a daemon address. The
-// object must match the daemon's -obj (the codecs must agree); a
-// mismatch surfaces as decode errors, not silent corruption.
+// hello carries the object's name, so a daemon serving a different
+// object refuses the connection outright — the first operation fails
+// with an error satisfying errors.Is(err, ErrObjectMismatch) instead of
+// decoding garbage.
 func Dial[H any](obj Object[H], addr string) (*Client[H], error) {
 	if obj.wrap == nil {
-		return nil, fmt.Errorf("updatec: zero Object; use a built-in descriptor (SetObject, CounterObject, ...)")
+		return nil, fmt.Errorf("updatec: zero Object; use a registered descriptor (SetObject, Define, ...): %w", ErrBadObject)
 	}
 	if obj.alg2 {
-		return nil, fmt.Errorf("updatec: %s does not support the wire transport", obj.name)
+		return nil, fmt.Errorf("updatec: %s does not support the wire transport: %w", obj.name, ErrUnsupported)
 	}
-	codec, ok := obj.adt.(spec.Codec)
-	if !ok {
-		return nil, fmt.Errorf("updatec: %s does not implement spec.Codec", obj.name)
+	codec := obj.codec
+	if codec == nil {
+		return nil, fmt.Errorf("updatec: %s carries no update codec: %w", obj.name, ErrNoCodec)
 	}
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("updatec: dial %s: %w", addr, err)
 	}
-	if _, err := conn.Write(transport.ClientHello()); err != nil {
+	if _, err := conn.Write(transport.ClientHelloFor(obj.name)); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("updatec: hello to %s: %w", addr, err)
 	}
@@ -414,9 +417,15 @@ func (c *Client[H]) roundTrip(kind byte, payload []byte, want byte) ([]byte, err
 	case want:
 		return f.Payload, nil
 	case transport.KindError:
-		// A server-side rejection is not a connection error: the stream
-		// stays aligned (one reply per request), so the client keeps
-		// working.
+		if strings.HasPrefix(string(f.Payload), "object mismatch") {
+			// The daemon refused our hello and hung up: this connection is
+			// dead, and the configuration is wrong, not the network.
+			c.err = fmt.Errorf("updatec: server: %s: %w", f.Payload, ErrObjectMismatch)
+			return nil, c.err
+		}
+		// Any other server-side rejection is not a connection error: the
+		// stream stays aligned (one reply per request), so the client
+		// keeps working.
 		return nil, fmt.Errorf("updatec: server: %s", f.Payload)
 	default:
 		c.err = fmt.Errorf("updatec: unexpected reply kind %d", f.Kind)
